@@ -1,0 +1,151 @@
+// Command sbsim runs one NoC simulation: a mesh with optional random
+// faults, one of the three deadlock-freedom schemes (spanning tree,
+// escape VC, static bubble), and synthetic traffic — then reports
+// latency, throughput, recovery-protocol activity, link utilization, and
+// the energy breakdown.
+//
+// Examples:
+//
+//	sbsim -scheme sb -kind links -faults 20 -rate 0.10 -cycles 20000
+//	sbsim -scheme tree -kind routers -faults 8 -pattern bit_complement
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/deadlock"
+	"repro/internal/energy"
+	"repro/internal/experiments"
+	"repro/internal/network"
+	"repro/internal/snapshot"
+	"repro/internal/topology"
+	"repro/internal/validate"
+	"repro/internal/viz"
+)
+
+func main() {
+	width := flag.Int("width", 8, "mesh width")
+	height := flag.Int("height", 8, "mesh height")
+	kindStr := flag.String("kind", "links", "fault kind: links or routers")
+	faults := flag.Int("faults", 0, "number of random faults")
+	seed := flag.Int64("seed", 1, "topology and traffic seed")
+	schemeStr := flag.String("scheme", "sb", "scheme: tree, evc, or sb")
+	pattern := flag.String("pattern", "uniform_random", "traffic: uniform_random, bit_complement, transpose")
+	rate := flag.Float64("rate", 0.05, "offered load in flits/node/cycle")
+	cycles := flag.Int("cycles", 20000, "simulated cycles")
+	drain := flag.Bool("drain", true, "stop injecting after cycles and drain (up to 10x horizon)")
+	tdd := flag.Int64("tdd", 34, "static-bubble detection threshold")
+	spin := flag.Bool("spin", false, "use SPIN-style synchronized-rotation recovery (follow-up work)")
+	vizDump := flag.Bool("viz", false, "render occupancy/fence/bubble maps at end of run")
+	check := flag.Bool("check", false, "run invariant validation at end of run")
+	snapFile := flag.String("snapshot", "", "write a JSON diagnostic snapshot to this file")
+	flag.Parse()
+
+	var kind topology.FaultKind
+	switch *kindStr {
+	case "links":
+		kind = topology.LinkFaults
+	case "routers":
+		kind = topology.RouterFaults
+	default:
+		fmt.Fprintln(os.Stderr, "sbsim: -kind must be links or routers")
+		os.Exit(2)
+	}
+	var scheme experiments.Scheme
+	switch *schemeStr {
+	case "tree":
+		scheme = experiments.SpanningTree
+	case "evc":
+		scheme = experiments.EscapeVC
+	case "sb":
+		scheme = experiments.StaticBubble
+	default:
+		fmt.Fprintln(os.Stderr, "sbsim: -scheme must be tree, evc, or sb")
+		os.Exit(2)
+	}
+
+	p := experiments.Params{Width: *width, Height: *height, TDD: *tdd, BaseSeed: *seed, SpinMode: *spin}
+	topo := p.SampleTopology(kind, *faults, 0)
+	fmt.Printf("topology: %v (%d %v faults, seed %d)\n", topo, *faults, kind, *seed)
+	fmt.Printf("scheme:   %v\n", scheme)
+
+	inst := p.Build(topo, scheme, *seed)
+	inj := inst.Injector(inst.Pattern(*pattern), *rate, *seed+1000)
+	s := inst.Sim
+	for c := 0; c < *cycles; c++ {
+		inj.Tick(s)
+		s.Step()
+	}
+	if *drain {
+		for i := 0; i < 10**cycles && s.InFlight()+s.QueuedPackets() > 0; i += 100 {
+			s.Run(100)
+		}
+	}
+
+	st := &s.Stats
+	fmt.Printf("\n--- traffic ---\n")
+	fmt.Printf("offered:   %d packets (%d dropped unreachable)\n", st.Offered, st.DroppedUnreachable)
+	fmt.Printf("delivered: %d packets / %d flits\n", st.Delivered, st.DeliveredFlits)
+	fmt.Printf("in flight: %d, queued: %d\n", s.InFlight(), s.QueuedPackets())
+	fmt.Printf("latency:   avg %.1f cycles (network %.1f), max %d\n",
+		st.AvgLatency(), st.AvgNetLatency(), st.MaxLatency)
+	fmt.Printf("accepted:  %.4f flits/node/cycle\n",
+		float64(st.DeliveredFlits)/float64(s.Now)/float64(topo.AliveRouterCount()))
+
+	if scheme == experiments.StaticBubble {
+		fmt.Printf("\n--- recovery ---\n")
+		fmt.Printf("probes sent/returned: %d/%d\n", st.ProbesSent, st.ProbesReturned)
+		fmt.Printf("disables/enables/check_probes: %d/%d/%d\n",
+			st.DisablesSent, st.EnablesSent, st.CheckProbesSent)
+		fmt.Printf("deadlock recoveries: %d (bubble occupancies %d, transfers %d, spins %d)\n",
+			st.DeadlockRecoveries, st.BubbleOccupancies, st.BubbleTransfers, st.SpinRotations)
+	}
+	if scheme == experiments.EscapeVC {
+		fmt.Printf("\n--- recovery ---\nescape transfers: %d\n", st.EscapeTransfers)
+	}
+
+	util := st.LinkUtilization(s.Now, s.AliveDirectedLinkCount())
+	fmt.Printf("\n--- link utilization ---\n")
+	for c := network.LinkClass(0); c < network.NumLinkClasses; c++ {
+		fmt.Printf("%-12s %.4f%%\n", c, 100*util[c])
+	}
+
+	model := energy.Default32nm()
+	b := model.Compute(s, energy.SchemeOverheadBuffers(s, scheme.EnergyKey()), s.Now)
+	fmt.Printf("\n--- energy (pJ) ---\n")
+	fmt.Printf("router dynamic: %.0f\nlink dynamic:   %.0f\nrouter leakage: %.0f\nlink leakage:   %.0f\ntotal:          %.0f\n",
+		b.RouterDynamic, b.LinkDynamic, b.RouterLeakage, b.LinkLeakage, b.Total())
+
+	if blocked := deadlock.Analyze(s); len(blocked) > 0 {
+		fmt.Printf("\nWARNING: %d packets permanently blocked at end of run\n", len(blocked))
+	}
+	if *vizDump {
+		fmt.Println()
+		viz.Summary(os.Stdout, s, inst.SB)
+	}
+	if *check {
+		if vs := validate.Check(s, inst.SB); len(vs) > 0 {
+			fmt.Printf("\nINVARIANT VIOLATIONS (%d):\n", len(vs))
+			for _, v := range vs {
+				fmt.Println(" ", v)
+			}
+			os.Exit(1)
+		}
+		fmt.Println("\ninvariants: all checks passed")
+	}
+	if *snapFile != "" {
+		f, err := os.Create(*snapFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sbsim:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := snapshot.Write(f, snapshot.Capture(s, inst.SB)); err != nil {
+			fmt.Fprintln(os.Stderr, "sbsim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("snapshot written to %s\n", *snapFile)
+	}
+}

@@ -1,0 +1,110 @@
+// Command sbsweep regenerates the paper's evaluation tables and figures
+// (Section V). Each -fig selects one experiment; -scale quick runs a
+// reduced sweep for a fast smoke pass, -scale full approaches the paper's
+// sampling.
+//
+// Usage:
+//
+//	sbsweep -fig 2          # deadlock-prone topology fraction
+//	sbsweep -fig 3          # deadlock-onset heat map
+//	sbsweep -fig t1         # Table I buffer counts
+//	sbsweep -fig 8|9|10|11|12|13
+//	sbsweep -fig all -scale quick
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "experiment: 2, 3, t1, 8, 9, 10, 11, 12, 13, scale, failures, ablation, or all")
+	scale := flag.String("scale", "full", "quick or full")
+	topos := flag.Int("topos", 0, "override topologies per point")
+	seed := flag.Int64("seed", 0, "base seed for topology sampling")
+	format := flag.String("format", "table", "output format: table or csv")
+	flag.Parse()
+	asCSV := *format == "csv"
+
+	var p experiments.Params
+	switch *scale {
+	case "quick":
+		p = experiments.Quick()
+	case "full":
+		p = experiments.Params{}
+	default:
+		fmt.Fprintln(os.Stderr, "sbsweep: -scale must be quick or full")
+		os.Exit(2)
+	}
+	p.BaseSeed = *seed
+	if *topos > 0 {
+		p.Topologies = *topos
+	}
+
+	run := func(id string, fn func()) {
+		if *fig != "all" && *fig != id {
+			return
+		}
+		start := time.Now()
+		fn()
+		fmt.Fprintf(os.Stderr, "(%s completed in %.1fs)\n\n", id, time.Since(start).Seconds())
+	}
+
+	emit := func(table func(), csvFn func() error) func() {
+		if asCSV {
+			return func() {
+				if err := csvFn(); err != nil {
+					fmt.Fprintln(os.Stderr, "sbsweep:", err)
+					os.Exit(1)
+				}
+			}
+		}
+		return table
+	}
+	run("t1", emit(
+		func() { experiments.PrintTable1(os.Stdout, experiments.Table1(nil)) },
+		func() error { return experiments.Table1CSV(os.Stdout, experiments.Table1(nil)) }))
+	run("2", emit(
+		func() { experiments.PrintFig2(os.Stdout, experiments.Fig2(p, nil)) },
+		func() error { return experiments.Fig2CSV(os.Stdout, experiments.Fig2(p, nil)) }))
+	run("3", emit(
+		func() { experiments.PrintFig3(os.Stdout, experiments.Fig3(p, nil, nil)) },
+		func() error { return experiments.Fig3CSV(os.Stdout, experiments.Fig3(p, nil, nil)) }))
+	run("8", emit(
+		func() { experiments.PrintFig8(os.Stdout, experiments.Fig8(p, nil, nil)) },
+		func() error { return experiments.Fig8CSV(os.Stdout, experiments.Fig8(p, nil, nil)) }))
+	run("9", emit(
+		func() { experiments.PrintFig9(os.Stdout, experiments.Fig9(p, nil)) },
+		func() error { return experiments.Fig9CSV(os.Stdout, experiments.Fig9(p, nil)) }))
+	run("10", emit(
+		func() { experiments.PrintFig10(os.Stdout, experiments.Fig10(p, nil)) },
+		func() error { return experiments.Fig10CSV(os.Stdout, experiments.Fig10(p, nil)) }))
+	run("11", emit(
+		func() { experiments.PrintFig11(os.Stdout, experiments.Fig11(p, nil)) },
+		func() error { return experiments.Fig11CSV(os.Stdout, experiments.Fig11(p, nil)) }))
+	run("12", emit(
+		func() { experiments.PrintFig12(os.Stdout, experiments.Fig12(p, nil, nil)) },
+		func() error { return experiments.Fig12CSV(os.Stdout, experiments.Fig12(p, nil, nil)) }))
+	run("13", emit(
+		func() { experiments.PrintFig13(os.Stdout, experiments.Fig13(p, nil)) },
+		func() error { return experiments.Fig13CSV(os.Stdout, experiments.Fig13(p, nil)) }))
+	run("failures", emit(
+		func() { experiments.PrintFailureTimeline(os.Stdout, experiments.FailureTimeline(p, 0, 0)) },
+		func() error {
+			experiments.PrintFailureTimeline(os.Stdout, experiments.FailureTimeline(p, 0, 0))
+			return nil
+		}))
+	run("scale", emit(
+		func() { experiments.PrintScale(os.Stdout, experiments.Scale(p, nil)) },
+		func() error {
+			experiments.PrintScale(os.Stdout, experiments.Scale(p, nil))
+			return nil
+		}))
+	run("ablation", emit(
+		func() { experiments.PrintAblation(os.Stdout, experiments.Ablation(p)) },
+		func() error { return experiments.AblationCSV(os.Stdout, experiments.Ablation(p)) }))
+}

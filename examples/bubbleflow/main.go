@@ -1,0 +1,83 @@
+// Bubble Flow Control demo (paper Section II-C): the classic ring
+// technique whose theory Static Bubble generalizes. The same heavy ring
+// workload is run twice on the mesh's boundary ring — once bare (it
+// wedges solid) and once under BFC's injection rule (it can never wedge,
+// because at least one buffer in the ring always stays free).
+//
+// Static Bubble is the same invariant applied dynamically: instead of
+// *preserving* a bubble by refusing injections, it *creates* one after
+// detecting that the chain closed.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/bfc"
+	"repro/internal/deadlock"
+	"repro/internal/network"
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+func main() {
+	fmt.Println("bubble flow control on the 6x6 boundary ring (20 nodes)")
+
+	run := func(withBFC bool) {
+		topo := topology.NewMesh(6, 6)
+		sim := network.New(topo, network.Config{}, rand.New(rand.NewSource(1)))
+		ring := bfc.BoundaryRing(topo)
+		var ctrl *bfc.Controller
+		if withBFC {
+			var err error
+			ctrl, err = bfc.Attach(sim, ring)
+			if err != nil {
+				panic(err)
+			}
+		}
+
+		// Every ring node streams packets halfway around the ring.
+		rng := rand.New(rand.NewSource(2))
+		n := ring.Len()
+		offered := 0
+		for cyc := 0; cyc < 12000; cyc++ {
+			if cyc < 8000 {
+				for i, src := range ring.Nodes {
+					if rng.Float64() >= 0.08 {
+						continue
+					}
+					hops := 1 + rng.Intn(n/2)
+					var route routing.Route
+					cur := src
+					for k := 0; k < hops; k++ {
+						d := ring.Dirs[(i+k)%n]
+						route = append(route, d)
+						cur = sim.Topo.Neighbor(cur, d)
+					}
+					sim.Enqueue(sim.NewPacket(src, cur, 0, 5, route))
+					offered++
+				}
+			}
+			sim.Step()
+		}
+		sim.Run(20000)
+
+		label := "bare ring:    "
+		if withBFC {
+			label = "ring with BFC:"
+		}
+		fmt.Printf("%s offered %5d, delivered %5d, deadlocked: %v",
+			label, offered, sim.Stats.Delivered, deadlock.IsDeadlocked(sim))
+		if ctrl != nil {
+			fmt.Printf(", injections gated %d times", ctrl.Denied)
+		}
+		fmt.Println()
+	}
+
+	run(false)
+	run(true)
+
+	fmt.Println("\nthe bubble invariant — one free buffer somewhere in every dependence")
+	fmt.Println("cycle — is exactly what the static-bubble placement guarantees can be")
+	fmt.Println("restored on demand anywhere in an irregular mesh.")
+}

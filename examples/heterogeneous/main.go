@@ -1,0 +1,78 @@
+// Heterogeneous SoC scenario (paper Fig. 1a): a design-time irregular
+// topology where big cores, a GPU, and accelerators occupy multi-tile
+// footprints, removing the routers under them. Static Bubble makes the
+// resulting topology deadlock-free by construction — the placement covers
+// every cycle of anything derived from the mesh — so the SoC integrator
+// gets minimal routing with no per-design deadlock analysis.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/network"
+	"repro/internal/routing"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+func main() {
+	// Floorplan on an 8×8 mesh substrate: a 2×2 big core, a 3×2 GPU, and
+	// a 2×1 crypto accelerator, each attached through one surviving
+	// router.
+	tiles := []topology.Tile{
+		{Origin: geom.Coord{X: 0, Y: 5}, Width: 2, Height: 2, Attach: geom.Coord{X: 1, Y: 5}},
+		{Origin: geom.Coord{X: 4, Y: 0}, Width: 3, Height: 2, Attach: geom.Coord{X: 4, Y: 1}},
+		{Origin: geom.Coord{X: 6, Y: 6}, Width: 2, Height: 1, Attach: geom.Coord{X: 6, Y: 6}},
+	}
+	topo, err := topology.HeterogeneousSoC(8, 8, tiles)
+	if err != nil {
+		panic(err)
+	}
+
+	fmt.Println("heterogeneous SoC floorplan (◉ = static bubble, □ = macro block, · = core):")
+	for y := 7; y >= 0; y-- {
+		fmt.Printf("%3d  ", y)
+		for x := 0; x < 8; x++ {
+			c := geom.Coord{X: x, Y: y}
+			switch {
+			case !topo.RouterAlive(topo.ID(c)):
+				fmt.Print(" □")
+			case core.HasStaticBubble(c):
+				fmt.Print(" ◉")
+			default:
+				fmt.Print(" ·")
+			}
+		}
+		fmt.Println()
+	}
+
+	fmt.Printf("\nrouters: %d/%d alive, links: %d, deadlock-prone: %v\n",
+		topo.AliveRouterCount(), topo.NumNodes(), topo.AliveLinkCount(), topo.HasTopologyCycle())
+	fmt.Printf("coverage lemma holds on this SoC: %v\n", core.VerifyCoverage(topo))
+
+	// Traffic model: cores talk uniformly; the accelerators' attach
+	// points are hotspots (DMA streams).
+	sim := network.New(topo, network.Config{}, rand.New(rand.NewSource(1)))
+	core.Attach(sim, core.Options{})
+	minimal := routing.NewMinimal(topo)
+	alive := topo.AliveRouters()
+	gpu := topo.ID(geom.Coord{X: 4, Y: 1})
+	pattern := traffic.Hotspot{Spot: gpu, Fraction: 0.25, Uniform: traffic.NewUniformRandom(alive)}
+	inj := traffic.NewInjector(alive, minimal, pattern, 0.05, rand.New(rand.NewSource(2)))
+
+	for c := 0; c < 20000; c++ {
+		if c < 15000 {
+			inj.Tick(sim)
+		}
+		sim.Step()
+	}
+	st := sim.Stats
+	fmt.Printf("\nafter 20k cycles at 0.05 flits/node/cycle with a GPU hotspot:\n")
+	fmt.Printf("delivered %d/%d packets, avg latency %.1f cycles, max %d\n",
+		st.Delivered, st.Offered, st.AvgLatency(), st.MaxLatency)
+	fmt.Printf("recoveries: %d (probes %d)\n", st.DeadlockRecoveries, st.ProbesSent)
+	fmt.Printf("in flight at end: %d\n", sim.InFlight())
+}

@@ -1,0 +1,108 @@
+// Quickstart: build an irregular topology from an 8×8 mesh, attach the
+// Static Bubble recovery framework, drive deadlock-prone minimal-routed
+// traffic into it, and watch a real deadlock get detected and recovered.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/deadlock"
+	"repro/internal/geom"
+	"repro/internal/network"
+	"repro/internal/routing"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// findIntactSquare returns the four corners of a unit square whose links
+// all survived, clockwise.
+func findIntactSquare(topo *topology.Topology) [4]geom.NodeID {
+	for y := 0; y < topo.Height()-1; y++ {
+		for x := 0; x < topo.Width()-1; x++ {
+			a := topo.ID(geom.Coord{X: x, Y: y})
+			b := topo.ID(geom.Coord{X: x, Y: y + 1})
+			c := topo.ID(geom.Coord{X: x + 1, Y: y + 1})
+			d := topo.ID(geom.Coord{X: x + 1, Y: y})
+			if topo.HasLink(a, geom.North) && topo.HasLink(b, geom.East) &&
+				topo.HasLink(c, geom.South) && topo.HasLink(d, geom.West) {
+				return [4]geom.NodeID{a, b, c, d}
+			}
+		}
+	}
+	panic("no intact square survived the fault injection")
+}
+
+func main() {
+	// 1. An 8×8 mesh with 15 random link failures (or power-gated
+	//    drivers): the resulting irregular topology is deadlock-prone
+	//    under unrestricted minimal routing.
+	topo := topology.NewMesh(8, 8)
+	rng := rand.New(rand.NewSource(42))
+	topology.RandomLinkFaults(topo, rng, 15)
+	fmt.Println("topology:", topo)
+	fmt.Println("deadlock-prone (has cycles):", topo.HasTopologyCycle())
+
+	// 2. The design-time half of the framework: 21 of the 64 routers
+	//    carry a static bubble, placed so that every possible dependency
+	//    cycle in every derived topology crosses at least one of them.
+	fmt.Printf("static-bubble routers: %d (placement verified: %v)\n",
+		core.PlacementCount(8, 8), core.VerifyCoverage(topo))
+
+	// 3. Build the simulator and attach the runtime half: the per-router
+	//    recovery FSMs and the probe/disable/check_probe/enable protocol.
+	sim := network.New(topo, network.Config{}, rand.New(rand.NewSource(1)))
+	ctrl := core.Attach(sim, core.Options{TDD: 34})
+
+	// 4. Fully minimal, unrestricted source routing — the whole point of
+	//    the framework is that no spanning tree or escape path is needed.
+	minimal := routing.NewMinimal(topo)
+	inj := traffic.NewInjector(topo.AliveRouters(), minimal,
+		traffic.NewUniformRandom(topo.AliveRouters()), 0.12, rand.New(rand.NewSource(2)))
+
+	// 5. Run background traffic, then fire an adversarial burst: every
+	//    corner of an intact square streams packets two hops clockwise,
+	//    which wedges the loop solid. The FSMs detect the cycle with
+	//    probes and drain it through a bubble.
+	sawDeadlock := false
+	step := func(cycles int, inject bool) {
+		for c := 0; c < cycles; c++ {
+			if inject {
+				inj.Tick(sim)
+			}
+			sim.Step()
+			if c%50 == 49 && !sawDeadlock && deadlock.IsDeadlocked(sim) {
+				sawDeadlock = true
+			}
+		}
+	}
+	step(8000, true) // background load: no deadlocks at this rate
+
+	loop := findIntactSquare(topo)
+	fmt.Printf("\nadversarial burst around square %v %v %v %v\n",
+		topo.Coord(loop[0]), topo.Coord(loop[1]), topo.Coord(loop[2]), topo.Coord(loop[3]))
+	for i, n := range loop {
+		next, next2 := loop[(i+1)%4], loop[(i+2)%4]
+		d1 := geom.DirectionBetween(topo.Coord(n), topo.Coord(next))
+		d2 := geom.DirectionBetween(topo.Coord(next), topo.Coord(next2))
+		for k := 0; k < 12; k++ {
+			sim.Enqueue(sim.NewPacket(n, next2, 0, 5, routing.Route{d1, d2}))
+		}
+	}
+	step(20000, false) // recovery happens in here; everything drains
+
+	st := sim.Stats
+	fmt.Printf("\ndelivered %d of %d offered packets (avg latency %.1f cycles)\n",
+		st.Delivered, st.Offered, st.AvgLatency())
+	fmt.Printf("deadlock observed mid-run: %v\n", sawDeadlock)
+	fmt.Printf("probes sent %d, returned %d; recoveries %d; packets through bubbles %d\n",
+		st.ProbesSent, st.ProbesReturned, st.DeadlockRecoveries, st.BubbleOccupancies)
+	fmt.Printf("in flight at end: %d (queued %d)\n", sim.InFlight(), sim.QueuedPackets())
+
+	// 6. Everything is observable: FSM states, fences, in-flight control
+	//    messages.
+	for _, n := range ctrl.BubbleRouters()[:5] {
+		fmt.Printf("FSM at router %d %v: %v\n", n, topo.Coord(geom.NodeID(n)), ctrl.FSMState(n))
+	}
+}

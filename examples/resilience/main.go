@@ -1,0 +1,52 @@
+// NoC resiliency scenario (paper Sections I–II): links fail over the
+// chip's lifetime and the network must stay functional and deadlock-free.
+// The example accumulates link failures and, at each failure level,
+// compares the three schemes of the paper's evaluation — spanning-tree
+// avoidance (Ariadne-style), escape-VC recovery (Router Parking-style),
+// and Static Bubble — on latency and delivered throughput under the same
+// traffic.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/experiments"
+	"repro/internal/topology"
+)
+
+func main() {
+	faultLevels := []int{0, 8, 16, 24, 32, 40}
+	const rate = 0.05
+	p := experiments.Params{WarmupCycles: 1000, MeasureCycles: 8000, BaseSeed: 11}
+
+	fmt.Println("lifetime link failures: scheme comparison at each failure level")
+	fmt.Printf("%-8s %-12s | %-24s | %s\n", "", "", "avg latency (cycles)", "accepted (flits/node/cy)")
+	fmt.Printf("%-8s %-12s | %-7s %-7s %-8s | %-7s %-7s %-7s\n",
+		"faults", "connected", "tree", "eVC", "SB", "tree", "eVC", "SB")
+
+	for _, faults := range faultLevels {
+		topo := p.SampleTopology(topology.LinkFaults, faults, 0)
+		var lat, thr [3]float64
+		for _, sch := range experiments.Schemes {
+			inst := p.Build(topo.Clone(), sch, int64(faults)*17+int64(sch))
+			inj := inst.Injector(inst.Pattern("uniform_random"), rate, int64(faults)*19+int64(sch))
+			sim := inst.Sim
+			for c := 0; c < p.WarmupCycles+p.MeasureCycles; c++ {
+				inj.Tick(sim)
+				sim.Step()
+			}
+			lat[sch] = sim.Stats.AvgLatency()
+			thr[sch] = float64(sim.Stats.DeliveredFlits) / float64(sim.Now) / float64(topo.AliveRouterCount())
+		}
+		comps := len(topo.ConnectedComponents())
+		fmt.Printf("%-8d %-12s | %-7.1f %-7.1f %-8.1f | %-7.4f %-7.4f %-7.4f\n",
+			faults, fmt.Sprintf("%d comp", comps),
+			lat[experiments.SpanningTree], lat[experiments.EscapeVC], lat[experiments.StaticBubble],
+			thr[experiments.SpanningTree], thr[experiments.EscapeVC], thr[experiments.StaticBubble])
+	}
+
+	fmt.Println("\nStatic Bubble needs no reconfiguration when a link dies: the design-time")
+	fmt.Println("placement already covers every cycle of every derived topology, while the")
+	fmt.Println("tree-based schemes must recompute their spanning tree on each failure")
+	fmt.Println("(thousands of cycles in prior work, modeled as free here).")
+}

@@ -1,0 +1,213 @@
+package repro
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bfc"
+	"repro/internal/core"
+	"repro/internal/deadlock"
+	"repro/internal/escape"
+	"repro/internal/geom"
+	"repro/internal/network"
+	"repro/internal/reconfig"
+	"repro/internal/routing"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+	"repro/internal/validate"
+)
+
+// Cross-subsystem integration tests: the scheme plugins, flow control,
+// reconfiguration, and validation must compose on one simulator.
+
+func TestSBWithBFCBoundaryCoexist(t *testing.T) {
+	// Bubble flow control guards the boundary ring while Static Bubble
+	// recovery guards everything else; the GrantFilter chain and the
+	// recovery hooks must not interfere.
+	topo := topology.NewMesh(6, 6)
+	s := network.New(topo, network.Config{}, rand.New(rand.NewSource(1)))
+	ctrl := core.Attach(s, core.Options{TDD: 24})
+	if _, err := bfc.Attach(s, bfc.BoundaryRing(topo)); err != nil {
+		t.Fatal(err)
+	}
+	min := routing.NewMinimal(topo)
+	inj := traffic.NewInjector(topo.AliveRouters(), min,
+		traffic.NewUniformRandom(topo.AliveRouters()), 0.08, rand.New(rand.NewSource(2)))
+	for c := 0; c < 6000; c++ {
+		if c < 4000 {
+			inj.Tick(s)
+		}
+		s.Step()
+	}
+	for i := 0; i < 100000 && s.InFlight()+s.QueuedPackets() > 0; i += 100 {
+		s.Run(100)
+	}
+	if s.InFlight()+s.QueuedPackets() != 0 {
+		t.Fatalf("combined schemes failed to drain (inflight %d)", s.InFlight())
+	}
+	if vs := validate.Check(s, ctrl); len(vs) != 0 {
+		t.Fatalf("invariants violated: %v", vs)
+	}
+}
+
+func TestEscapeSchemeWithReconfig(t *testing.T) {
+	// The escape-VC baseline must survive runtime link failures handled
+	// by the reconfiguration manager (escaped packets reroute over the
+	// tree; regular packets get repaired minimal routes).
+	topo := topology.NewMesh(6, 6)
+	s := network.New(topo, network.Config{}, rand.New(rand.NewSource(3)))
+	ud := routing.NewUpDown(topo)
+	escape.Attach(s, ud, escape.Options{Timeout: 30})
+	mgr := reconfig.New(s)
+	rng := rand.New(rand.NewSource(4))
+	alive := topo.AliveRouters()
+	offered := int64(0)
+	for c := 0; c < 4000; c++ {
+		if c == 1500 {
+			// Fail a central link mid-run. NOTE: the up/down tree is
+			// rebuilt implicitly by escaped packets' TreeNextHop only if
+			// the tree edges survive; fail a non-tree link to stay within
+			// the escape scheme's reconfiguration assumptions.
+			target := topo.ID(geom.Coord{X: 4, Y: 4})
+			for _, d := range geom.LinkDirs {
+				nb := topo.Neighbor(target, d)
+				if nb != geom.InvalidNode && ud.Parent(target) != nb && ud.Parent(nb) != target {
+					mgr.FailLink(target, d)
+					break
+				}
+			}
+		}
+		if c < 3000 {
+			for _, src := range alive {
+				if rng.Float64() >= 0.04 {
+					continue
+				}
+				dst := alive[rng.Intn(len(alive))]
+				if dst == src {
+					continue
+				}
+				if r, ok := mgr.Route(src, dst); ok {
+					s.Enqueue(s.NewPacket(src, dst, rng.Intn(3), 5, r))
+					offered++
+				}
+			}
+		}
+		s.Step()
+	}
+	for i := 0; i < 100000 && s.InFlight()+s.QueuedPackets() > 0; i += 100 {
+		s.Run(100)
+	}
+	if got := s.Stats.Delivered + s.Stats.Lost; got != offered {
+		t.Fatalf("accounting: delivered+lost %d != offered %d", got, offered)
+	}
+	if s.InFlight()+s.QueuedPackets() != 0 {
+		t.Fatal("escape scheme failed to drain after reconfiguration")
+	}
+}
+
+func TestSBWithReconfigAndValidationSoak(t *testing.T) {
+	// Long soak combining everything: SB recovery, progressive gating,
+	// abrupt failures, per-phase invariant validation, and a final exact
+	// deadlock check.
+	topo := topology.NewMesh(8, 8)
+	s := network.New(topo, network.Config{}, rand.New(rand.NewSource(5)))
+	ctrl := core.Attach(s, core.Options{TDD: 24})
+	mgr := reconfig.New(s)
+	rng := rand.New(rand.NewSource(6))
+
+	phase := func(cycles int, rate float64) {
+		alive := topo.AliveRouters()
+		for c := 0; c < cycles; c++ {
+			for _, src := range alive {
+				if !topo.RouterAlive(src) || rng.Float64() >= rate {
+					continue
+				}
+				dst := alive[rng.Intn(len(alive))]
+				if dst == src || !topo.RouterAlive(dst) {
+					continue
+				}
+				if r, ok := mgr.Route(src, dst); ok {
+					s.Enqueue(s.NewPacket(src, dst, rng.Intn(3), 1+4*rng.Intn(2), r))
+				}
+			}
+			s.Step()
+			mgr.TryCompleteGates()
+		}
+		if vs := validate.Check(s, ctrl); len(vs) != 0 {
+			t.Fatalf("invariants violated mid-soak: %v", vs)
+		}
+	}
+
+	phase(1500, 0.06)
+	mgr.FailLink(topo.ID(geom.Coord{X: 3, Y: 3}), geom.East)
+	phase(1500, 0.06)
+	if err := mgr.RequestGate(topo.ID(geom.Coord{X: 6, Y: 2})); err != nil {
+		t.Fatal(err)
+	}
+	phase(1500, 0.06)
+	mgr.FailRouter(topo.ID(geom.Coord{X: 2, Y: 5}))
+	phase(1500, 0.06)
+
+	for i := 0; i < 150000 && s.InFlight()+s.QueuedPackets() > 0; i += 100 {
+		s.Run(100)
+		mgr.TryCompleteGates()
+	}
+	if s.InFlight()+s.QueuedPackets() != 0 {
+		t.Fatalf("soak failed to drain: %d in flight, %d queued (blocked %d)",
+			s.InFlight(), s.QueuedPackets(), len(deadlock.Analyze(s)))
+	}
+	if vs := validate.Check(s, ctrl); len(vs) != 0 {
+		t.Fatalf("final invariants violated: %v", vs)
+	}
+	if !core.VerifyCoverage(topo) {
+		t.Fatal("coverage must survive arbitrary reconfiguration")
+	}
+}
+
+func TestThreeSchemesSameWorkloadAgreeOnDelivery(t *testing.T) {
+	// All three schemes must deliver the identical packet population of a
+	// light workload on the same irregular topology (they differ only in
+	// latency/energy, never in correctness).
+	topo := topology.RandomIrregular(6, 6, topology.LinkFaults, 8, 11)
+	min := routing.NewMinimal(topo)
+	build := func(which int) *network.Sim {
+		s := network.New(topo.Clone(), network.Config{}, rand.New(rand.NewSource(7)))
+		switch which {
+		case 0:
+			core.Attach(s, core.Options{TDD: 24})
+		case 1:
+			escape.Attach(s, routing.NewUpDown(topo), escape.Options{Timeout: 24})
+		}
+		return s
+	}
+	var delivered [3]int64
+	for which := 0; which < 3; which++ {
+		s := build(which)
+		rng := rand.New(rand.NewSource(8))
+		offered := int64(0)
+		for c := 0; c < 3000; c++ {
+			if c < 2000 {
+				for n := 0; n < 36; n++ {
+					src := geom.NodeID(n)
+					if !topo.RouterAlive(src) || rng.Float64() >= 0.03 {
+						continue
+					}
+					dst := geom.NodeID(rng.Intn(36))
+					if r, ok := min.Route(src, dst, rng); ok {
+						s.Enqueue(s.NewPacket(src, dst, rng.Intn(3), 5, r))
+						offered++
+					}
+				}
+			}
+			s.Step()
+		}
+		s.Run(30000)
+		if s.Stats.Delivered != offered {
+			t.Fatalf("scheme %d delivered %d of %d", which, s.Stats.Delivered, offered)
+		}
+		delivered[which] = s.Stats.Delivered
+	}
+	if delivered[0] != delivered[1] || delivered[1] != delivered[2] {
+		t.Fatalf("delivery disagreement: %v", delivered)
+	}
+}

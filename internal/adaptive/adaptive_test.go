@@ -1,0 +1,151 @@
+package adaptive
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/network"
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+func TestAdaptiveDeliversMinimally(t *testing.T) {
+	topo := topology.NewMesh(6, 6)
+	s := network.New(topo, network.Config{}, rand.New(rand.NewSource(1)))
+	c := Attach(s)
+	src := topo.ID(geom.Coord{X: 0, Y: 0})
+	dst := topo.ID(geom.Coord{X: 5, Y: 5})
+	pkt := c.NewPacket(src, dst, 0, 5)
+	s.Enqueue(pkt)
+	s.Run(80)
+	if pkt.DeliveredAt < 0 {
+		t.Fatal("adaptive packet not delivered")
+	}
+	if pkt.Hop != 10 {
+		t.Fatalf("took %d hops, want minimal 10", pkt.Hop)
+	}
+}
+
+func TestAdaptiveAvoidsCongestion(t *testing.T) {
+	// Saturate one of two minimal first hops; the adaptive choice must
+	// route fresh packets around it.
+	topo := topology.NewMesh(3, 3)
+	s := network.New(topo, network.Config{}, rand.New(rand.NewSource(2)))
+	c := Attach(s)
+	// Fill all vnet-0 VCs at (1,0)'s West port so East-first looks full.
+	mid := topo.ID(geom.Coord{X: 1, Y: 0})
+	for i := 0; i < s.Cfg.VCsPerVnet; i++ {
+		blocker := c.NewPacket(0, mid, 0, 5)
+		blocker.Hop = 1
+		s.Routers[mid].In[geom.West][i].Pkt = blocker
+	}
+	s.Routers[mid].OutFreeAt[geom.Local] = 1 << 30 // hold them there
+	p := c.NewPacket(0, topo.ID(geom.Coord{X: 1, Y: 1}), 0, 1)
+	s.Enqueue(p)
+	s.Run(6)
+	// The packet's first hop should have been North (free), not East
+	// (zero free VCs).
+	if s.Routers[topo.ID(geom.Coord{X: 0, Y: 1})].Occupied() == 0 && p.DeliveredAt < 0 {
+		t.Fatal("packet did not take the uncongested North hop")
+	}
+	s.Run(40)
+	if p.DeliveredAt < 0 {
+		t.Fatal("packet not delivered")
+	}
+	if p.Hop != 2 {
+		t.Fatalf("hops = %d, want 2 (still minimal)", p.Hop)
+	}
+}
+
+func TestAdaptiveWithStaticBubbleRecovery(t *testing.T) {
+	// Full adaptivity changes which cycles form, not whether SB covers
+	// them: sustained deadlock-prone traffic drains completely.
+	topo := topology.RandomIrregular(6, 6, topology.LinkFaults, 10, 3)
+	s := network.New(topo, network.Config{}, rand.New(rand.NewSource(3)))
+	core.Attach(s, core.Options{TDD: 24, Placement: core.Placement(6, 6)})
+	c := Attach(s)
+	rng := rand.New(rand.NewSource(4))
+	offered := int64(0)
+	for cyc := 0; cyc < 4000; cyc++ {
+		if cyc < 2500 {
+			for n := 0; n < 36; n++ {
+				src := geom.NodeID(n)
+				if !topo.RouterAlive(src) || rng.Float64() >= 0.10 {
+					continue
+				}
+				dst := geom.NodeID(rng.Intn(36))
+				if dst == src || !c.Reachable(src, dst) {
+					s.Drop()
+					continue
+				}
+				ln := 1
+				if rng.Intn(2) == 0 {
+					ln = 5
+				}
+				s.Enqueue(c.NewPacket(src, dst, rng.Intn(3), ln))
+				offered++
+			}
+		}
+		s.Step()
+	}
+	for i := 0; i < 200000 && s.InFlight()+s.QueuedPackets() > 0; i += 100 {
+		s.Run(100)
+	}
+	if s.Stats.Delivered != offered {
+		t.Fatalf("adaptive+SB: delivered %d of %d (in flight %d, recoveries %d)",
+			s.Stats.Delivered, offered, s.InFlight(), s.Stats.DeadlockRecoveries)
+	}
+}
+
+func TestAdaptiveHopCountAlwaysMinimal(t *testing.T) {
+	// Adaptivity must never stretch paths: every delivered packet's hop
+	// count equals the shortest-path distance.
+	topo := topology.RandomIrregular(6, 6, topology.LinkFaults, 8, 5)
+	s := network.New(topo, network.Config{}, rand.New(rand.NewSource(5)))
+	c := Attach(s)
+	min := routing.NewMinimal(topo)
+	type issued struct {
+		p    *network.Packet
+		want int
+	}
+	var all []issued
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 300; i++ {
+		src := geom.NodeID(rng.Intn(36))
+		dst := geom.NodeID(rng.Intn(36))
+		if src == dst || !topo.RouterAlive(src) || !c.Reachable(src, dst) {
+			continue
+		}
+		p := c.NewPacket(src, dst, 0, 1)
+		s.Enqueue(p)
+		all = append(all, issued{p, min.Distance(src, dst)})
+	}
+	s.Run(20000)
+	for _, it := range all {
+		if it.p.DeliveredAt < 0 {
+			t.Fatal("packet not delivered")
+		}
+		if it.p.Hop != it.want {
+			t.Fatalf("packet took %d hops, shortest is %d", it.p.Hop, it.want)
+		}
+	}
+}
+
+func TestAdaptiveParksWhenDisconnected(t *testing.T) {
+	topo := topology.NewMesh(4, 1)
+	s := network.New(topo, network.Config{}, rand.New(rand.NewSource(7)))
+	c := Attach(s)
+	p := c.NewPacket(0, 3, 0, 1)
+	s.Enqueue(p)
+	s.Run(3)
+	topo.DisableLink(1, geom.East) // p is at router 1 now, dst unreachable
+	s.Run(50)
+	if p.DeliveredAt >= 0 {
+		t.Fatal("packet cannot have crossed a cut")
+	}
+	if s.InFlight() != 1 {
+		t.Fatal("packet should be parked in the network")
+	}
+}

@@ -1,0 +1,162 @@
+// Package bfc implements classic (localized) Bubble Flow Control for ring
+// sub-networks of a mesh — the technique whose theory Static Bubble
+// builds on (paper Section II-C, citing Puente et al.'s adaptive bubble
+// router): a ring can never deadlock as long as at least one packet
+// buffer in it stays free, so injection into the ring is only allowed
+// when it would leave a bubble behind; in-transit ring traffic is never
+// blocked by the rule.
+//
+// The package exists both as a faithful substrate reproduction and as an
+// executable statement of the invariant Static Bubble generalizes: BFC
+// maintains a bubble statically by gating injection; Static Bubble
+// creates one dynamically after detection.
+package bfc
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+	"repro/internal/network"
+	"repro/internal/topology"
+)
+
+// Ring is a directed cycle of routers: the packet at Nodes[i] proceeds to
+// Nodes[i+1] via Dirs[i]. Construct by hand or with BoundaryRing.
+type Ring struct {
+	Nodes []geom.NodeID
+	Dirs  []geom.Direction
+}
+
+// Len returns the number of hops in the ring.
+func (r Ring) Len() int { return len(r.Nodes) }
+
+// Validate checks the ring is a closed walk over alive channels with no
+// repeated nodes.
+func (r Ring) Validate(t *topology.Topology) error {
+	if len(r.Nodes) < 4 || len(r.Nodes) != len(r.Dirs) {
+		return fmt.Errorf("bfc: ring needs ≥4 nodes and matching dirs")
+	}
+	seen := map[geom.NodeID]bool{}
+	for i, n := range r.Nodes {
+		if seen[n] {
+			return fmt.Errorf("bfc: ring revisits node %v", n)
+		}
+		seen[n] = true
+		if !t.HasLink(n, r.Dirs[i]) {
+			return fmt.Errorf("bfc: ring hop %d uses dead channel %v→%v", i, n, r.Dirs[i])
+		}
+		if t.Neighbor(n, r.Dirs[i]) != r.Nodes[(i+1)%len(r.Nodes)] {
+			return fmt.Errorf("bfc: ring hop %d does not reach the next node", i)
+		}
+	}
+	return nil
+}
+
+// Next returns the ring direction out of node n, or Invalid if n is not
+// on the ring.
+func (r Ring) Next(n geom.NodeID) geom.Direction {
+	for i, rn := range r.Nodes {
+		if rn == n {
+			return r.Dirs[i]
+		}
+	}
+	return geom.Invalid
+}
+
+// BoundaryRing returns the clockwise boundary cycle of a healthy
+// width×height mesh (width, height ≥ 2): east along the bottom row, north
+// up the right column, west along the top, south down the left.
+func BoundaryRing(t *topology.Topology) Ring {
+	w, h := t.Width(), t.Height()
+	var ring Ring
+	add := func(c geom.Coord, d geom.Direction) {
+		ring.Nodes = append(ring.Nodes, t.ID(c))
+		ring.Dirs = append(ring.Dirs, d)
+	}
+	for x := 0; x < w-1; x++ {
+		add(geom.Coord{X: x, Y: 0}, geom.East)
+	}
+	for y := 0; y < h-1; y++ {
+		add(geom.Coord{X: w - 1, Y: y}, geom.North)
+	}
+	for x := w - 1; x > 0; x-- {
+		add(geom.Coord{X: x, Y: h - 1}, geom.West)
+	}
+	for y := h - 1; y > 0; y-- {
+		add(geom.Coord{X: 0, Y: y}, geom.South)
+	}
+	return ring
+}
+
+// Controller enforces bubble flow control on one or more disjoint rings
+// of a simulator by gating injection (local-port) grants.
+type Controller struct {
+	sim *network.Sim
+	// ringDir[node] is the ring output direction at each ring node;
+	// arrival[node] is the input port ring transit arrives on.
+	ringDir map[geom.NodeID]geom.Direction
+	arrival map[geom.NodeID]geom.Direction
+	// Denied counts injection grants vetoed by the bubble condition.
+	Denied int64
+}
+
+// Attach installs BFC for the given rings on s. Rings must be disjoint
+// and valid. It chains with any previously installed GrantFilter.
+func Attach(s *network.Sim, rings ...Ring) (*Controller, error) {
+	c := &Controller{
+		sim:     s,
+		ringDir: make(map[geom.NodeID]geom.Direction),
+		arrival: make(map[geom.NodeID]geom.Direction),
+	}
+	for _, r := range rings {
+		if err := r.Validate(s.Topo); err != nil {
+			return nil, err
+		}
+		for i, n := range r.Nodes {
+			if _, dup := c.ringDir[n]; dup {
+				return nil, fmt.Errorf("bfc: rings overlap at node %v", n)
+			}
+			c.ringDir[n] = r.Dirs[i]
+			next := r.Nodes[(i+1)%len(r.Nodes)]
+			c.arrival[next] = r.Dirs[i].Opposite()
+		}
+	}
+	prev := s.GrantFilter
+	s.GrantFilter = func(p *network.Packet, at geom.NodeID, in, out geom.Direction) bool {
+		if prev != nil && !prev(p, at, in, out) {
+			return false
+		}
+		return c.allow(p, at, in, out)
+	}
+	return c, nil
+}
+
+// allow implements the bubble condition: entering the ring (from the
+// local port or a mesh port off the ring path) requires the downstream
+// ring port to keep one free buffer beyond the one this packet will take;
+// in-transit ring traffic is exempt.
+func (c *Controller) allow(p *network.Packet, at geom.NodeID, in, out geom.Direction) bool {
+	ringOut, onRing := c.ringDir[at]
+	if !onRing || out != ringOut {
+		return true // not a ring movement at all
+	}
+	if in == c.arrival[at] {
+		return true // continuing along the ring
+	}
+	// Entering the ring: count free VCs of p's vnet at the downstream
+	// ring input.
+	nb := c.sim.Topo.Neighbor(at, out)
+	inPort := out.Opposite()
+	free := 0
+	base := p.Vnet * c.sim.Cfg.VCsPerVnet
+	for i := 0; i < c.sim.Cfg.VCsPerVnet; i++ {
+		if c.sim.Routers[nb].In[inPort][base+i].Empty(c.sim.Now) {
+			free++
+		}
+	}
+	if free >= 2 {
+		return true
+	}
+	c.Denied++
+	return false
+}

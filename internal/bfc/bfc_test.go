@@ -1,0 +1,185 @@
+package bfc
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/deadlock"
+	"repro/internal/geom"
+	"repro/internal/network"
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+func TestBoundaryRingValid(t *testing.T) {
+	for _, sz := range [][2]int{{2, 2}, {4, 4}, {8, 8}, {3, 5}} {
+		topo := topology.NewMesh(sz[0], sz[1])
+		r := BoundaryRing(topo)
+		if err := r.Validate(topo); err != nil {
+			t.Fatalf("%dx%d: %v", sz[0], sz[1], err)
+		}
+		wantLen := 2*(sz[0]-1) + 2*(sz[1]-1)
+		if r.Len() != wantLen {
+			t.Fatalf("%dx%d: ring length %d, want %d", sz[0], sz[1], r.Len(), wantLen)
+		}
+	}
+}
+
+func TestRingValidateRejectsBroken(t *testing.T) {
+	topo := topology.NewMesh(4, 4)
+	short := Ring{Nodes: []geom.NodeID{0, 1}, Dirs: []geom.Direction{geom.East, geom.West}}
+	if short.Validate(topo) == nil {
+		t.Fatal("short ring should fail")
+	}
+	r := BoundaryRing(topo)
+	topo.DisableLink(0, geom.East)
+	if r.Validate(topo) == nil {
+		t.Fatal("ring over a dead channel should fail")
+	}
+	dup := Ring{
+		Nodes: []geom.NodeID{0, 1, 0, 1},
+		Dirs:  []geom.Direction{geom.East, geom.West, geom.East, geom.West},
+	}
+	if dup.Validate(topology.NewMesh(4, 4)) == nil {
+		t.Fatal("revisiting ring should fail")
+	}
+}
+
+func TestRingNext(t *testing.T) {
+	topo := topology.NewMesh(4, 4)
+	r := BoundaryRing(topo)
+	if r.Next(0) != geom.East {
+		t.Fatalf("Next(0) = %v", r.Next(0))
+	}
+	center := topo.ID(geom.Coord{X: 1, Y: 1})
+	if r.Next(center) != geom.Invalid {
+		t.Fatal("interior node is not on the boundary ring")
+	}
+}
+
+func TestAttachRejectsOverlap(t *testing.T) {
+	topo := topology.NewMesh(4, 4)
+	s := network.New(topo, network.Config{}, rand.New(rand.NewSource(1)))
+	r := BoundaryRing(topo)
+	if _, err := Attach(s, r, r); err == nil {
+		t.Fatal("overlapping rings must be rejected")
+	}
+}
+
+// ringWorkload streams packets along the boundary ring: every ring node
+// sends perNode packets halfway around. Routes follow the ring
+// exclusively, making the ring deadlock-prone without BFC.
+func ringWorkload(s *network.Sim, r Ring, perNode int) int {
+	total := 0
+	n := r.Len()
+	for i, src := range r.Nodes {
+		hops := n / 2
+		var route routing.Route
+		cur := src
+		for k := 0; k < hops; k++ {
+			d := r.Dirs[(i+k)%n]
+			route = append(route, d)
+			cur = s.Topo.Neighbor(cur, d)
+		}
+		for k := 0; k < perNode; k++ {
+			s.Enqueue(s.NewPacket(src, cur, 0, 5, route))
+			total++
+		}
+	}
+	return total
+}
+
+func TestRingWithoutBFCDeadlocks(t *testing.T) {
+	topo := topology.NewMesh(4, 4)
+	s := network.New(topo, network.Config{}, rand.New(rand.NewSource(1)))
+	ringWorkload(s, BoundaryRing(topo), 10)
+	s.Run(5000)
+	if !deadlock.IsDeadlocked(s) {
+		t.Fatal("heavy ring workload without BFC should deadlock")
+	}
+}
+
+func TestRingWithBFCNeverDeadlocks(t *testing.T) {
+	topo := topology.NewMesh(4, 4)
+	s := network.New(topo, network.Config{}, rand.New(rand.NewSource(1)))
+	c, err := Attach(s, BoundaryRing(topo))
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := ringWorkload(s, BoundaryRing(topo), 10)
+	for i := 0; i < 400; i++ {
+		s.Run(50)
+		if deadlock.IsDeadlocked(s) {
+			t.Fatalf("deadlock under BFC at cycle %d", s.Now)
+		}
+		if s.InFlight()+s.QueuedPackets() == 0 {
+			break
+		}
+	}
+	if s.Stats.Delivered != int64(total) {
+		t.Fatalf("delivered %d of %d under BFC", s.Stats.Delivered, total)
+	}
+	if c.Denied == 0 {
+		t.Fatal("the bubble condition never gated an injection (workload too light?)")
+	}
+}
+
+func TestBFCSoakOnLargerRing(t *testing.T) {
+	// Sustained random ring traffic on an 8x8 boundary (28 nodes): BFC
+	// holds the bubble invariant indefinitely.
+	topo := topology.NewMesh(8, 8)
+	s := network.New(topo, network.Config{}, rand.New(rand.NewSource(2)))
+	ring := BoundaryRing(topo)
+	if _, err := Attach(s, ring); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	n := ring.Len()
+	offered := 0
+	for cyc := 0; cyc < 6000; cyc++ {
+		if cyc < 4000 {
+			for i, src := range ring.Nodes {
+				if rng.Float64() >= 0.06 {
+					continue
+				}
+				hops := 1 + rng.Intn(n/2)
+				var route routing.Route
+				cur := src
+				for k := 0; k < hops; k++ {
+					d := ring.Dirs[(i+k)%n]
+					route = append(route, d)
+					cur = s.Topo.Neighbor(cur, d)
+				}
+				s.Enqueue(s.NewPacket(src, cur, 0, 5, route))
+				offered++
+			}
+		}
+		s.Step()
+		if cyc%500 == 499 && deadlock.IsDeadlocked(s) {
+			t.Fatalf("deadlock under BFC at cycle %d", s.Now)
+		}
+	}
+	s.Run(20000)
+	if s.Stats.Delivered != int64(offered) {
+		t.Fatalf("delivered %d of %d", s.Stats.Delivered, offered)
+	}
+}
+
+func TestBFCDoesNotBlockOffRingTraffic(t *testing.T) {
+	topo := topology.NewMesh(4, 4)
+	s := network.New(topo, network.Config{}, rand.New(rand.NewSource(4)))
+	if _, err := Attach(s, BoundaryRing(topo)); err != nil {
+		t.Fatal(err)
+	}
+	// Interior traffic is untouched by the filter.
+	min := routing.NewMinimal(topo)
+	src := topo.ID(geom.Coord{X: 1, Y: 1})
+	dst := topo.ID(geom.Coord{X: 2, Y: 2})
+	r, _ := min.Route(src, dst, nil)
+	p := s.NewPacket(src, dst, 0, 5, r)
+	s.Enqueue(p)
+	s.Run(40)
+	if p.DeliveredAt < 0 {
+		t.Fatal("interior packet blocked by ring BFC")
+	}
+}

@@ -1,0 +1,836 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/geom"
+	"repro/internal/network"
+)
+
+// Options configures the Static Bubble recovery controller.
+type Options struct {
+	// TDD is the deadlock-detection threshold in cycles (the only
+	// configurable parameter of the design; Table II uses 34). Default 34.
+	TDD int64
+	// MaxTurns is the probe turn capacity; a probe that would exceed it
+	// is dropped (Section IV-B computes 59 for 128-bit links on a 64-core
+	// mesh). Default 59.
+	MaxTurns int
+	// Placement overrides the set of static-bubble routers; nil selects
+	// the Section III placement algorithm for the attached mesh.
+	Placement []geom.NodeID
+	// DisableCheckProbe turns off the check_probe fast-path (an ablation:
+	// recovery then re-detects residual deadlocks with fresh probes).
+	DisableCheckProbe bool
+	// Spin selects the follow-up work's recovery action (SPIN, HPCA'18):
+	// when the disable returns, instead of switching a spare buffer on
+	// and rotating the ring through it, every packet on the latched cycle
+	// moves one hop forward *simultaneously* — the cycle's own buffers
+	// provide the space, so no static bubble is needed and recovery
+	// capacity can never be exhausted by stranded occupants. Detection,
+	// probes, disables, and enables are identical to Static Bubble.
+	Spin bool
+	// Trace, when non-nil, receives protocol events (probe/disable/enable
+	// sends, returns and drops, fence changes, FSM transitions) for
+	// debugging and instrumentation.
+	Trace func(now int64, node geom.NodeID, event string)
+}
+
+func (o Options) withDefaults() Options {
+	if o.TDD == 0 {
+		o.TDD = 34
+	}
+	if o.MaxTurns == 0 {
+		o.MaxTurns = 59
+	}
+	return o
+}
+
+// Controller binds Static Bubble recovery to a network simulator: it owns
+// the per-SB-router FSMs and the in-flight control messages, and runs as
+// simulator hooks (message transport before allocation, FSM counters
+// after).
+type Controller struct {
+	sim *network.Sim
+	opt Options
+	// hopLatency is the per-hop cost of a bufferless control message:
+	// router processing plus link traversal (2 cycles in the paper's
+	// 1+1 configuration). t_DR = hopLatency × path length.
+	hopLatency int64
+	fsms       map[geom.NodeID]*fsm
+	// order is the deterministic FSM iteration order.
+	order []geom.NodeID
+	msgs  []*Message
+	// recoveryDurations records, per completed recovery round, the cycles
+	// from the disable's return (bubble on) to the enable's return
+	// (fences cleared) and the latched path length in hops.
+	recoveryDurations []RecoveryRecord
+}
+
+// RecoveryRecord describes one completed recovery round.
+type RecoveryRecord struct {
+	Node     geom.NodeID
+	PathLen  int64 // hops of the latched dependency cycle
+	Duration int64 // cycles from recovery start to enable return
+}
+
+// Attach installs Static Bubble on s: marks the placement routers as
+// bubble-capable and registers the protocol hooks. The topology's bubble
+// routers may themselves be faulty; their FSMs simply never run (the
+// coverage corollary still holds: a dead router breaks every chain
+// through it).
+func Attach(s *network.Sim, opt Options) *Controller {
+	opt = opt.withDefaults()
+	placement := opt.Placement
+	if placement == nil {
+		placement = Placement(s.Topo.Width(), s.Topo.Height())
+	}
+	c := &Controller{
+		sim:        s,
+		opt:        opt,
+		fsms:       make(map[geom.NodeID]*fsm),
+		hopLatency: int64(s.Cfg.RouterLatency + s.Cfg.LinkLatency),
+	}
+	for _, n := range placement {
+		if !s.Topo.RouterAlive(n) {
+			continue
+		}
+		s.Routers[n].Bubble.Present = true
+		c.fsms[n] = &fsm{node: n, rngState: uint64(n)*2654435761 + 0x9e3779b97f4a7c15}
+		c.order = append(c.order, n)
+	}
+	sort.Slice(c.order, func(i, j int) bool { return c.order[i] < c.order[j] })
+	s.PreCycle = append(s.PreCycle, func(sim *network.Sim) { c.transport() })
+	s.PostCycle = append(s.PostCycle, func(sim *network.Sim) { c.tickAll() })
+	return c
+}
+
+// FSMState reports the recovery state of the FSM at node n (StateOff for
+// non-SB routers), for tests and instrumentation.
+func (c *Controller) FSMState(n geom.NodeID) State {
+	if f, ok := c.fsms[n]; ok {
+		return f.state
+	}
+	return StateOff
+}
+
+// InFlightMessages returns the number of control messages currently
+// traversing the network.
+func (c *Controller) InFlightMessages() int { return len(c.msgs) }
+
+// RecoveryRecords returns one record per completed recovery round
+// (disable return through enable return), for instrumentation of
+// resolution latency versus deadlocked-path length (Table I).
+func (c *Controller) RecoveryRecords() []RecoveryRecord {
+	return append([]RecoveryRecord(nil), c.recoveryDurations...)
+}
+
+// BubbleRouters returns the attached static-bubble routers in id order.
+func (c *Controller) BubbleRouters() []geom.NodeID {
+	return append([]geom.NodeID(nil), c.order...)
+}
+
+// dependenceExists reports whether at least one VC of vnet at router
+// node's input port `in` holds a packet that wants output port `out` —
+// the buffer-dependence check used by disable and check_probe validation.
+func (c *Controller) dependenceExists(node geom.NodeID, in geom.Direction, vnet int, out geom.Direction) bool {
+	if !in.IsLink() {
+		return false
+	}
+	r := &c.sim.Routers[node]
+	base := vnet * c.sim.Cfg.VCsPerVnet
+	for i := 0; i < c.sim.Cfg.VCsPerVnet; i++ {
+		vc := &r.In[in][base+i]
+		if vc.Pkt != nil && c.sim.OutputOf(vc.Pkt, node) == out {
+			return true
+		}
+	}
+	// A stale bubble occupant is part of the dependence picture too.
+	if b := &r.Bubble; b.Present && b.InPort == in && b.VC.Pkt != nil &&
+		c.sim.OutputOf(b.VC.Pkt, node) == out {
+		return true
+	}
+	return false
+}
+
+// send originates a control message from a static-bubble router out of
+// port `out` with the given remaining turns. Control messages occupy the
+// link for one cycle with priority over flits and arrive at the neighbor
+// after router + link latency.
+func (c *Controller) send(src geom.NodeID, typ MsgType, vnet int, out geom.Direction, turns []geom.Turn, seq int64) {
+	s := c.sim
+	if !s.Topo.HasLink(src, out) {
+		return // link died; the FSM timeout will clean up
+	}
+	s.UseLink(src, out, typ.linkClass())
+	c.trace(src, "send %v out=%v vnet=%d turns=%d seq=%d", typ, out, vnet, len(turns), seq)
+	c.msgs = append(c.msgs, &Message{
+		Type:    typ,
+		Src:     src,
+		Vnet:    vnet,
+		At:      s.Topo.Neighbor(src, out),
+		Heading: out,
+		Turns:   turns,
+		NextAt:  s.Now + c.hopLatency,
+		Seq:     seq,
+		OutPort: out,
+	})
+}
+
+// forward relays m (already updated with its remaining turns) out of
+// router `at` through port `out`.
+func (c *Controller) forward(m *Message, at geom.NodeID, out geom.Direction) {
+	s := c.sim
+	if !s.Topo.HasLink(at, out) {
+		return
+	}
+	s.UseLink(at, out, m.Type.linkClass())
+	m.At = s.Topo.Neighbor(at, out)
+	m.Heading = out
+	m.NextAt = s.Now + c.hopLatency
+	c.msgs = append(c.msgs, m)
+}
+
+func cloneTurns(t []geom.Turn) []geom.Turn { return append([]geom.Turn(nil), t...) }
+
+// trace emits a protocol event to the Options.Trace hook, if installed.
+func (c *Controller) trace(node geom.NodeID, format string, args ...any) {
+	if c.opt.Trace != nil {
+		c.opt.Trace(c.sim.Now, node, fmt.Sprintf(format, args...))
+	}
+}
+
+// transport processes every control message due this cycle, router by
+// router, applying the output-mux priority (check_probe > disable/enable
+// > probe) and higher-node-id tie-breaking of Section IV-C.
+func (c *Controller) transport() {
+	s := c.sim
+	now := s.Now
+	var due []*Message
+	keep := c.msgs[:0]
+	for _, m := range c.msgs {
+		if m.NextAt == now {
+			due = append(due, m)
+		} else {
+			keep = append(keep, m)
+		}
+	}
+	c.msgs = keep
+	if len(due) == 0 {
+		return
+	}
+	byRouter := make(map[geom.NodeID][]*Message)
+	var routers []geom.NodeID
+	for _, m := range due {
+		if _, ok := byRouter[m.At]; !ok {
+			routers = append(routers, m.At)
+		}
+		byRouter[m.At] = append(byRouter[m.At], m)
+	}
+	sort.Slice(routers, func(i, j int) bool { return routers[i] < routers[j] })
+	for _, id := range routers {
+		c.processAt(id, byRouter[id])
+	}
+}
+
+// outReq is a forwarding request competing for an output port.
+type outReq struct {
+	out geom.Direction
+	m   *Message
+}
+
+// processAt handles all messages arriving at router id this cycle.
+func (c *Controller) processAt(id geom.NodeID, msgs []*Message) {
+	s := c.sim
+	if !s.Topo.RouterAlive(id) {
+		return // router died with messages in flight: they are lost
+	}
+	r := &s.Routers[id]
+	f := c.fsms[id] // nil unless id is a static-bubble router
+	var reqs []outReq
+	for _, m := range msgs {
+		reqs = append(reqs, c.processOne(id, r, f, m)...)
+	}
+	// Output arbitration: one winner per port, losers dropped.
+	var winners [geom.NumPorts]*Message
+	for _, rq := range reqs {
+		cur := winners[rq.out]
+		if cur == nil || c.beats(rq.m, cur, r) {
+			winners[rq.out] = rq.m
+		}
+	}
+	for _, rq := range reqs {
+		if winners[rq.out] != rq.m {
+			c.trace(id, "%v(src=%v turns=%d) lost arbitration at out=%v to %v(src=%v)",
+				rq.m.Type, rq.m.Src, len(rq.m.Turns), rq.out, winners[rq.out].Type, winners[rq.out].Src)
+		}
+	}
+	for _, out := range geom.LinkDirs {
+		if m := winners[out]; m != nil {
+			c.forward(m, id, out)
+		}
+	}
+}
+
+// beats reports whether message a wins output arbitration against b at a
+// router with fence state r.Fence.
+func (c *Controller) beats(a, b *Message, r *network.Router) bool {
+	pa, pb := a.Type.priority(), b.Type.priority()
+	if pa != pb {
+		return pa > pb
+	}
+	if a.Type != b.Type {
+		// disable vs enable at the same priority: if the is_deadlock bit
+		// is set the enable wins, else the disable (Section IV-C).
+		if r.Fence.Active {
+			return a.Type == MsgEnable
+		}
+		return a.Type == MsgDisable
+	}
+	return a.Src > b.Src
+}
+
+// processOne applies the per-type receive rules and returns forwarding
+// requests (empty when the message is consumed or dropped).
+func (c *Controller) processOne(id geom.NodeID, r *network.Router, f *fsm, m *Message) []outReq {
+	s := c.sim
+	switch m.Type {
+	case MsgProbe:
+		if id == m.Src {
+			// Back at the originator: a return in S_DD latches the path;
+			// any other state means recovery is already underway and the
+			// copy is dropped (Section IV-B).
+			if f != nil && f.state == StateDD {
+				c.probeReturned(f, m)
+			} else {
+				c.trace(id, "probe copy dropped at originator (state %v)", c.FSMState(id))
+			}
+			return nil
+		}
+		if f != nil && m.Src < id && !f.state.inRecovery() && r.Bubble.VC.Pkt == nil {
+			// A static-bubble router drops probes from lower-id SB
+			// routers; its own probe will resolve the shared cycle. It
+			// abstains — forwards them — when it cannot act itself (bubble
+			// still holding a stale occupant, or committed to another
+			// chain); otherwise a few wedged high-id routers would starve
+			// every cycle they sit on.
+			c.trace(id, "probe(src=%v) dropped: lower-id SB", m.Src)
+			return nil
+		}
+		return c.forkProbe(id, r, m)
+
+	case MsgDisable:
+		if len(m.Turns) == 0 {
+			if f != nil && id == m.Src && f.state == StateDisable && m.Seq == f.seq {
+				c.disableReturned(f, m)
+			} else {
+				c.trace(id, "disable(src=%v) dropped at end (state %v)", m.Src, c.FSMState(id))
+			}
+			return nil
+		}
+		if f != nil && f.state.inRecovery() {
+			c.trace(id, "foreign disable(src=%v) dropped: in recovery", m.Src)
+			return nil // SB router committed to its own recovery
+		}
+		turn := m.Turns[0]
+		out := turn.Apply(m.Heading)
+		if !out.IsLink() || !c.dependenceExists(id, m.inPort(), m.Vnet, out) {
+			c.trace(id, "disable(src=%v) dropped: dependence gone (in=%v out=%v)", m.Src, m.inPort(), out)
+			return nil // dependence vanished: drop; sender times out
+		}
+		if r.Fence.Active {
+			c.trace(id, "disable(src=%v) dropped: fence already active (src=%v)", m.Src, r.Fence.SrcID)
+			return nil // already part of another fenced chain
+		}
+		r.Fence = network.Fence{Active: true, In: m.inPort(), Out: out, SrcID: m.Src}
+		c.trace(id, "fence set in=%v out=%v src=%v", m.inPort(), out, m.Src)
+		if f != nil {
+			// An SB router accepting a foreign (higher-id) disable parks
+			// its own detection until the enable arrives (Section IV-B).
+			f.state = StateOff
+		}
+		m.Turns = m.Turns[1:]
+		return []outReq{{out, m}}
+
+	case MsgEnable:
+		if len(m.Turns) == 0 {
+			if f != nil && id == m.Src && f.state == StateEnable && m.Seq == f.seq {
+				c.enableReturned(f)
+			} else {
+				c.trace(id, "enable(src=%v) consumed at end (state %v)", m.Src, c.FSMState(id))
+			}
+			return nil
+		}
+		// Enables are always forwarded, even through a static-bubble
+		// router busy with its own recovery. (The paper drops them there;
+		// we found that wedges crossing chains — the dropped chain's
+		// fences can block the very recovery the dropping router is
+		// waiting on. Forwarding is safe: an enable only clears fences
+		// whose source-id matches.)
+		turn := m.Turns[0]
+		out := turn.Apply(m.Heading)
+		if !out.IsLink() {
+			return nil
+		}
+		if r.Fence.Active && r.Fence.SrcID == m.Src {
+			r.Fence = network.Fence{}
+			c.trace(id, "fence cleared by enable(src=%v)", m.Src)
+			if f != nil && f.state == StateOff {
+				// Resume detection now that the foreign chain cleared.
+				if ptr, pid, ok := nextOccupiedVC(r, s.Cfg, vcPtr{port: geom.Local}); ok {
+					f.state = StateDD
+					f.ptr, f.ptrPkt = ptr, pid
+					f.deadline = s.Now + c.opt.TDD
+				}
+			}
+		}
+		// A mismatched enable is forwarded untouched, not dropped
+		// (Section IV-B).
+		m.Turns = m.Turns[1:]
+		return []outReq{{out, m}}
+
+	case MsgCheckProbe:
+		if len(m.Turns) == 0 {
+			if f != nil && id == m.Src && f.state == StateCheckProbe && m.Seq == f.seq {
+				c.checkProbeReturned(f)
+			}
+			return nil
+		}
+		// Forwarded only while this router is still part of the fenced
+		// chain and the dependence persists (Section IV-A3).
+		if !(r.Fence.Active && r.Fence.SrcID == m.Src && r.Fence.In == m.inPort()) {
+			return nil
+		}
+		if !c.dependenceExists(id, r.Fence.In, m.Vnet, r.Fence.Out) {
+			return nil
+		}
+		out := m.Turns[0].Apply(m.Heading)
+		if out != r.Fence.Out {
+			return nil
+		}
+		m.Turns = m.Turns[1:]
+		return []outReq{{out, m}}
+	}
+	return nil
+}
+
+// forkProbe implements the Probe Fork Unit: if every VC of the probe's
+// vnet at its input port is occupied, the probe forks out of every
+// (non-ejection) output port those packets are waiting on, appending the
+// corresponding turn; otherwise the chain is broken here and the probe is
+// dropped.
+func (c *Controller) forkProbe(id geom.NodeID, r *network.Router, m *Message) []outReq {
+	s := c.sim
+	in := m.inPort()
+	base := m.Vnet * s.Cfg.VCsPerVnet
+	var wanted [geom.NumPorts]bool
+	for i := 0; i < s.Cfg.VCsPerVnet; i++ {
+		vc := &r.In[in][base+i]
+		if vc.Pkt == nil {
+			c.trace(id, "probe(src=%v in=%v vnet=%d turns=%d) dropped: free VC", m.Src, in, m.Vnet, len(m.Turns))
+			return nil // a free VC means no deadlock through this port
+		}
+		out := s.OutputOf(vc.Pkt, id)
+		if out.IsLink() {
+			wanted[out] = true
+		}
+	}
+	// A bubble occupant on this port extends the chain too.
+	if b := &r.Bubble; b.Present && b.InPort == in && b.VC.Pkt != nil {
+		if out := s.OutputOf(b.VC.Pkt, id); out.IsLink() {
+			wanted[out] = true
+		}
+	}
+	var reqs []outReq
+	for _, out := range geom.LinkDirs {
+		if !wanted[out] {
+			continue
+		}
+		turn, ok := geom.TurnBetween(m.Heading, out)
+		if !ok {
+			continue // U-turns cannot occur in a dependence chain
+		}
+		if len(m.Turns) >= c.opt.MaxTurns {
+			continue // turn capacity exhausted: drop (Section IV-B)
+		}
+		fork := &Message{
+			Type:    MsgProbe,
+			Src:     m.Src,
+			Vnet:    m.Vnet,
+			Turns:   append(cloneTurns(m.Turns), turn),
+			Heading: m.Heading,
+			Seq:     m.Seq,
+			OutPort: m.OutPort,
+		}
+		reqs = append(reqs, outReq{out, fork})
+	}
+	return reqs
+}
+
+// --- FSM events -----------------------------------------------------------
+
+func (c *Controller) probeReturned(f *fsm, m *Message) {
+	s := c.sim
+	s.Stats.ProbesReturned++
+	c.trace(f.node, "probe returned: path len %d, sending disable", len(m.Turns)+1)
+	f.seq++ // new recovery round
+	f.turnBuf = cloneTurns(m.Turns)
+	f.tDR = c.hopLatency * f.pathLen()
+	f.probeIn = m.inPort()
+	f.probeOut = m.OutPort
+	f.vnet = m.Vnet
+	c.send(f.node, MsgDisable, f.vnet, f.probeOut, cloneTurns(f.turnBuf), f.seq)
+	s.Stats.DisablesSent++
+	f.state = StateDisable
+	f.deadline = s.Now + f.tDR
+}
+
+func (c *Controller) disableReturned(f *fsm, m *Message) {
+	s := c.sim
+	r := &s.Routers[f.node]
+	// The sender validates its own dependence too; if the chain moved on,
+	// the disable is ignored and the S_DISABLE timeout sends the enable.
+	// Likewise if a foreign chain fenced this router in the meantime: we
+	// must not overwrite that fence.
+	if !c.dependenceExists(f.node, f.probeIn, f.vnet, f.probeOut) {
+		return
+	}
+	if r.Fence.Active && r.Fence.SrcID != f.node {
+		return
+	}
+	if c.opt.Spin {
+		// SPIN-style recovery: rotate the whole latched cycle one hop in
+		// place. The fences stay up and a check_probe retraces the path;
+		// if it returns, the same chain persists and is rotated again —
+		// the same fences-held loop bubble-mode uses, which is what stops
+		// fresh injections from refilling the ring between steps. When
+		// the check_probe dies, the enable tears down and detection
+		// resumes.
+		if !c.spinCycle(f) {
+			return // chain moved on; the S_DISABLE timeout cleans up
+		}
+		s.Stats.DeadlockRecoveries++
+		r.Fence = network.Fence{Active: true, In: f.probeIn, Out: f.probeOut, SrcID: f.node}
+		f.recoveryStart = s.Now
+		c.send(f.node, MsgCheckProbe, f.vnet, f.probeOut, cloneTurns(f.turnBuf), f.seq)
+		s.Stats.CheckProbesSent++
+		f.state = StateCheckProbe
+		f.deadline = s.Now + f.tDR
+		return
+	}
+	r.Fence = network.Fence{Active: true, In: f.probeIn, Out: f.probeOut, SrcID: f.node}
+	r.Bubble.Active = true
+	r.Bubble.InPort = f.probeIn
+	f.state = StateSBActive
+	f.bubbleWasOccupied = false
+	f.recoveryStart = s.Now
+	f.lastGrants = r.Grants()
+	f.deadline = s.Now + c.sbActiveGuard(f)
+	s.Stats.DeadlockRecoveries++
+	c.trace(f.node, "recovery started: bubble on, fence in=%v out=%v occupant=%v upstream=%v", f.probeIn, f.probeOut, r.Bubble.VC.Pkt, s.Topo.Neighbor(f.node, f.probeIn))
+}
+
+// sbActiveGuard is the liveness bound on S_SB_ACTIVE: the paper's FSM
+// keeps the counter off in this state, relying on the fenced chain to
+// occupy and vacate the bubble. When chains cross, another chain's fence
+// can stall this one indefinitely; after the guard expires with an empty
+// bubble we tear down and retry detection from scratch.
+func (c *Controller) sbActiveGuard(f *fsm) int64 {
+	g := 8 * f.tDR
+	if g < 4*c.opt.TDD {
+		g = 4 * c.opt.TDD
+	}
+	return g
+}
+
+func (c *Controller) checkProbeReturned(f *fsm) {
+	s := c.sim
+	r := &s.Routers[f.node]
+	if c.opt.Spin {
+		// The chain persists: rotate it again and keep checking.
+		if c.spinCycle(f) {
+			c.send(f.node, MsgCheckProbe, f.vnet, f.probeOut, cloneTurns(f.turnBuf), f.seq)
+			s.Stats.CheckProbesSent++
+			f.deadline = s.Now + f.tDR
+			return
+		}
+		c.sendEnable(f)
+		return
+	}
+	r.Bubble.Active = true
+	f.state = StateSBActive
+	f.bubbleWasOccupied = false
+	f.deadline = s.Now + c.sbActiveGuard(f)
+}
+
+func (c *Controller) enableReturned(f *fsm) {
+	s := c.sim
+	c.trace(f.node, "enable returned: recovery complete")
+	if f.recoveryStart > 0 {
+		c.recoveryDurations = append(c.recoveryDurations, RecoveryRecord{
+			Node: f.node, PathLen: f.pathLen(), Duration: s.Now - f.recoveryStart,
+		})
+		f.recoveryStart = 0
+	}
+	r := &s.Routers[f.node]
+	if r.Fence.Active && r.Fence.SrcID == f.node {
+		r.Fence = network.Fence{}
+	}
+	f.turnBuf = nil
+	if ptr, pid, ok := nextOccupiedVC(r, s.Cfg, f.ptr); ok {
+		f.state = StateDD
+		f.ptr, f.ptrPkt = ptr, pid
+		f.deadline = s.Now + c.opt.TDD
+	} else {
+		f.state = StateOff
+	}
+}
+
+// spinCycle performs one synchronized rotation of the latched dependency
+// cycle: walking the turn path from the originator, it selects at every
+// router one packet on the chain (at the path's input port, wanting the
+// path's output) and moves each into the slot its successor vacates. All
+// packets advance one hop in one step; the cycle provides its own
+// buffering. Returns false (no movement) if the chain dissolved since
+// the disable validated it.
+func (c *Controller) spinCycle(f *fsm) bool {
+	s := c.sim
+	type link struct {
+		vc   *network.VC
+		node geom.NodeID
+		in   geom.Direction
+	}
+	var chain []link
+	// Reconstruct the walk: it starts at the originator going out
+	// f.probeOut and enters each subsequent router per the turn buffer,
+	// closing back at the originator via f.probeIn.
+	node := f.node
+	heading := f.probeOut
+	// The originator's chain packet sits at f.probeIn wanting f.probeOut.
+	pick := func(n geom.NodeID, in, out geom.Direction) *network.VC {
+		r := &s.Routers[n]
+		base := f.vnet * s.Cfg.VCsPerVnet
+		for i := 0; i < s.Cfg.VCsPerVnet; i++ {
+			vc := &r.In[in][base+i]
+			if vc.Pkt != nil && vc.HeadReady(s.Now) && s.OutputOf(vc.Pkt, n) == out {
+				return vc
+			}
+		}
+		return nil
+	}
+	vc := pick(f.node, f.probeIn, f.probeOut)
+	if vc == nil {
+		return false
+	}
+	chain = append(chain, link{vc, f.node, f.probeIn})
+	for _, turn := range f.turnBuf {
+		next := s.Topo.Neighbor(node, heading)
+		if next == geom.InvalidNode {
+			return false
+		}
+		in := heading.Opposite()
+		out := turn.Apply(heading)
+		vc := pick(next, in, out)
+		if vc == nil {
+			return false
+		}
+		chain = append(chain, link{vc, next, in})
+		node, heading = next, out
+	}
+	// The walk must close: the final hop re-enters the originator.
+	if s.Topo.Neighbor(node, heading) != f.node || heading.Opposite() != f.probeIn {
+		return false
+	}
+	// Rotate: packet i moves into the slot packet i+1 vacates (its next
+	// hop on its own route). All moves are simultaneous.
+	n := len(chain)
+	pkts := make([]*network.Packet, n)
+	for i, l := range chain {
+		pkts[i] = l.vc.Pkt
+	}
+	for i := range chain {
+		dst := chain[(i+1)%n]
+		p := pkts[i]
+		dst.vc.Pkt = p
+		dst.vc.ReadyAt = s.Now + c.hopLatency
+		p.Hop++
+		s.Stats.HopMoves++
+		s.Stats.LinkCycles[network.ClassFlit] += int64(p.Len)
+	}
+	// Occupancy counts are unchanged at every router (one out, one in,
+	// both on link-side ports); only progress bookkeeping updates.
+	s.LastProgress = s.Now
+	s.Stats.SpinRotations++
+	return true
+}
+
+// sendEnable transitions f into S_ENABLE and emits the enable along the
+// latched path.
+func (c *Controller) sendEnable(f *fsm) {
+	s := c.sim
+	c.send(f.node, MsgEnable, f.vnet, f.probeOut, cloneTurns(f.turnBuf), f.seq)
+	s.Stats.EnablesSent++
+	f.state = StateEnable
+	f.enableRetries = 0
+	f.deadline = s.Now + f.tDR
+}
+
+// --- FSM counter ticks ------------------------------------------------------
+
+func (c *Controller) tickAll() {
+	for _, n := range c.order {
+		c.tickFSM(c.fsms[n])
+	}
+}
+
+func (c *Controller) tickFSM(f *fsm) {
+	s := c.sim
+	r := &s.Routers[f.node]
+	now := s.Now
+	switch f.state {
+	case StateOff:
+		if r.Fence.Active && r.Fence.SrcID != f.node {
+			// Parked by a foreign disable; the matching enable re-arms us.
+			return
+		}
+		if r.OccupiedNonLocal() == 0 {
+			return // nothing to watch; skip the VC scan (hot path)
+		}
+		if ptr, pid, ok := nextOccupiedVC(r, s.Cfg, vcPtr{port: geom.Local}); ok {
+			f.state = StateDD
+			f.ptr, f.ptrPkt = ptr, pid
+			f.deadline = now + c.opt.TDD
+		}
+
+	case StateDD:
+		vc := watchedVC(r, f.ptr)
+		if vc.Pkt == nil || vc.Pkt.ID != f.ptrPkt {
+			// The watched flit left: advance round-robin, restart counter;
+			// S_OFF if the router drained.
+			if ptr, pid, ok := nextOccupiedVC(r, s.Cfg, f.ptr); ok {
+				f.ptr, f.ptrPkt = ptr, pid
+				f.deadline = now + c.opt.TDD
+			} else {
+				f.state = StateOff
+			}
+			return
+		}
+		if now < f.deadline {
+			return
+		}
+		out := s.OutputOf(vc.Pkt, f.node)
+		if !out.IsLink() {
+			// Waiting on ejection: never part of a dependence cycle. Move
+			// the pointer along.
+			if ptr, pid, ok := nextOccupiedVC(r, s.Cfg, f.ptr); ok {
+				f.ptr, f.ptrPkt = ptr, pid
+			}
+			f.deadline = now + c.opt.TDD
+			return
+		}
+		c.trace(f.node, "tDD expired: probing out=%v for pkt %d", out, vc.Pkt.ID)
+		c.send(f.node, MsgProbe, vc.Pkt.Vnet, out, nil, f.seq)
+		s.Stats.ProbesSent++
+		f.probeOut = out
+		f.vnet = vc.Pkt.Vnet
+		f.deadline = now + c.opt.TDD + f.jitter()
+		// Rotate the watch pointer so a router wedged in several
+		// directions probes each of them across successive rounds (the
+		// paper's FSM keeps watching the same VC, which starves cycles
+		// exiting other ports when the watched chain is a dead end).
+		if ptr, pid, ok := nextOccupiedVC(r, s.Cfg, f.ptr); ok {
+			f.ptr, f.ptrPkt = ptr, pid
+		}
+
+	case StateDisable:
+		if now >= f.deadline {
+			// The disable was dropped somewhere; clear the partial fences.
+			c.trace(f.node, "S_DISABLE timeout")
+			c.sendEnable(f)
+		}
+
+	case StateSBActive:
+		b := &r.Bubble
+		if g := r.Grants(); g != f.lastGrants {
+			// Local progress: the fenced chain is rotating (possibly
+			// slowly — a long ring of 5-flit packets advances one step per
+			// ~path×len cycles). Renew the no-progress guard.
+			f.lastGrants = g
+			f.deadline = now + c.sbActiveGuard(f)
+		}
+		if b.VC.Pkt != nil {
+			if !f.bubbleWasOccupied || b.VC.Pkt.ID != f.bubblePktID {
+				// A fresh occupant means the chain advanced: renew the
+				// guard.
+				f.bubbleWasOccupied = true
+				f.bubblePktID = b.VC.Pkt.ID
+				f.deadline = now + c.sbActiveGuard(f)
+			}
+			if now >= f.deadline {
+				// The occupant is itself wedged on a different dependency
+				// chain; holding our fences any longer starves the rest of
+				// the network. Release them and resume detection — the
+				// resident packet drains whenever its own chain resolves.
+				c.trace(f.node, "S_SB_ACTIVE guard expired with occupied bubble; tearing down")
+				b.Active = false
+				c.sendEnable(f)
+			}
+			return
+		}
+		reclaimed := f.bubbleWasOccupied
+		if !reclaimed && !c.dependenceExists(f.node, f.probeIn, f.vnet, f.probeOut) {
+			// Liveness guard beyond the paper's FSM: the disable's
+			// validation round can pass on a congested (not deadlocked)
+			// chain that then drains into regular VCs without ever using
+			// the bubble. Treat the vanished dependence as a reclaim so
+			// the fences are torn down.
+			reclaimed = true
+		}
+		if !reclaimed && now >= f.deadline {
+			// Guard expiry: a crossing chain's fence is starving this one.
+			// Tear down and retry detection later.
+			c.trace(f.node, "S_SB_ACTIVE guard expired; tearing down")
+			reclaimed = true
+		}
+		if !reclaimed {
+			return
+		}
+		b.Active = false
+		f.bubbleWasOccupied = false
+		if c.opt.DisableCheckProbe {
+			c.sendEnable(f)
+			return
+		}
+		c.send(f.node, MsgCheckProbe, f.vnet, f.probeOut, cloneTurns(f.turnBuf), f.seq)
+		s.Stats.CheckProbesSent++
+		f.state = StateCheckProbe
+		f.deadline = now + f.tDR
+
+	case StateCheckProbe:
+		if now >= f.deadline {
+			// No return: the chain is gone; clean up.
+			c.trace(f.node, "S_CHECK_PROBE timeout")
+			c.sendEnable(f)
+		}
+
+	case StateEnable:
+		if now >= f.deadline {
+			f.enableRetries++
+			if f.enableRetries > 32 {
+				// The latched path itself died (runtime link/router
+				// failure mid-recovery): the enable can never complete
+				// its loop. Fences up to the break were cleared by
+				// earlier transmissions; release our own state and
+				// resume detection.
+				c.trace(f.node, "enable retry limit: abandoning round")
+				c.enableReturned(f)
+				return
+			}
+			// The enable was dropped or lost arbitration: retransmit.
+			c.send(f.node, MsgEnable, f.vnet, f.probeOut, cloneTurns(f.turnBuf), f.seq)
+			s.Stats.EnablesSent++
+			f.deadline = now + f.tDR + f.jitter()
+		}
+	}
+}

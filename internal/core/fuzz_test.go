@@ -1,0 +1,66 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/topology"
+)
+
+// FuzzCoverageLemma drives the coverage lemma with arbitrary fault
+// patterns: whatever combination of link and router failures the fuzzer
+// invents, no buffer-dependency cycle may avoid all static bubbles.
+// Run with `go test -fuzz=FuzzCoverageLemma ./internal/core`.
+func FuzzCoverageLemma(f *testing.F) {
+	f.Add(uint8(8), uint8(8), int64(1), uint8(20), uint8(5))
+	f.Add(uint8(5), uint8(9), int64(77), uint8(40), uint8(0))
+	f.Add(uint8(12), uint8(3), int64(123), uint8(0), uint8(15))
+	f.Add(uint8(2), uint8(2), int64(9), uint8(1), uint8(1))
+	f.Fuzz(func(t *testing.T, w, h uint8, seed int64, linkFaults, routerFaults uint8) {
+		width := int(w%12) + 2
+		height := int(h%12) + 2
+		topo := topology.NewMesh(width, height)
+		rng := rand.New(rand.NewSource(seed))
+		lf := int(linkFaults) % (topology.MaxFaults(width, height, topology.LinkFaults) + 1)
+		rf := int(routerFaults) % (width*height/2 + 1)
+		topology.RandomLinkFaults(topo, rng, lf)
+		topology.RandomRouterFaults(topo, rng, rf)
+		if !VerifyCoverage(topo) {
+			t.Fatalf("coverage violated on %dx%d with %d link + %d router faults (seed %d): cycle %v",
+				width, height, lf, rf, seed, CoverageCounterexample(topo))
+		}
+	})
+}
+
+// FuzzClosedFormCount cross-checks the closed-form bubble count against
+// enumeration for arbitrary mesh shapes.
+func FuzzClosedFormCount(f *testing.F) {
+	f.Add(uint8(8), uint8(8))
+	f.Add(uint8(16), uint8(16))
+	f.Add(uint8(1), uint8(200))
+	f.Fuzz(func(t *testing.T, w, h uint8) {
+		width, height := int(w)+1, int(h)+1
+		if e, c := PlacementCount(width, height), PlacementCountClosedForm(width, height); e != c {
+			t.Fatalf("%dx%d: enumeration %d != closed form %d", width, height, e, c)
+		}
+	})
+}
+
+// FuzzUnidirectionalCoverage exercises the lemma under uDIREC-style
+// one-way channel failures.
+func FuzzUnidirectionalCoverage(f *testing.F) {
+	f.Add(int64(1), uint8(10))
+	f.Add(int64(99), uint8(60))
+	f.Fuzz(func(t *testing.T, seed int64, kills uint8) {
+		topo := topology.NewMesh(8, 8)
+		rng := rand.New(rand.NewSource(seed))
+		for k := 0; k < int(kills); k++ {
+			n := geom.NodeID(rng.Intn(64))
+			topo.DisableDirectedLink(n, geom.LinkDirs[rng.Intn(4)])
+		}
+		if !VerifyCoverage(topo) {
+			t.Fatalf("unidirectional coverage violated (seed %d, kills %d)", seed, kills)
+		}
+	})
+}

@@ -1,0 +1,121 @@
+// Package escape implements the paper's second baseline (Section II-B,
+// V-B): deadlock recovery with escape virtual channels. Packets travel on
+// minimal, deadlock-prone source routes in the regular VCs; one VC per
+// vnet per input port is reserved as the escape channel. A per-VC timer
+// detects packets stuck beyond a threshold and moves them to escape
+// routing: from then on they follow a deadlock-free spanning-tree path
+// (up/down tree routing, Router Parking style) and may only occupy escape
+// VCs, which the tree's acyclicity guarantees will drain.
+package escape
+
+import (
+	"repro/internal/geom"
+	"repro/internal/network"
+	"repro/internal/routing"
+)
+
+// EscapeVCIndex is the VC index (within each vnet) reserved for escape
+// traffic.
+const EscapeVCIndex = 0
+
+// Options configures the escape-VC controller.
+type Options struct {
+	// Timeout is the stuck-packet threshold in cycles before a packet
+	// moves to escape routing; the paper uses a timer comparable to the
+	// SB detection threshold. Default 34.
+	Timeout int64
+}
+
+// vcTimer tracks how long the current occupant of one VC has been parked.
+type vcTimer struct {
+	pktID int64
+	since int64
+}
+
+// Controller wires escape-VC recovery into a simulator.
+type Controller struct {
+	sim     *network.Sim
+	updown  *routing.UpDown
+	timeout int64
+	// timers is indexed router×port×slot (flat), bounded by VC count.
+	timers []vcTimer
+	slots  int
+}
+
+// Attach installs escape-VC recovery on s using the given up/down tree
+// for the escape paths. It registers the VC filter (escape VCs reserved),
+// the output override (escaped packets follow the tree), and the timeout
+// scan.
+func Attach(s *network.Sim, ud *routing.UpDown, opt Options) *Controller {
+	if opt.Timeout == 0 {
+		opt.Timeout = 34
+	}
+	slots := s.Cfg.SlotsPerPort()
+	c := &Controller{
+		sim:     s,
+		updown:  ud,
+		timeout: opt.Timeout,
+		timers:  make([]vcTimer, s.Topo.NumNodes()*geom.NumPorts*slots),
+		slots:   slots,
+	}
+	s.VCFilter = func(p *network.Packet, dst geom.NodeID, in geom.Direction, vcIdx int) bool {
+		if p.Escaped {
+			return vcIdx == EscapeVCIndex
+		}
+		return vcIdx != EscapeVCIndex
+	}
+	s.OutputOverride = func(p *network.Packet, at geom.NodeID) (geom.Direction, bool) {
+		if !p.Escaped {
+			return geom.Invalid, false
+		}
+		d := c.updown.TreeNextHop(at, p.Dst)
+		if d == geom.Invalid {
+			// Destination unreachable over the tree (cannot happen within
+			// a connected component); park rather than misroute.
+			return geom.Local, p.Dst == at
+		}
+		return d, true
+	}
+	s.PostCycle = append(s.PostCycle, func(sim *network.Sim) { c.scan() })
+	return c
+}
+
+// SetTree swaps the spanning tree used for escape paths — called after a
+// runtime reconfiguration rebuilds the tree. Escaped packets immediately
+// follow the new tree.
+func (c *Controller) SetTree(ud *routing.UpDown) { c.updown = ud }
+
+// scan promotes packets stuck longer than the timeout to escape routing.
+func (c *Controller) scan() {
+	s := c.sim
+	now := s.Now
+	for id := range s.Routers {
+		r := &s.Routers[id]
+		if r.Occupied() == 0 {
+			continue
+		}
+		base := id * geom.NumPorts * c.slots
+		for _, port := range geom.AllPorts {
+			pbase := base + int(port)*c.slots
+			for slot := 0; slot < c.slots; slot++ {
+				p := r.In[port][slot].Pkt
+				tm := &c.timers[pbase+slot]
+				if p == nil || p.Escaped {
+					tm.pktID = 0
+					continue
+				}
+				if tm.pktID != p.ID {
+					// New occupant: restart the timer.
+					tm.pktID = p.ID
+					tm.since = now
+					continue
+				}
+				if now-tm.since >= c.timeout {
+					p.Escaped = true
+					s.Stats.EscapeTransfers++
+					tm.pktID = 0
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,159 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+)
+
+// writeCSV writes a header and rows through encoding/csv, panicking on
+// writer errors (callers pass in-memory or stdout writers).
+func writeCSV(w io.Writer, header []string, rows [][]string) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	if err := cw.WriteAll(rows); err != nil {
+		return err
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func f(v float64) string { return fmt.Sprintf("%.6g", v) }
+func d(v int64) string   { return fmt.Sprintf("%d", v) }
+
+// Fig2CSV emits the Fig. 2 sweep as CSV.
+func Fig2CSV(w io.Writer, rows []Fig2Row) error {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{r.Kind.String(), d(int64(r.Faults)), f(r.ProneFraction), d(int64(r.Sampled))}
+	}
+	return writeCSV(w, []string{"kind", "faults", "prone_fraction", "sampled"}, out)
+}
+
+// Fig3CSV emits the heat map in long form: one row per (faults, rate).
+func Fig3CSV(w io.Writer, rows []Fig3Row) error {
+	var out [][]string
+	for _, r := range rows {
+		for i, rate := range r.Rates {
+			out = append(out, []string{
+				d(int64(r.FaultyLinks)), f(rate), f(r.CumulativeDeadlocked[i]), d(int64(r.Sampled)),
+			})
+		}
+	}
+	return writeCSV(w, []string{"faulty_links", "rate", "cumulative_deadlocked", "sampled"}, out)
+}
+
+// Table1CSV emits the buffer-cost comparison.
+func Table1CSV(w io.Writer, rows []Table1Row) error {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{
+			fmt.Sprintf("%dx%d", r.Width, r.Height),
+			d(int64(r.SBBuffers)), d(int64(r.EscapeBuffers)),
+			fmt.Sprint(r.ClosedFormAgrees), fmt.Sprint(r.CoverageVerified),
+		}
+	}
+	return writeCSV(w, []string{"mesh", "sb_buffers", "evc_buffers", "closed_form_agrees", "coverage_verified"}, out)
+}
+
+// Fig8CSV emits the low-load latency sweep.
+func Fig8CSV(w io.Writer, rows []Fig8Row) error {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{
+			r.Pattern, r.Kind.String(), d(int64(r.Faults)),
+			f(r.AvgNorm[EscapeVC]), f(r.AvgNorm[StaticBubble]),
+			f(r.MaxNorm[EscapeVC]), f(r.MaxNorm[StaticBubble]),
+			f(r.AvgAbs), d(int64(r.Sampled)),
+		}
+	}
+	return writeCSV(w, []string{
+		"pattern", "kind", "faults", "evc_avg_norm", "sb_avg_norm",
+		"evc_max_norm", "sb_max_norm", "tree_avg_cycles", "sampled",
+	}, out)
+}
+
+// Fig9CSV emits the saturation-throughput sweep.
+func Fig9CSV(w io.Writer, rows []Fig9Row) error {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{
+			r.Kind.String(), d(int64(r.Faults)),
+			f(r.Norm[EscapeVC]), f(r.Norm[StaticBubble]), f(r.Abs), d(int64(r.Sampled)),
+		}
+	}
+	return writeCSV(w, []string{"kind", "faults", "evc_norm", "sb_norm", "tree_flits_node_cycle", "sampled"}, out)
+}
+
+// Fig10CSV emits the energy breakdown.
+func Fig10CSV(w io.Writer, rows []Fig10Row) error {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{
+			d(int64(r.FaultyRouters)), r.Scheme.String(),
+			f(r.LinkDynamic), f(r.RouterDynamic), f(r.LinkLeakage), f(r.RouterLeakage),
+			f(r.Total), d(int64(r.Sampled)),
+		}
+	}
+	return writeCSV(w, []string{
+		"gated_routers", "scheme", "link_dynamic", "router_dynamic",
+		"link_leakage", "router_leakage", "total", "sampled",
+	}, out)
+}
+
+// Fig11CSV emits the threshold sweep.
+func Fig11CSV(w io.Writer, rows []Fig11Row) error {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{
+			d(r.TDD), f(r.ProbesSent), f(r.Recoveries),
+			f(r.FlitUtil), f(r.ProbeUtil), f(r.DisableUtil), f(r.EnableUtil), f(r.CheckProbeUtil),
+			f(r.AvgLatency), d(int64(r.Sampled)),
+		}
+	}
+	return writeCSV(w, []string{
+		"tdd", "probes_sent", "recoveries", "flit_util", "probe_util",
+		"disable_util", "enable_util", "check_probe_util", "avg_latency", "sampled",
+	}, out)
+}
+
+// Fig12CSV emits the application-throughput scatter.
+func Fig12CSV(w io.Writer, rows []Fig12Row) error {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{
+			r.App, r.Kind.String(), d(int64(r.Faults)),
+			f(r.Norm[EscapeVC]), f(r.Norm[StaticBubble]), d(int64(r.Sampled)),
+		}
+	}
+	return writeCSV(w, []string{"app", "kind", "faults", "evc_norm", "sb_norm", "sampled"}, out)
+}
+
+// Fig13CSV emits the PARSEC runtime/EDP comparison.
+func Fig13CSV(w io.Writer, rows []Fig13Row) error {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{
+			r.App,
+			f(r.RuntimeNorm[EscapeVC]), f(r.RuntimeNorm[StaticBubble]),
+			f(r.EDPNorm[EscapeVC]), f(r.EDPNorm[StaticBubble]), d(int64(r.Sampled)),
+		}
+	}
+	return writeCSV(w, []string{
+		"app", "evc_runtime_norm", "sb_runtime_norm", "evc_edp_norm", "sb_edp_norm", "sampled",
+	}, out)
+}
+
+// AblationCSV emits the ablation comparison.
+func AblationCSV(w io.Writer, rows []AblationRow) error {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{
+			r.Variant, d(int64(r.Buffers)), f(r.RecoveryCycles),
+			f(r.Recoveries), f(r.CheckProbes), d(int64(r.Runs)),
+		}
+	}
+	return writeCSV(w, []string{"variant", "buffers", "drain_cycles", "recoveries", "check_probes", "runs"}, out)
+}

@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+
+	"repro/internal/topology"
+)
+
+// parseCSV round-trips the output through encoding/csv to prove it is
+// well-formed, returning records including the header.
+func parseCSV(t *testing.T, buf *bytes.Buffer) [][]string {
+	t.Helper()
+	recs, err := csv.NewReader(buf).ReadAll()
+	if err != nil {
+		t.Fatalf("invalid CSV: %v", err)
+	}
+	return recs
+}
+
+func TestFig2CSV(t *testing.T) {
+	p := Quick()
+	p.Topologies = 3
+	rows := Fig2(p, map[topology.FaultKind][]int{topology.LinkFaults: {1, 5}})
+	var buf bytes.Buffer
+	if err := Fig2CSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	recs := parseCSV(t, &buf)
+	if len(recs) != 3 { // header + 2 rows
+		t.Fatalf("records = %d", len(recs))
+	}
+	if recs[0][0] != "kind" || recs[1][0] != "links" {
+		t.Fatalf("unexpected content: %v", recs[:2])
+	}
+}
+
+func TestTable1CSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Table1CSV(&buf, Table1(nil)); err != nil {
+		t.Fatal(err)
+	}
+	recs := parseCSV(t, &buf)
+	if len(recs) != 3 {
+		t.Fatalf("records = %d", len(recs))
+	}
+	if recs[1][1] != "21" || recs[2][1] != "89" {
+		t.Fatalf("bubble counts wrong in CSV: %v", recs)
+	}
+}
+
+func TestFig3CSVLongForm(t *testing.T) {
+	rows := []Fig3Row{{
+		FaultyLinks:          5,
+		Rates:                []float64{0.1, 0.2},
+		CumulativeDeadlocked: []float64{0.25, 0.75},
+		Sampled:              4,
+	}}
+	var buf bytes.Buffer
+	if err := Fig3CSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	recs := parseCSV(t, &buf)
+	if len(recs) != 3 {
+		t.Fatalf("records = %d", len(recs))
+	}
+	if recs[2][2] != "0.75" {
+		t.Fatalf("cumulative cell = %q", recs[2][2])
+	}
+}
+
+func TestRemainingCSVEmittersWellFormed(t *testing.T) {
+	var buf bytes.Buffer
+	check := func(name string, err error, wantCols int) {
+		t.Helper()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		recs := parseCSV(t, &buf)
+		if len(recs) < 2 {
+			t.Fatalf("%s: only %d records", name, len(recs))
+		}
+		if len(recs[0]) != wantCols {
+			t.Fatalf("%s: %d columns, want %d", name, len(recs[0]), wantCols)
+		}
+		buf.Reset()
+	}
+
+	check("fig8", Fig8CSV(&buf, []Fig8Row{{Pattern: "uniform_random", Kind: topology.LinkFaults,
+		Faults: 3, AvgNorm: [3]float64{1, 0.9, 0.9}, MaxNorm: [3]float64{1, 0.8, 0.8},
+		AvgAbs: 20, Sampled: 5}}), 9)
+	check("fig9", Fig9CSV(&buf, []Fig9Row{{Kind: topology.RouterFaults, Faults: 2,
+		Norm: [3]float64{1, 2, 3}, Abs: 0.05, Sampled: 5}}), 6)
+	check("fig10", Fig10CSV(&buf, []Fig10Row{{FaultyRouters: 7, Scheme: StaticBubble,
+		LinkDynamic: 0.1, RouterDynamic: 0.2, LinkLeakage: 0.3, RouterLeakage: 0.4,
+		Total: 1.0, Sampled: 5}}), 8)
+	check("fig11", Fig11CSV(&buf, []Fig11Row{{TDD: 34, ProbesSent: 100, Recoveries: 3,
+		FlitUtil: 0.15, ProbeUtil: 0.02, AvgLatency: 900, Sampled: 4}}), 10)
+	check("fig12", Fig12CSV(&buf, []Fig12Row{{App: "BPlus", Kind: topology.LinkFaults,
+		Faults: 10, Norm: [3]float64{1, 1.8, 2.6}, Sampled: 5}}), 6)
+	check("fig13", Fig13CSV(&buf, []Fig13Row{{App: "canneal",
+		RuntimeNorm: [3]float64{1, 0.9, 0.9}, EDPNorm: [3]float64{1, 0.8, 0.75},
+		Sampled: 8}}), 6)
+	check("ablation", AblationCSV(&buf, []AblationRow{{Variant: "paper_placement",
+		Buffers: 21, RecoveryCycles: 200, Recoveries: 2, CheckProbes: 6, Runs: 5}}), 6)
+}
+
+func TestCSVNumericFormatting(t *testing.T) {
+	if f(0.123456789) != "0.123457" {
+		t.Fatalf("f() = %q", f(0.123456789))
+	}
+	if !strings.Contains(f(4.0), "4") || d(42) != "42" {
+		t.Fatal("formatting helpers broken")
+	}
+}

@@ -1,0 +1,258 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section V). Each FigN function runs the corresponding
+// sweep over sampled irregular topologies and returns printable rows;
+// cmd/sbsweep drives them at full scale and bench_test.go at reduced
+// scale. EXPERIMENTS.md records measured-vs-paper outcomes.
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/escape"
+	"repro/internal/network"
+	"repro/internal/routing"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// Scheme identifies a deadlock-freedom design under comparison.
+type Scheme int
+
+// The three designs of Section V-B.
+const (
+	// SpanningTree is baseline 1: deadlock avoidance via up*/down*
+	// routing (Ariadne-style); non-minimal paths, no recovery needed.
+	SpanningTree Scheme = iota
+	// EscapeVC is baseline 2: minimal routes plus timeout-triggered
+	// escape VCs routed over the spanning tree (Router Parking style).
+	EscapeVC
+	// StaticBubble is the paper's scheme: minimal routes plus the
+	// SB placement and recovery FSMs.
+	StaticBubble
+)
+
+// Schemes lists all three in presentation order.
+var Schemes = []Scheme{SpanningTree, EscapeVC, StaticBubble}
+
+func (s Scheme) String() string {
+	switch s {
+	case SpanningTree:
+		return "sp_tree"
+	case EscapeVC:
+		return "escape_vc"
+	case StaticBubble:
+		return "static_bubble"
+	}
+	return fmt.Sprintf("Scheme(%d)", int(s))
+}
+
+// EnergyKey returns the scheme key used by energy.SchemeOverheadBuffers.
+func (s Scheme) EnergyKey() string {
+	switch s {
+	case EscapeVC:
+		return "evc"
+	case StaticBubble:
+		return "sb"
+	default:
+		return "tree"
+	}
+}
+
+// Params holds the sweep-wide configuration. Zero values select paper
+// defaults (8×8 mesh, Table II network, Section V-A sampling).
+type Params struct {
+	Width, Height int
+	// Topologies is the number of sampled irregular topologies per fault
+	// count (the paper grows this until trends stabilize; ~100 suffices,
+	// smaller values trade accuracy for speed). Default 30.
+	Topologies int
+	// WarmupCycles and MeasureCycles bound each simulation run.
+	// Defaults 1000 and 8000.
+	WarmupCycles, MeasureCycles int
+	// TDD is the SB detection threshold (Table II: 34).
+	TDD int64
+	// EscapeTimeout is the escape-VC stuck threshold. Default 34.
+	EscapeTimeout int64
+	// BaseSeed decorrelates independent sweeps.
+	BaseSeed int64
+	// SpinMode switches Static Bubble recovery to the follow-up work's
+	// synchronized cycle rotation (core.Options.Spin).
+	SpinMode bool
+	// TreeBaselineAllLinks switches baseline 1 from conservative tree-path
+	// routing (via the lowest common ancestor, matching the paper's
+	// description and reported magnitudes) to the stronger all-links
+	// up*/down* routing with adaptive shortest legal paths.
+	TreeBaselineAllLinks bool
+}
+
+func (p Params) withDefaults() Params {
+	if p.Width == 0 {
+		p.Width = 8
+	}
+	if p.Height == 0 {
+		p.Height = 8
+	}
+	if p.Topologies == 0 {
+		p.Topologies = 30
+	}
+	if p.WarmupCycles == 0 {
+		p.WarmupCycles = 1000
+	}
+	if p.MeasureCycles == 0 {
+		p.MeasureCycles = 8000
+	}
+	if p.TDD == 0 {
+		p.TDD = 34
+	}
+	if p.EscapeTimeout == 0 {
+		p.EscapeTimeout = 34
+	}
+	return p
+}
+
+// Quick returns a reduced-scale parameter set for tests and benches.
+func Quick() Params {
+	return Params{
+		Width: 8, Height: 8,
+		Topologies:    4,
+		WarmupCycles:  300,
+		MeasureCycles: 2000,
+	}
+}
+
+// Instance bundles one scheme simulation over one topology: the
+// simulator, the algorithm that computes packet routes, and the
+// up/down structure (needed by the escape scheme and available for
+// inspection).
+type Instance struct {
+	Scheme Scheme
+	Sim    *network.Sim
+	Alg    routing.Algorithm
+	UpDown *routing.UpDown
+	SB     *core.Controller
+}
+
+// Build constructs a scheme instance over topo. The topology must not be
+// mutated afterwards.
+func (p Params) Build(topo *topology.Topology, sch Scheme, seed int64) *Instance {
+	p = p.withDefaults()
+	s := network.New(topo, network.Config{}, rand.New(rand.NewSource(seed)))
+	inst := &Instance{Scheme: sch, Sim: s}
+	switch sch {
+	case SpanningTree:
+		// Baseline 1 uses Ariadne's topology-agnostic root election; the
+		// escape scheme's tree (below) is the optimized Router
+		// Parking-style one.
+		inst.UpDown = routing.NewUpDownRooted(topo, routing.RootLowestID)
+		if p.TreeBaselineAllLinks {
+			// Stronger variant: adaptive shortest legal up*/down* paths
+			// over all surviving links.
+			inst.Alg = inst.UpDown
+		} else {
+			// The conservative baseline routes along tree paths through
+			// the lowest common ancestor ("via the root", paper Section I).
+			inst.Alg = inst.UpDown.TreeAlgorithm()
+		}
+	case EscapeVC:
+		inst.UpDown = routing.NewUpDown(topo)
+		inst.Alg = routing.NewMinimal(topo)
+		escape.Attach(s, inst.UpDown, escape.Options{Timeout: p.EscapeTimeout})
+	case StaticBubble:
+		inst.Alg = routing.NewMinimal(topo)
+		inst.SB = core.Attach(s, core.Options{TDD: p.TDD, Spin: p.SpinMode})
+	}
+	return inst
+}
+
+// Injector builds a Table II synthetic-traffic injector for this
+// instance at the given flit rate.
+func (inst *Instance) Injector(pattern traffic.Pattern, rate float64, seed int64) *traffic.Injector {
+	alive := inst.Sim.Topo.AliveRouters()
+	return traffic.NewInjector(alive, inst.Alg, pattern, rate, rand.New(rand.NewSource(seed)))
+}
+
+// Pattern builds a named traffic pattern over the instance's topology.
+func (inst *Instance) Pattern(name string) traffic.Pattern {
+	topo := inst.Sim.Topo
+	switch name {
+	case "bit_complement":
+		return traffic.BitComplement{Width: topo.Width(), Height: topo.Height()}
+	case "transpose":
+		return traffic.Transpose{Width: topo.Width()}
+	default:
+		return traffic.NewUniformRandom(topo.AliveRouters())
+	}
+}
+
+// SampleTopology returns the i-th sampled irregular topology for a fault
+// configuration, deterministically derived from the sweep seed.
+func (p Params) SampleTopology(kind topology.FaultKind, faults, i int) *topology.Topology {
+	p = p.withDefaults()
+	seed := p.BaseSeed + int64(kind)*1_000_003 + int64(faults)*10_007 + int64(i)
+	return topology.RandomIrregular(p.Width, p.Height, kind, faults, seed)
+}
+
+// parallelFor runs fn(i) for i in [0, n) on all cores and waits.
+// Each index must only touch its own state; results are positional, so
+// the output is deterministic regardless of scheduling.
+func parallelFor(n int, fn func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}
+
+// mean returns the arithmetic mean of xs (0 when empty).
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// safeRatio returns a/b, or 1 when b is zero (equal-performance
+// fallback for degenerate topologies).
+func safeRatio(a, b float64) float64 {
+	if b == 0 {
+		return 1
+	}
+	return a / b
+}
+
+// mcReachable reports whether the topology keeps a usable "memory
+// controller" node reachable from most nodes — the paper only evaluates
+// application traffic on topologies that do not disconnect the MCs.
+func mcReachable(topo *topology.Topology) bool {
+	lc := topo.LargestComponent()
+	return len(lc) >= topo.NumNodes()/2
+}

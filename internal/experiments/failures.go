@@ -1,0 +1,230 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/disha"
+	"repro/internal/escape"
+	"repro/internal/geom"
+	"repro/internal/network"
+	"repro/internal/reconfig"
+	"repro/internal/routing"
+	"repro/internal/stats"
+	"repro/internal/topology"
+)
+
+// FailureTimelineRow is one scheme's outcome when links keep failing
+// during a run: the spanning-tree schemes pay a reconfiguration stall
+// per failure (the paper cites thousands of cycles for tree
+// reconstruction, Section I/II); Static Bubble needs none.
+type FailureTimelineRow struct {
+	// Label names the design: the three Scheme variants plus "disha"
+	// (the Section II-B token scheme, included to complete the paper's
+	// argument — it cannot recover at all once a failure breaks its
+	// token path).
+	Label string
+	// ReconfigStall is the cycles of injection downtime charged to this
+	// scheme per failure event.
+	ReconfigStall int
+	Delivered     int64
+	AvgLatency    float64
+	P99Latency    float64
+	Lost          int64
+	// RecoveryIntact is the fraction of runs that ended with the scheme's
+	// deadlock-recovery capability still functional. The tree and SB
+	// schemes rebuild or never depended on global structures; DISHA's
+	// fixed token path is typically severed by the failures, leaving any
+	// later deadlock unrecoverable even though this run's light traffic
+	// never wedged.
+	RecoveryIntact float64
+	Sampled        int
+}
+
+// FailureTimeline is an extension experiment quantifying the paper's
+// reconfiguration argument: inject link failures every failurePeriod
+// cycles during live traffic and charge tree-based schemes (baseline 1's
+// up/down tree and baseline 2's escape tree) a reconfiguration stall per
+// failure. Static Bubble only pays the universal NI-table refresh
+// (modeled as free for all schemes, per the paper's own zero-cost
+// assumption for that part).
+func FailureTimeline(p Params, reconfigStall int, failures int) []FailureTimelineRow {
+	p = p.withDefaults()
+	if reconfigStall == 0 {
+		reconfigStall = 2000 // "1000s of cycles" (Section I)
+	}
+	if failures == 0 {
+		failures = 6
+	}
+	var rows []FailureTimelineRow
+	kinds := []int{int(SpanningTree), int(EscapeVC), int(StaticBubble), dishaKind}
+	for _, k := range kinds {
+		stall := reconfigStall
+		label := ""
+		switch k {
+		case dishaKind:
+			label = "disha"
+			stall = 0 // DISHA has no reconfiguration story at all
+		case int(StaticBubble):
+			label = StaticBubble.String()
+			stall = 0 // plug-and-play: no tree to rebuild
+		default:
+			label = Scheme(k).String()
+		}
+		row := FailureTimelineRow{Label: label, ReconfigStall: stall}
+		type res struct {
+			delivered, lost int64
+			avg, p99        float64
+			intact          bool
+			ok              bool
+		}
+		results := make([]res, p.Topologies)
+		parallelFor(p.Topologies, func(i int) {
+			results[i] = failureRun(p, k, stall, failures, int64(i))
+		})
+		var avg, p99 []float64
+		intact := 0
+		for _, r := range results {
+			if !r.ok {
+				continue
+			}
+			row.Delivered += r.delivered
+			row.Lost += r.lost
+			avg = append(avg, r.avg)
+			p99 = append(p99, r.p99)
+			if r.intact {
+				intact++
+			}
+			row.Sampled++
+		}
+		row.AvgLatency = mean(avg)
+		row.P99Latency = mean(p99)
+		if row.Sampled > 0 {
+			row.RecoveryIntact = float64(intact) / float64(row.Sampled)
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// dishaKind extends the Scheme space for this experiment only.
+const dishaKind = 3
+
+// failureRun executes one scheme over one failure timeline.
+func failureRun(p Params, kind, stall, failures int, seed int64) (out struct {
+	delivered, lost int64
+	avg, p99        float64
+	intact          bool
+	ok              bool
+}) {
+	topo := topology.NewMesh(p.Width, p.Height)
+	s := network.New(topo, network.Config{}, rand.New(rand.NewSource(seed)))
+
+	// Scheme runtime state, rebuilt at every failure.
+	var ud *routing.UpDown
+	var alg routing.Algorithm
+	rebuild := func() {
+		switch kind {
+		case int(SpanningTree):
+			ud = routing.NewUpDownRooted(topo, routing.RootLowestID)
+			alg = ud.TreeAlgorithm()
+		case int(EscapeVC):
+			ud = routing.NewUpDown(topo)
+			alg = routing.NewMinimal(topo)
+		default: // StaticBubble and DISHA both route minimally
+			alg = routing.NewMinimal(topo)
+		}
+	}
+	rebuild()
+	var esc *escape.Controller
+	switch kind {
+	case int(EscapeVC):
+		esc = escape.Attach(s, ud, escape.Options{Timeout: p.EscapeTimeout})
+	case int(StaticBubble):
+		core.Attach(s, core.Options{TDD: p.TDD})
+	}
+	var dishaCtl *disha.Controller
+	if kind == dishaKind {
+		var err error
+		dishaCtl, err = disha.Attach(s, disha.Options{Timeout: p.TDD})
+		if err != nil {
+			out.ok = false
+			return out
+		}
+	}
+	mgr := reconfig.New(s)
+
+	var lat stats.LatencyCollector
+	s.OnDeliver = func(pk *network.Packet) { lat.Observe(pk.Latency()) }
+
+	rng := rand.New(rand.NewSource(seed + 500))
+	horizon := p.WarmupCycles + p.MeasureCycles
+	failEvery := horizon / (failures + 1)
+	stallUntil := 0
+	// Below every scheme's saturation so the comparison isolates
+	// reconfiguration downtime, not congestion (tree saturates near
+	// 0.06 flits/node/cycle; this offers ~0.024).
+	const rate = 0.008
+	for cyc := 0; cyc < horizon; cyc++ {
+		if failures > 0 && cyc > 0 && cyc%failEvery == 0 && cyc/failEvery <= failures {
+			// Fail a random alive link; the manager repairs or drops
+			// affected traffic, then the scheme rebuilds its structures.
+			links := topo.AliveUndirectedLinks()
+			l := links[rng.Intn(len(links))]
+			mgr.FailLink(l.From, l.Dir)
+			rebuild()
+			if esc != nil {
+				// Escaped packets must follow the new tree.
+				esc.SetTree(ud)
+			}
+			stallUntil = cyc + stall
+		}
+		if cyc >= stallUntil {
+			for n := 0; n < topo.NumNodes(); n++ {
+				src := geom.NodeID(n)
+				if !topo.RouterAlive(src) || rng.Float64() >= rate {
+					continue
+				}
+				dst := geom.NodeID(rng.Intn(topo.NumNodes()))
+				if dst == src || !topo.RouterAlive(dst) {
+					continue
+				}
+				if r, ok := alg.Route(src, dst, rng); ok {
+					ln := 1
+					if rng.Intn(2) == 0 {
+						ln = 5
+					}
+					s.Enqueue(s.NewPacket(src, dst, rng.Intn(3), ln, r))
+				} else {
+					s.Drop()
+				}
+			}
+		}
+		s.Step()
+	}
+	// Drain.
+	for i := 0; i < 20*horizon && s.InFlight()+s.QueuedPackets() > 0; i += 100 {
+		s.Run(100)
+	}
+	out.delivered = s.Stats.Delivered
+	out.lost = s.Stats.Lost
+	out.avg = lat.Mean()
+	out.p99 = lat.P(99)
+	out.intact = dishaCtl == nil || dishaCtl.TokenPathIntact()
+	out.ok = s.Stats.Delivered > 0
+	return out
+}
+
+// PrintFailureTimeline writes the comparison.
+func PrintFailureTimeline(w io.Writer, rows []FailureTimelineRow) {
+	fmt.Fprintf(w, "Failure timeline: live link failures with per-failure reconfiguration stalls\n")
+	fmt.Fprintf(w, "%-14s %-9s %-12s %-10s %-10s %-6s %-15s %s\n",
+		"scheme", "stall", "delivered", "avgLat", "p99Lat", "lost", "recovery-intact", "n")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-14s %-9d %-12d %-10.1f %-10.1f %-6d %-15.0f %d\n",
+			r.Label, r.ReconfigStall, r.Delivered, r.AvgLatency, r.P99Latency, r.Lost,
+			100*r.RecoveryIntact, r.Sampled)
+	}
+}

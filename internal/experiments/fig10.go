@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/energy"
+	"repro/internal/topology"
+)
+
+// Fig10Row is one energy bar of the Fig. 10 chart: the four-way breakdown
+// for one scheme at one power-gated-router count, averaged over sampled
+// topologies and normalized to the spanning tree's total at the same
+// fault count.
+type Fig10Row struct {
+	FaultyRouters int
+	Scheme        Scheme
+	// Normalized components (sum = Total).
+	LinkDynamic   float64
+	RouterDynamic float64
+	LinkLeakage   float64
+	RouterLeakage float64
+	Total         float64
+	Sampled       int
+}
+
+// Fig10 reproduces the network-energy comparison (paper Fig. 10) at low
+// load across power-gated router counts (nil selects the paper's
+// 2/7/15/30).
+func Fig10(p Params, gatedRouters []int) []Fig10Row {
+	p = p.withDefaults()
+	if gatedRouters == nil {
+		gatedRouters = []int{2, 7, 15, 30}
+	}
+	var rows []Fig10Row
+	for _, k := range gatedRouters {
+		type res struct {
+			b  [3]energy.Breakdown
+			ok bool
+		}
+		results := make([]res, p.Topologies)
+		parallelFor(p.Topologies, func(i int) {
+			topo := p.SampleTopology(topology.RouterFaults, k, i)
+			var r res
+			r.ok = true
+			for _, sch := range Schemes {
+				inst := p.Build(topo.Clone(), sch, int64(i)*53+int64(sch))
+				inj := inst.Injector(inst.Pattern("uniform_random"), LowLoadRate, int64(i)*71+int64(sch))
+				m := measure(p, inst, inj)
+				model := energy.Default32nm()
+				extra := energy.SchemeOverheadBuffers(inst.Sim, sch.EnergyKey())
+				r.b[sch] = model.Compute(inst.Sim, extra, m.Cycles)
+			}
+			results[i] = r
+		})
+		// Average each component, then normalize everything to the tree
+		// total.
+		var avg [3]energy.Breakdown
+		n := 0
+		for _, r := range results {
+			if !r.ok {
+				continue
+			}
+			n++
+			for _, sch := range Schemes {
+				avg[sch].RouterDynamic += r.b[sch].RouterDynamic
+				avg[sch].LinkDynamic += r.b[sch].LinkDynamic
+				avg[sch].RouterLeakage += r.b[sch].RouterLeakage
+				avg[sch].LinkLeakage += r.b[sch].LinkLeakage
+			}
+		}
+		if n == 0 {
+			continue
+		}
+		treeTotal := avg[SpanningTree].Total() / float64(n)
+		for _, sch := range Schemes {
+			b := avg[sch]
+			norm := func(v float64) float64 { return safeRatio(v/float64(n), treeTotal) }
+			rows = append(rows, Fig10Row{
+				FaultyRouters: k,
+				Scheme:        sch,
+				LinkDynamic:   norm(b.LinkDynamic),
+				RouterDynamic: norm(b.RouterDynamic),
+				LinkLeakage:   norm(b.LinkLeakage),
+				RouterLeakage: norm(b.RouterLeakage),
+				Total:         norm(b.Total()),
+				Sampled:       n,
+			})
+		}
+	}
+	return rows
+}
+
+// PrintFig10 writes the energy breakdown table.
+func PrintFig10(w io.Writer, rows []Fig10Row) {
+	fmt.Fprintf(w, "Fig 10: network energy, normalized to spanning-tree total per fault count\n")
+	fmt.Fprintf(w, "%-8s %-14s %-9s %-9s %-9s %-9s %-7s %s\n",
+		"gated", "scheme", "linkDyn", "rtrDyn", "linkLeak", "rtrLeak", "total", "n")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-8d %-14s %-9.3f %-9.3f %-9.3f %-9.3f %-7.3f %d\n",
+			r.FaultyRouters, r.Scheme, r.LinkDynamic, r.RouterDynamic,
+			r.LinkLeakage, r.RouterLeakage, r.Total, r.Sampled)
+	}
+}

@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/network"
+	"repro/internal/topology"
+)
+
+// Fig11HighLoadRate drives the network into the deadlock-prone regime for
+// the detection-threshold sweep.
+const Fig11HighLoadRate = 0.30
+
+// Fig11Row is one point of the t_DD sweep at high load with 20 router
+// faults: probes sent over the horizon and per-class link utilization.
+type Fig11Row struct {
+	TDD        int64
+	ProbesSent float64 // average over topologies
+	Recoveries float64
+	// Utilization fractions by class over the horizon.
+	FlitUtil       float64
+	ProbeUtil      float64
+	DisableUtil    float64
+	EnableUtil     float64
+	CheckProbeUtil float64
+	// AvgLatency of delivered packets (cycles), to confirm the threshold
+	// does not affect steady behaviour.
+	AvgLatency float64
+	Sampled    int
+}
+
+// Fig11 reproduces the deadlock-detection-threshold sweep (paper
+// Fig. 11): Static Bubble only, high-load uniform random traffic, 20
+// router faults, 10K-cycle horizon. Nil thresholds select
+// {5, 10, 20, 34, 60, 100, 200}.
+func Fig11(p Params, thresholds []int64) []Fig11Row {
+	p = p.withDefaults()
+	if thresholds == nil {
+		thresholds = []int64{5, 10, 20, 34, 60, 100, 200}
+	}
+	const faults = 20
+	var rows []Fig11Row
+	for _, tdd := range thresholds {
+		type res struct {
+			probes, recov, lat float64
+			util               [network.NumLinkClasses]float64
+			ok                 bool
+		}
+		results := make([]res, p.Topologies)
+		parallelFor(p.Topologies, func(i int) {
+			topo := p.SampleTopology(topology.RouterFaults, faults, i)
+			pp := p
+			pp.TDD = tdd
+			inst := pp.Build(topo, StaticBubble, int64(i)*61)
+			inj := inst.Injector(inst.Pattern("uniform_random"), Fig11HighLoadRate, int64(i)*79)
+			m := measure(pp, inst, inj)
+			var r res
+			r.ok = true
+			r.probes = float64(m.Stats.ProbesSent)
+			r.recov = float64(m.Stats.DeadlockRecoveries)
+			r.lat = m.AvgLatency
+			util := m.Stats.LinkUtilization(m.Cycles, inst.Sim.AliveDirectedLinkCount())
+			r.util = util
+			results[i] = r
+		})
+		row := Fig11Row{TDD: tdd}
+		n := 0
+		for _, r := range results {
+			if !r.ok {
+				continue
+			}
+			n++
+			row.ProbesSent += r.probes
+			row.Recoveries += r.recov
+			row.AvgLatency += r.lat
+			row.FlitUtil += r.util[network.ClassFlit]
+			row.ProbeUtil += r.util[network.ClassProbe]
+			row.DisableUtil += r.util[network.ClassDisable]
+			row.EnableUtil += r.util[network.ClassEnable]
+			row.CheckProbeUtil += r.util[network.ClassCheckProbe]
+		}
+		if n > 0 {
+			f := float64(n)
+			row.ProbesSent /= f
+			row.Recoveries /= f
+			row.AvgLatency /= f
+			row.FlitUtil /= f
+			row.ProbeUtil /= f
+			row.DisableUtil /= f
+			row.EnableUtil /= f
+			row.CheckProbeUtil /= f
+		}
+		row.Sampled = n
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// PrintFig11 writes the threshold sweep.
+func PrintFig11(w io.Writer, rows []Fig11Row) {
+	fmt.Fprintf(w, "Fig 11: t_DD sweep at high load (rate %.2f, 20 router faults)\n", Fig11HighLoadRate)
+	fmt.Fprintf(w, "%-6s %-10s %-10s %-9s %-9s %-9s %-9s %-9s %-9s %s\n",
+		"tDD", "probes", "recov", "flit%", "probe%", "disable%", "enable%", "chkprb%", "avgLat", "n")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-6d %-10.0f %-10.1f %-9.2f %-9.3f %-9.4f %-9.4f %-9.4f %-9.1f %d\n",
+			r.TDD, r.ProbesSent, r.Recoveries,
+			100*r.FlitUtil, 100*r.ProbeUtil, 100*r.DisableUtil,
+			100*r.EnableUtil, 100*r.CheckProbeUtil, r.AvgLatency, r.Sampled)
+	}
+}

@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// Fig12Row is one scatter point: application throughput of escape VC and
+// Static Bubble normalized to the spanning tree, for one Rodinia-like
+// workload at one fault count.
+type Fig12Row struct {
+	App    string
+	Kind   topology.FaultKind
+	Faults int
+	// Norm is application throughput normalized to spanning tree.
+	Norm    [3]float64
+	Sampled int
+}
+
+// Fig12 reproduces the Rodinia application-throughput scatter (paper
+// Fig. 12): synthetic Rodinia-like traces over increasing link and router
+// faults, only on topologies that keep the memory controller reachable.
+// Nil arguments select the paper's ranges.
+func Fig12(p Params, apps []traffic.AppProfile, faultSteps map[topology.FaultKind][]int) []Fig12Row {
+	p = p.withDefaults()
+	if apps == nil {
+		apps = traffic.Rodinia()
+	}
+	if faultSteps == nil {
+		faultSteps = map[topology.FaultKind][]int{
+			topology.LinkFaults:   {2, 10, 20, 30, 40},
+			topology.RouterFaults: {2, 5, 10, 15, 20},
+		}
+	}
+	var rows []Fig12Row
+	for _, app := range apps {
+		for _, kind := range []topology.FaultKind{topology.LinkFaults, topology.RouterFaults} {
+			for _, k := range faultSteps[kind] {
+				rows = append(rows, fig12Point(p, app, kind, k))
+			}
+		}
+	}
+	return rows
+}
+
+func fig12Point(p Params, app traffic.AppProfile, kind topology.FaultKind, faults int) Fig12Row {
+	maxCycles := appHorizon(app)
+	type res struct {
+		thr [3]float64
+		ok  bool
+	}
+	results := make([]res, p.Topologies)
+	parallelFor(p.Topologies, func(i int) {
+		topo := p.SampleTopology(kind, faults, i)
+		if !mcReachable(topo) {
+			return // skipped: the paper only maps apps on usable chips
+		}
+		var r res
+		r.ok = true
+		for _, sch := range Schemes {
+			inst := p.Build(topo.Clone(), sch, int64(i)*67+int64(sch))
+			run := traffic.NewAppRun(inst.Sim, inst.Alg, app, rand.New(rand.NewSource(int64(i)*83+int64(sch))))
+			out := run.Run(inst.Sim, maxCycles)
+			r.thr[sch] = out.Throughput
+		}
+		if r.thr[SpanningTree] == 0 {
+			r.ok = false
+		}
+		results[i] = r
+	})
+	row := Fig12Row{App: app.Name, Kind: kind, Faults: faults}
+	var norm [3][]float64
+	for _, r := range results {
+		if !r.ok {
+			continue
+		}
+		for _, sch := range Schemes {
+			norm[sch] = append(norm[sch], safeRatio(r.thr[sch], r.thr[SpanningTree]))
+		}
+	}
+	for _, sch := range Schemes {
+		row.Norm[sch] = mean(norm[sch])
+	}
+	row.Sampled = len(norm[SpanningTree])
+	return row
+}
+
+// appHorizon bounds an application run generously relative to its work.
+func appHorizon(app traffic.AppProfile) int {
+	period := app.BurstLen + app.IdleLen
+	if period == 0 {
+		period = 1
+	}
+	h := app.WorkPackets * 300
+	if h < 50000 {
+		h = 50000
+	}
+	return h
+}
+
+// PrintFig12 writes the scatter as a table.
+func PrintFig12(w io.Writer, rows []Fig12Row) {
+	fmt.Fprintf(w, "Fig 12: Rodinia-like application throughput normalized to spanning tree\n")
+	fmt.Fprintf(w, "%-14s %-8s %-7s %-10s %-10s %s\n", "app", "kind", "faults", "eVC", "SB", "n")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-14s %-8s %-7d %-10.3f %-10.3f %d\n",
+			r.App, r.Kind, r.Faults, r.Norm[EscapeVC], r.Norm[StaticBubble], r.Sampled)
+	}
+}

@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"repro/internal/energy"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// Fig13Row is one PARSEC-like workload's runtime and network EDP, per
+// scheme, normalized to the spanning tree, with 4 link faults.
+type Fig13Row struct {
+	App string
+	// RuntimeNorm and EDPNorm are indexed by Scheme.
+	RuntimeNorm [3]float64
+	EDPNorm     [3]float64
+	Sampled     int
+}
+
+// Fig13 reproduces the PARSEC full-system comparison (paper Fig. 13):
+// application runtime (a) and network EDP (b) with 4 link faults.
+// Nil apps selects the built-in PARSEC-like profiles.
+func Fig13(p Params, apps []traffic.AppProfile) []Fig13Row {
+	p = p.withDefaults()
+	if apps == nil {
+		apps = traffic.Parsec()
+	}
+	const faults = 4
+	var rows []Fig13Row
+	for _, app := range apps {
+		maxCycles := appHorizon(app)
+		type res struct {
+			runtime [3]float64
+			edp     [3]float64
+			ok      bool
+		}
+		results := make([]res, p.Topologies)
+		parallelFor(p.Topologies, func(i int) {
+			topo := p.SampleTopology(topology.LinkFaults, faults, i)
+			if !mcReachable(topo) {
+				return
+			}
+			var r res
+			r.ok = true
+			for _, sch := range Schemes {
+				inst := p.Build(topo.Clone(), sch, int64(i)*73+int64(sch))
+				run := traffic.NewAppRun(inst.Sim, inst.Alg, app, rand.New(rand.NewSource(int64(i)*91+int64(sch))))
+				out := run.Run(inst.Sim, maxCycles)
+				if out.Runtime == 0 {
+					r.ok = false
+					break
+				}
+				r.runtime[sch] = float64(out.Runtime)
+				model := energy.Default32nm()
+				extra := energy.SchemeOverheadBuffers(inst.Sim, sch.EnergyKey())
+				b := model.Compute(inst.Sim, extra, inst.Sim.Now)
+				r.edp[sch] = b.EDP(float64(out.Runtime))
+			}
+			results[i] = r
+		})
+		row := Fig13Row{App: app.Name}
+		var rt, edp [3][]float64
+		for _, r := range results {
+			if !r.ok {
+				continue
+			}
+			for _, sch := range Schemes {
+				rt[sch] = append(rt[sch], safeRatio(r.runtime[sch], r.runtime[SpanningTree]))
+				edp[sch] = append(edp[sch], safeRatio(r.edp[sch], r.edp[SpanningTree]))
+			}
+		}
+		for _, sch := range Schemes {
+			row.RuntimeNorm[sch] = mean(rt[sch])
+			row.EDPNorm[sch] = mean(edp[sch])
+		}
+		row.Sampled = len(rt[SpanningTree])
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// PrintFig13 writes runtime and EDP tables.
+func PrintFig13(w io.Writer, rows []Fig13Row) {
+	fmt.Fprintf(w, "Fig 13: PARSEC-like runtime (a) and network EDP (b), 4 link faults, normalized to spanning tree\n")
+	fmt.Fprintf(w, "%-16s %-12s %-12s %-10s %-10s %s\n",
+		"app", "eVC runtime", "SB runtime", "eVC EDP", "SB EDP", "n")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-16s %-12.3f %-12.3f %-10.3f %-10.3f %d\n",
+			r.App, r.RuntimeNorm[EscapeVC], r.RuntimeNorm[StaticBubble],
+			r.EDPNorm[EscapeVC], r.EDPNorm[StaticBubble], r.Sampled)
+	}
+}

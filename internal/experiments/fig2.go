@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/topology"
+)
+
+// Fig2Row is one point of the Fig. 2 sweep: the fraction of sampled
+// irregular topologies that are deadlock-prone (contain a cycle in their
+// topology graph) at a given fault count.
+type Fig2Row struct {
+	Kind          topology.FaultKind
+	Faults        int
+	ProneFraction float64
+	Sampled       int
+}
+
+// Fig2 sweeps the irregular-topology space over increasing link and
+// router fault counts and reports the deadlock-prone percentage
+// (paper Fig. 2). faultSteps selects the fault counts per kind; nil
+// selects the paper's full range with step 5.
+func Fig2(p Params, faultSteps map[topology.FaultKind][]int) []Fig2Row {
+	p = p.withDefaults()
+	if faultSteps == nil {
+		faultSteps = map[topology.FaultKind][]int{
+			topology.LinkFaults:   stepRange(1, 96, 5),
+			topology.RouterFaults: stepRange(1, 46, 5),
+		}
+	}
+	var rows []Fig2Row
+	for _, kind := range []topology.FaultKind{topology.LinkFaults, topology.RouterFaults} {
+		for _, k := range faultSteps[kind] {
+			if k > topology.MaxFaults(p.Width, p.Height, kind) {
+				continue
+			}
+			prone := make([]bool, p.Topologies)
+			parallelFor(p.Topologies, func(i int) {
+				topo := p.SampleTopology(kind, k, i)
+				prone[i] = topo.HasTopologyCycle()
+			})
+			n := 0
+			for _, b := range prone {
+				if b {
+					n++
+				}
+			}
+			rows = append(rows, Fig2Row{
+				Kind:          kind,
+				Faults:        k,
+				ProneFraction: float64(n) / float64(p.Topologies),
+				Sampled:       p.Topologies,
+			})
+		}
+	}
+	return rows
+}
+
+// stepRange returns lo, lo+step, ..., ≤ hi.
+func stepRange(lo, hi, step int) []int {
+	var out []int
+	for v := lo; v <= hi; v += step {
+		out = append(out, v)
+	}
+	return out
+}
+
+// PrintFig2 writes the sweep as an aligned table.
+func PrintFig2(w io.Writer, rows []Fig2Row) {
+	fmt.Fprintf(w, "Fig 2: deadlock-prone irregular topologies (8x8 mesh substrate)\n")
+	fmt.Fprintf(w, "%-8s %-7s %-12s %s\n", "kind", "faults", "prone(%)", "sampled")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-8s %-7d %-12.1f %d\n", r.Kind, r.Faults, 100*r.ProneFraction, r.Sampled)
+	}
+}

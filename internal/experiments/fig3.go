@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/deadlock"
+	"repro/internal/topology"
+)
+
+// Fig3Row is one heat-map column: for a given number of faulty links, the
+// cumulative fraction of sampled topologies that have deadlocked at or
+// below each injection rate.
+type Fig3Row struct {
+	FaultyLinks int
+	// Rates are the swept injection rates (flits/node/cycle).
+	Rates []float64
+	// CumulativeDeadlocked[i] is the fraction of topologies that deadlock
+	// at rate ≤ Rates[i].
+	CumulativeDeadlocked []float64
+	Sampled              int
+}
+
+// Fig3 reproduces the deadlock-onset heat map (paper Fig. 3): minimal
+// adaptive routing with no recovery, uniform random traffic, operational
+// deadlock detection; per topology the lowest injection rate that
+// deadlocks within the horizon is recorded. faultCounts nil selects
+// {1, 5, ..., 45}; rates nil selects 0.02..0.40 step 0.02.
+func Fig3(p Params, faultCounts []int, rates []float64) []Fig3Row {
+	p = p.withDefaults()
+	if faultCounts == nil {
+		faultCounts = stepRange(1, 45, 4)
+	}
+	if rates == nil {
+		for r := 0.02; r <= 0.401; r += 0.02 {
+			rates = append(rates, math.Round(r*100)/100)
+		}
+	}
+	var rows []Fig3Row
+	for _, k := range faultCounts {
+		// onset[i] is the index into rates at which topology i first
+		// deadlocked, or len(rates) if it never did.
+		onset := make([]int, p.Topologies)
+		parallelFor(p.Topologies, func(i int) {
+			onset[i] = len(rates)
+			topo := p.SampleTopology(topology.LinkFaults, k, i)
+			if !topo.HasTopologyCycle() {
+				return // acyclic: can never deadlock
+			}
+			for ri, rate := range rates {
+				if deadlocksAt(p, topo, rate, int64(i)) {
+					onset[i] = ri
+					break
+				}
+			}
+		})
+		cum := make([]float64, len(rates))
+		for ri := range rates {
+			n := 0
+			for _, o := range onset {
+				if o <= ri {
+					n++
+				}
+			}
+			cum[ri] = float64(n) / float64(p.Topologies)
+		}
+		rows = append(rows, Fig3Row{
+			FaultyLinks:          k,
+			Rates:                rates,
+			CumulativeDeadlocked: cum,
+			Sampled:              p.Topologies,
+		})
+	}
+	return rows
+}
+
+// deadlocksAt runs minimal-routing traffic with no recovery scheme at the
+// given rate and reports whether the operational detector fires within
+// the measurement horizon.
+func deadlocksAt(p Params, topo *topology.Topology, rate float64, seed int64) bool {
+	// A bare instance: minimal routes, no recovery attached.
+	inst := p.Build(topo, StaticBubble, seed)
+	// Strip the SB hooks: Fig 3 characterizes the unprotected network.
+	inst.Sim.PreCycle = nil
+	inst.Sim.PostCycle = nil
+	for id := range inst.Sim.Routers {
+		inst.Sim.Routers[id].Bubble.Present = false
+	}
+	inj := inst.Injector(inst.Pattern("uniform_random"), rate, seed+7777)
+	horizon := p.WarmupCycles + p.MeasureCycles
+	for c := 0; c < horizon; c++ {
+		inj.Tick(inst.Sim)
+		inst.Sim.Step()
+		// The exact drainability analyzer catches localized deadlocks that
+		// a global-progress watcher would miss while unrelated traffic
+		// still flows.
+		if c%500 == 499 && deadlock.IsDeadlocked(inst.Sim) {
+			return true
+		}
+	}
+	return deadlock.IsDeadlocked(inst.Sim)
+}
+
+// PrintFig3 writes the heat map as a rate × fault-count grid of
+// cumulative deadlock percentages.
+func PrintFig3(w io.Writer, rows []Fig3Row) {
+	if len(rows) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "Fig 3: cumulative %% of topologies deadlocked at injection rate (uniform random)\n")
+	fmt.Fprintf(w, "%-6s", "rate")
+	for _, r := range rows {
+		fmt.Fprintf(w, " L=%-4d", r.FaultyLinks)
+	}
+	fmt.Fprintln(w)
+	for ri, rate := range rows[0].Rates {
+		fmt.Fprintf(w, "%-6.2f", rate)
+		for _, r := range rows {
+			fmt.Fprintf(w, " %-6.0f", 100*r.CumulativeDeadlocked[ri])
+		}
+		fmt.Fprintln(w)
+	}
+}

@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/topology"
+)
+
+// LowLoadRate is the injection rate (flits/node/cycle) used for the
+// low-load latency sweep; deadlocks are absent at this rate (Fig. 3), so
+// the escape-VC and SB schemes differ from the spanning tree only through
+// path length.
+const LowLoadRate = 0.02
+
+// Fig8Row is one point of the low-load latency sweep: per-scheme average
+// and maximum packet latency, normalized to the spanning-tree baseline,
+// averaged over sampled topologies.
+type Fig8Row struct {
+	Pattern string
+	Kind    topology.FaultKind
+	Faults  int
+	// AvgNorm and MaxNorm are indexed by Scheme.
+	AvgNorm [3]float64
+	MaxNorm [3]float64
+	// AvgAbs is the absolute spanning-tree average latency (cycles), for
+	// reference.
+	AvgAbs  float64
+	Sampled int
+}
+
+// Fig8 reproduces the low-load latency comparison (paper Fig. 8) for the
+// given traffic patterns ("uniform_random", "bit_complement") across link
+// and router fault sweeps. Nil arguments select the paper's ranges.
+func Fig8(p Params, patterns []string, faultSteps map[topology.FaultKind][]int) []Fig8Row {
+	p = p.withDefaults()
+	if patterns == nil {
+		patterns = []string{"uniform_random", "bit_complement"}
+	}
+	if faultSteps == nil {
+		faultSteps = map[topology.FaultKind][]int{
+			topology.LinkFaults:   stepRange(1, 47, 6),
+			topology.RouterFaults: stepRange(1, 29, 4),
+		}
+	}
+	var rows []Fig8Row
+	for _, pattern := range patterns {
+		for _, kind := range []topology.FaultKind{topology.LinkFaults, topology.RouterFaults} {
+			for _, k := range faultSteps[kind] {
+				rows = append(rows, fig8Point(p, pattern, kind, k))
+			}
+		}
+	}
+	return rows
+}
+
+func fig8Point(p Params, pattern string, kind topology.FaultKind, faults int) Fig8Row {
+	type res struct {
+		avg, max [3]float64
+		ok       bool
+	}
+	results := make([]res, p.Topologies)
+	parallelFor(p.Topologies, func(i int) {
+		topo := p.SampleTopology(kind, faults, i)
+		var r res
+		r.ok = true
+		for _, sch := range Schemes {
+			inst := p.Build(topo.Clone(), sch, int64(i)*31+int64(sch))
+			inj := inst.Injector(inst.Pattern(pattern), LowLoadRate, int64(i)*97+int64(sch))
+			m := measure(p, inst, inj)
+			if m.Delivered == 0 {
+				r.ok = false
+				return
+			}
+			r.avg[sch] = m.AvgLatency
+			r.max[sch] = m.MaxLatency
+		}
+		results[i] = r
+	})
+	row := Fig8Row{Pattern: pattern, Kind: kind, Faults: faults}
+	var avgN, maxN [3][]float64
+	var treeAbs []float64
+	for _, r := range results {
+		if !r.ok {
+			continue
+		}
+		treeAbs = append(treeAbs, r.avg[SpanningTree])
+		for _, sch := range Schemes {
+			avgN[sch] = append(avgN[sch], safeRatio(r.avg[sch], r.avg[SpanningTree]))
+			maxN[sch] = append(maxN[sch], safeRatio(r.max[sch], r.max[SpanningTree]))
+		}
+	}
+	for _, sch := range Schemes {
+		row.AvgNorm[sch] = mean(avgN[sch])
+		row.MaxNorm[sch] = mean(maxN[sch])
+	}
+	row.AvgAbs = mean(treeAbs)
+	row.Sampled = len(treeAbs)
+	return row
+}
+
+// PrintFig8 writes the sweep.
+func PrintFig8(w io.Writer, rows []Fig8Row) {
+	fmt.Fprintf(w, "Fig 8: low-load latency normalized to spanning tree (rate %.2f flits/node/cycle)\n", LowLoadRate)
+	fmt.Fprintf(w, "%-16s %-8s %-7s %-10s %-10s %-10s %-10s %-9s %s\n",
+		"pattern", "kind", "faults", "eVC avg", "SB avg", "eVC max", "SB max", "tree(cyc)", "n")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-16s %-8s %-7d %-10.3f %-10.3f %-10.3f %-10.3f %-9.1f %d\n",
+			r.Pattern, r.Kind, r.Faults,
+			r.AvgNorm[EscapeVC], r.AvgNorm[StaticBubble],
+			r.MaxNorm[EscapeVC], r.MaxNorm[StaticBubble],
+			r.AvgAbs, r.Sampled)
+	}
+}

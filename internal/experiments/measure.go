@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"repro/internal/network"
+)
+
+// RunMetrics is the outcome of one warmup+measure simulation run.
+type RunMetrics struct {
+	// AvgLatency and MaxLatency are total packet latencies (cycles) over
+	// packets delivered in the measurement window.
+	AvgLatency float64
+	MaxLatency float64
+	// AcceptedFlits is the delivered throughput in flits/node/cycle over
+	// the measurement window (the saturation-throughput metric when the
+	// offered load exceeds capacity).
+	AcceptedFlits float64
+	// Delivered is the packet count in the measurement window.
+	Delivered int64
+	// Stats is the final cumulative simulator state (for energy and
+	// protocol counters).
+	Stats network.Stats
+	// Cycles is the total simulated horizon (warmup + measure).
+	Cycles int64
+}
+
+// measure drives the instance with the given injector for
+// p.WarmupCycles + p.MeasureCycles and reports window metrics.
+func measure(p Params, inst *Instance, inj interface{ Tick(*network.Sim) }) RunMetrics {
+	p = p.withDefaults()
+	s := inst.Sim
+	for c := 0; c < p.WarmupCycles; c++ {
+		inj.Tick(s)
+		s.Step()
+	}
+	base := s.Stats
+	baseNow := s.Now
+	for c := 0; c < p.MeasureCycles; c++ {
+		inj.Tick(s)
+		s.Step()
+	}
+	cur := s.Stats
+	window := cur
+	window.Delivered -= base.Delivered
+	window.SumLatency -= base.SumLatency
+	window.DeliveredFlits -= base.DeliveredFlits
+
+	m := RunMetrics{
+		MaxLatency: float64(cur.MaxLatency),
+		Delivered:  window.Delivered,
+		Stats:      cur,
+		Cycles:     s.Now,
+	}
+	if window.Delivered > 0 {
+		m.AvgLatency = float64(window.SumLatency) / float64(window.Delivered)
+	}
+	nodes := s.Topo.AliveRouterCount()
+	if nodes > 0 && s.Now > baseNow {
+		m.AcceptedFlits = float64(window.DeliveredFlits) / float64(s.Now-baseNow) / float64(nodes)
+	}
+	return m
+}

@@ -1,0 +1,250 @@
+// Package geom provides the coordinate, direction, and turn algebra used
+// throughout the Static Bubble NoC simulator.
+//
+// The mesh lives in a right-handed grid: x grows East, y grows North.
+// A router port is named after the direction it faces, so a flit moving
+// North out of router A arrives on the South input port of the router
+// above A. The turn taken at a router is expressed relative to the flit's
+// heading, matching the 2-bit L/R/S encoding that probes carry in the
+// paper (Section IV-A).
+package geom
+
+import "fmt"
+
+// Direction identifies a router port or a heading on the mesh.
+type Direction int8
+
+// The five router ports. Local is the NI injection/ejection port; it is
+// never a heading.
+const (
+	North Direction = iota
+	East
+	South
+	West
+	Local
+	// Invalid marks "no direction"; the zero value is deliberately a real
+	// direction (North) so Direction can index arrays, and Invalid is used
+	// explicitly where absence matters.
+	Invalid
+)
+
+// NumPorts is the number of physical ports on a mesh router (N, E, S, W,
+// Local).
+const NumPorts = 5
+
+// NumLinkDirs is the number of inter-router link directions (excludes
+// Local).
+const NumLinkDirs = 4
+
+// LinkDirs lists the four inter-router directions in a fixed order.
+var LinkDirs = [NumLinkDirs]Direction{North, East, South, West}
+
+// AllPorts lists every router port including Local.
+var AllPorts = [NumPorts]Direction{North, East, South, West, Local}
+
+func (d Direction) String() string {
+	switch d {
+	case North:
+		return "N"
+	case East:
+		return "E"
+	case South:
+		return "S"
+	case West:
+		return "W"
+	case Local:
+		return "L"
+	case Invalid:
+		return "?"
+	}
+	return fmt.Sprintf("Direction(%d)", int8(d))
+}
+
+// IsLink reports whether d is one of the four inter-router directions.
+func (d Direction) IsLink() bool {
+	return d == North || d == East || d == South || d == West
+}
+
+// Opposite returns the direction pointing the other way. Opposite(Local)
+// is Local; Opposite(Invalid) is Invalid.
+func (d Direction) Opposite() Direction {
+	switch d {
+	case North:
+		return South
+	case South:
+		return North
+	case East:
+		return West
+	case West:
+		return East
+	}
+	return d
+}
+
+// Left returns the direction 90° counterclockwise from d (North→West).
+// Only valid for link directions.
+func (d Direction) Left() Direction {
+	switch d {
+	case North:
+		return West
+	case West:
+		return South
+	case South:
+		return East
+	case East:
+		return North
+	}
+	return Invalid
+}
+
+// Right returns the direction 90° clockwise from d (North→East).
+// Only valid for link directions.
+func (d Direction) Right() Direction {
+	switch d {
+	case North:
+		return East
+	case East:
+		return South
+	case South:
+		return West
+	case West:
+		return North
+	}
+	return Invalid
+}
+
+// Delta returns the unit (dx, dy) step of heading d. Local and Invalid
+// return (0, 0).
+func (d Direction) Delta() (dx, dy int) {
+	switch d {
+	case North:
+		return 0, 1
+	case East:
+		return 1, 0
+	case South:
+		return 0, -1
+	case West:
+		return -1, 0
+	}
+	return 0, 0
+}
+
+// DirectionBetween returns the link direction from coordinate a to an
+// adjacent coordinate b, or Invalid if they are not mesh neighbors.
+func DirectionBetween(a, b Coord) Direction {
+	dx, dy := b.X-a.X, b.Y-a.Y
+	switch {
+	case dx == 0 && dy == 1:
+		return North
+	case dx == 1 && dy == 0:
+		return East
+	case dx == 0 && dy == -1:
+		return South
+	case dx == -1 && dy == 0:
+		return West
+	}
+	return Invalid
+}
+
+// Turn is the relative direction change a message takes at a router,
+// encoded in 2 bits in probe/disable/enable/check_probe payloads.
+type Turn int8
+
+// The three legal turns. U-turns (180°) are forbidden by the router
+// design (paper Section III, footnote 2), so they have no encoding; a
+// TurnBetween on opposite headings reports ok=false.
+const (
+	Straight Turn = iota
+	LeftTurn
+	RightTurn
+)
+
+func (t Turn) String() string {
+	switch t {
+	case Straight:
+		return "S"
+	case LeftTurn:
+		return "L"
+	case RightTurn:
+		return "R"
+	}
+	return fmt.Sprintf("Turn(%d)", int8(t))
+}
+
+// TurnBetween computes the turn that changes heading from to heading to.
+// ok is false for U-turns or non-link directions.
+func TurnBetween(from, to Direction) (t Turn, ok bool) {
+	if !from.IsLink() || !to.IsLink() {
+		return Straight, false
+	}
+	switch to {
+	case from:
+		return Straight, true
+	case from.Left():
+		return LeftTurn, true
+	case from.Right():
+		return RightTurn, true
+	}
+	return Straight, false // U-turn
+}
+
+// Apply returns the new heading after taking turn t while heading d.
+// Only valid for link directions.
+func (t Turn) Apply(d Direction) Direction {
+	if !d.IsLink() {
+		return Invalid
+	}
+	switch t {
+	case Straight:
+		return d
+	case LeftTurn:
+		return d.Left()
+	case RightTurn:
+		return d.Right()
+	}
+	return Invalid
+}
+
+// Coord is a router position on the mesh.
+type Coord struct {
+	X, Y int
+}
+
+func (c Coord) String() string { return fmt.Sprintf("(%d,%d)", c.X, c.Y) }
+
+// Add returns the coordinate one step in direction d.
+func (c Coord) Add(d Direction) Coord {
+	dx, dy := d.Delta()
+	return Coord{c.X + dx, c.Y + dy}
+}
+
+// ManhattanDistance returns |dx| + |dy| between two coordinates.
+func ManhattanDistance(a, b Coord) int {
+	return abs(a.X-b.X) + abs(a.Y-b.Y)
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// NodeID is the flat identifier of a router in an n×m mesh:
+// id = y*width + x. NodeIDs double as the tie-breaking priority used by
+// the recovery protocol (higher id wins).
+type NodeID int
+
+// InvalidNode marks "no router".
+const InvalidNode NodeID = -1
+
+// CoordOf converts a NodeID back to its coordinate for a mesh of the
+// given width.
+func (n NodeID) CoordOf(width int) Coord {
+	return Coord{int(n) % width, int(n) / width}
+}
+
+// IDOf converts a coordinate to a NodeID for a mesh of the given width.
+func (c Coord) IDOf(width int) NodeID {
+	return NodeID(c.Y*width + c.X)
+}

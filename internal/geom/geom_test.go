@@ -1,0 +1,221 @@
+package geom
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestOpposite(t *testing.T) {
+	cases := map[Direction]Direction{
+		North: South, South: North, East: West, West: East,
+		Local: Local, Invalid: Invalid,
+	}
+	for d, want := range cases {
+		if got := d.Opposite(); got != want {
+			t.Errorf("Opposite(%v) = %v, want %v", d, got, want)
+		}
+	}
+}
+
+func TestOppositeInvolution(t *testing.T) {
+	for _, d := range AllPorts {
+		if d.Opposite().Opposite() != d {
+			t.Errorf("Opposite not an involution for %v", d)
+		}
+	}
+}
+
+func TestLeftRightInverse(t *testing.T) {
+	for _, d := range LinkDirs {
+		if d.Left().Right() != d {
+			t.Errorf("Left then Right of %v != %v", d, d)
+		}
+		if d.Right().Left() != d {
+			t.Errorf("Right then Left of %v != %v", d, d)
+		}
+	}
+}
+
+func TestLeftFourTimesIsIdentity(t *testing.T) {
+	for _, d := range LinkDirs {
+		if d.Left().Left().Left().Left() != d {
+			t.Errorf("four lefts of %v is not identity", d)
+		}
+		if d.Left().Left() != d.Opposite() {
+			t.Errorf("two lefts of %v is not opposite", d)
+		}
+	}
+}
+
+func TestDeltaRoundTrip(t *testing.T) {
+	origin := Coord{3, 3}
+	for _, d := range LinkDirs {
+		n := origin.Add(d)
+		if got := DirectionBetween(origin, n); got != d {
+			t.Errorf("DirectionBetween(%v, %v) = %v, want %v", origin, n, got, d)
+		}
+		if got := DirectionBetween(n, origin); got != d.Opposite() {
+			t.Errorf("reverse DirectionBetween = %v, want %v", got, d.Opposite())
+		}
+	}
+}
+
+func TestDirectionBetweenNonNeighbors(t *testing.T) {
+	a := Coord{0, 0}
+	for _, b := range []Coord{{0, 0}, {2, 0}, {1, 1}, {-1, -1}, {0, 3}} {
+		if got := DirectionBetween(a, b); got != Invalid {
+			t.Errorf("DirectionBetween(%v, %v) = %v, want Invalid", a, b, got)
+		}
+	}
+}
+
+func TestTurnBetweenExhaustive(t *testing.T) {
+	for _, from := range LinkDirs {
+		for _, to := range LinkDirs {
+			turn, ok := TurnBetween(from, to)
+			if to == from.Opposite() {
+				if ok {
+					t.Errorf("TurnBetween(%v, %v): U-turn must not be ok", from, to)
+				}
+				continue
+			}
+			if !ok {
+				t.Errorf("TurnBetween(%v, %v): want ok", from, to)
+				continue
+			}
+			if got := turn.Apply(from); got != to {
+				t.Errorf("Apply(TurnBetween(%v,%v)=%v) = %v, want %v", from, to, turn, got, to)
+			}
+		}
+	}
+}
+
+func TestTurnBetweenRejectsNonLink(t *testing.T) {
+	if _, ok := TurnBetween(Local, North); ok {
+		t.Error("TurnBetween(Local, North) should not be ok")
+	}
+	if _, ok := TurnBetween(North, Local); ok {
+		t.Error("TurnBetween(North, Local) should not be ok")
+	}
+	if _, ok := TurnBetween(Invalid, Invalid); ok {
+		t.Error("TurnBetween(Invalid, Invalid) should not be ok")
+	}
+}
+
+func TestTurnApplyNonLink(t *testing.T) {
+	for _, turn := range []Turn{Straight, LeftTurn, RightTurn} {
+		if got := turn.Apply(Local); got != Invalid {
+			t.Errorf("%v.Apply(Local) = %v, want Invalid", turn, got)
+		}
+	}
+}
+
+func TestTurnStrings(t *testing.T) {
+	if Straight.String() != "S" || LeftTurn.String() != "L" || RightTurn.String() != "R" {
+		t.Error("unexpected turn strings")
+	}
+	if Turn(9).String() != "Turn(9)" {
+		t.Errorf("fallback turn string = %q", Turn(9).String())
+	}
+}
+
+func TestDirectionStrings(t *testing.T) {
+	want := map[Direction]string{North: "N", East: "E", South: "S", West: "W", Local: "L", Invalid: "?"}
+	for d, s := range want {
+		if d.String() != s {
+			t.Errorf("%d.String() = %q, want %q", int8(d), d.String(), s)
+		}
+	}
+	if Direction(9).String() != "Direction(9)" {
+		t.Errorf("fallback direction string = %q", Direction(9).String())
+	}
+}
+
+func TestIsLink(t *testing.T) {
+	for _, d := range LinkDirs {
+		if !d.IsLink() {
+			t.Errorf("%v should be a link direction", d)
+		}
+	}
+	if Local.IsLink() || Invalid.IsLink() {
+		t.Error("Local/Invalid should not be link directions")
+	}
+}
+
+func TestNodeIDRoundTrip(t *testing.T) {
+	widths := []int{1, 2, 5, 8, 16}
+	for _, w := range widths {
+		for y := 0; y < 4; y++ {
+			for x := 0; x < w; x++ {
+				c := Coord{x, y}
+				if got := c.IDOf(w).CoordOf(w); got != c {
+					t.Fatalf("width %d: round trip of %v gave %v", w, c, got)
+				}
+			}
+		}
+	}
+}
+
+func TestNodeIDRoundTripProperty(t *testing.T) {
+	f := func(x, y uint8, w uint8) bool {
+		width := int(w%62) + 2
+		c := Coord{int(x) % width, int(y)}
+		return c.IDOf(width).CoordOf(width) == c
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestManhattanDistance(t *testing.T) {
+	cases := []struct {
+		a, b Coord
+		want int
+	}{
+		{Coord{0, 0}, Coord{0, 0}, 0},
+		{Coord{0, 0}, Coord{3, 4}, 7},
+		{Coord{5, 2}, Coord{1, 7}, 9},
+		{Coord{2, 2}, Coord{2, 3}, 1},
+	}
+	for _, c := range cases {
+		if got := ManhattanDistance(c.a, c.b); got != c.want {
+			t.Errorf("ManhattanDistance(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+		if got := ManhattanDistance(c.b, c.a); got != c.want {
+			t.Errorf("distance not symmetric for %v, %v", c.a, c.b)
+		}
+	}
+}
+
+// A heading sequence constrained to the three legal turns can only close a
+// loop after at least four left or four right turns net; verify the turn
+// algebra preserves that planarity invariant on random walks.
+func TestTurnWalkHeadingConsistency(t *testing.T) {
+	f := func(turns []uint8) bool {
+		h := North
+		net := 0
+		for _, raw := range turns {
+			turn := Turn(raw % 3)
+			h2 := turn.Apply(h)
+			if !h2.IsLink() {
+				return false
+			}
+			switch turn {
+			case LeftTurn:
+				net++
+			case RightTurn:
+				net--
+			}
+			h = h2
+		}
+		// Heading is determined by net turn count mod 4.
+		want := North
+		for i := 0; i < ((net%4)+4)%4; i++ {
+			want = want.Left()
+		}
+		return h == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,26 @@
+package network_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/network"
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+// A minimal simulation: one packet across a healthy mesh.
+func ExampleSim() {
+	topo := topology.NewMesh(4, 4)
+	sim := network.New(topo, network.Config{}, rand.New(rand.NewSource(1)))
+	min := routing.NewMinimal(topo)
+	route, _ := min.Route(0, 15, nil)
+	p := sim.NewPacket(0, 15, 0, 5, route)
+	sim.Enqueue(p)
+	sim.Run(30)
+	fmt.Println("delivered:", p.DeliveredAt >= 0)
+	fmt.Println("latency:", p.Latency(), "cycles") // 2 hops/step × 6 + serialization
+	// Output:
+	// delivered: true
+	// latency: 18 cycles
+}

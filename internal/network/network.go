@@ -1,0 +1,359 @@
+// Package network implements a deterministic, cycle-driven, flit-timed NoC
+// simulator for mesh-derived irregular topologies: 5-port virtual-channel
+// routers with virtual cut-through flow control (packet-sized VCs, as the
+// paper assumes in Section IV-A), credit-accurate buffer reuse, 1-cycle
+// routers and 1-cycle links, multiple virtual networks, and per-class link
+// utilization accounting.
+//
+// The simulator is scheme-agnostic: deadlock-recovery machinery (Static
+// Bubble FSMs in internal/core, escape-VC timeouts in internal/escape)
+// attaches through hooks — per-cycle callbacks, a VC allocation filter, an
+// output override, injection fences (the is_deadlock mechanism), and an
+// optional extra buffer per router (the static bubble).
+package network
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/geom"
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+// Config sets the structural parameters of the simulated NoC. The zero
+// value of any field selects the paper's Table II default.
+type Config struct {
+	// NumVnets is the number of virtual networks (message classes).
+	// Default 3.
+	NumVnets int
+	// VCsPerVnet is the number of virtual channels per vnet per input
+	// port. Default 4.
+	VCsPerVnet int
+	// VCDepth is the VC depth in flits; packets longer than this are
+	// rejected (virtual cut-through requires packet-sized VCs). Default 5.
+	VCDepth int
+	// RouterLatency is the per-hop router pipeline delay in cycles.
+	// Default 1.
+	RouterLatency int
+	// LinkLatency is the per-hop link traversal delay in cycles.
+	// Default 1.
+	LinkLatency int
+}
+
+func (c Config) withDefaults() Config {
+	if c.NumVnets == 0 {
+		c.NumVnets = 3
+	}
+	if c.VCsPerVnet == 0 {
+		c.VCsPerVnet = 4
+	}
+	if c.VCDepth == 0 {
+		c.VCDepth = 5
+	}
+	if c.RouterLatency == 0 {
+		c.RouterLatency = 1
+	}
+	if c.LinkLatency == 0 {
+		c.LinkLatency = 1
+	}
+	return c
+}
+
+// SlotsPerPort returns the number of VCs at each input port.
+func (c Config) SlotsPerPort() int { return c.NumVnets * c.VCsPerVnet }
+
+// Sim is one simulated network instance. Construct with New; advance with
+// Step. All exported state may be read by scheme plugins; mutation outside
+// the documented hooks voids determinism guarantees.
+type Sim struct {
+	Cfg     Config
+	Topo    *topology.Topology
+	Routers []Router
+	// NIQueue[node][vnet] is the source-side injection FIFO.
+	NIQueue [][][]*Packet
+	// Now is the current cycle (events of cycle Now happen during Step).
+	Now int64
+	// Rng drives all stochastic choices (traffic should share it for
+	// reproducibility).
+	Rng *rand.Rand
+
+	// PreCycle hooks run at the start of each Step, before injection and
+	// switch allocation. Control-message transport and FSMs live here.
+	PreCycle []func(*Sim)
+	// PostCycle hooks run at the end of each Step, after allocation.
+	PostCycle []func(*Sim)
+	// VCFilter, when non-nil, restricts which downstream VC slot a packet
+	// may be allocated: return false to veto slot vcIdx (within the
+	// packet's vnet) at router dst's input port in. Used by the escape-VC
+	// scheme to reserve escape channels.
+	VCFilter func(p *Packet, dst geom.NodeID, in geom.Direction, vcIdx int) bool
+	// OutputOverride, when non-nil, may supply the desired output port for
+	// a packet at a router, overriding its embedded source route. Used by
+	// the escape-VC scheme once a packet moves to escape routing.
+	OutputOverride func(p *Packet, at geom.NodeID) (geom.Direction, bool)
+	// GrantFilter, when non-nil, may veto a switch-allocation candidate:
+	// packet p buffered at router at's input port `in` asking for output
+	// `out`. Flow-control policies (e.g. bubble flow control's injection
+	// restriction) hook in here.
+	GrantFilter func(p *Packet, at geom.NodeID, in, out geom.Direction) bool
+	// OnDeliver, when non-nil, is called once per delivered packet (at
+	// ejection grant time). Latency collectors hook in here.
+	OnDeliver func(p *Packet)
+
+	Stats Stats
+	// LastProgress is the last cycle any packet moved between buffers or
+	// was delivered; the operational deadlock detector watches it.
+	LastProgress int64
+
+	nextPktID int64
+	inFlight  int64
+	// saCand is per-output scratch for switch allocation (hot loop).
+	saCand [geom.NumPorts][]int32
+}
+
+// New builds a simulator over topo. The topology may be irregular; dead
+// routers carry no state.
+func New(topo *topology.Topology, cfg Config, rng *rand.Rand) *Sim {
+	cfg = cfg.withDefaults()
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	n := topo.NumNodes()
+	s := &Sim{
+		Cfg:     cfg,
+		Topo:    topo,
+		Routers: make([]Router, n),
+		NIQueue: make([][][]*Packet, n),
+		Rng:     rng,
+	}
+	slots := cfg.SlotsPerPort()
+	for id := 0; id < n; id++ {
+		r := &s.Routers[id]
+		r.ID = geom.NodeID(id)
+		for p := 0; p < geom.NumPorts; p++ {
+			r.In[p] = make([]VC, slots)
+		}
+		s.NIQueue[id] = make([][]*Packet, cfg.NumVnets)
+	}
+	for i := range s.saCand {
+		s.saCand[i] = make([]int32, 0, geom.NumPorts*slots+1)
+	}
+	return s
+}
+
+// NewPacket allocates a packet with a fresh id. length is in flits and
+// must fit the VC depth.
+func (s *Sim) NewPacket(src, dst geom.NodeID, vnet, length int, route routing.Route) *Packet {
+	if length < 1 || length > s.Cfg.VCDepth {
+		panic(fmt.Sprintf("network: packet length %d outside [1,%d]", length, s.Cfg.VCDepth))
+	}
+	if vnet < 0 || vnet >= s.Cfg.NumVnets {
+		panic(fmt.Sprintf("network: vnet %d outside [0,%d)", vnet, s.Cfg.NumVnets))
+	}
+	s.nextPktID++
+	return &Packet{
+		ID:          s.nextPktID,
+		Src:         src,
+		Dst:         dst,
+		Vnet:        vnet,
+		Len:         length,
+		Route:       route,
+		CreatedAt:   s.Now,
+		InjectedAt:  -1,
+		DeliveredAt: -1,
+	}
+}
+
+// Enqueue places p into its source NI queue. The caller is responsible
+// for having computed a valid route (or an OutputOverride).
+func (s *Sim) Enqueue(p *Packet) {
+	s.NIQueue[p.Src][p.Vnet] = append(s.NIQueue[p.Src][p.Vnet], p)
+	s.Stats.Offered++
+}
+
+// Drop records a packet that could not be routed (destination
+// unreachable); the paper's methodology drops such packets under
+// synthetic traffic.
+func (s *Sim) Drop() { s.Stats.DroppedUnreachable++ }
+
+// RemovePacket destroys the packet buffered in vc at router at's input
+// port — runtime failure handling (e.g. a router dying with traffic
+// inside). Occupancy and conservation counters are adjusted; the VC is
+// immediately reusable.
+func (s *Sim) RemovePacket(vc *VC, at geom.NodeID, port geom.Direction) {
+	if vc.Pkt == nil {
+		return
+	}
+	vc.Pkt = nil
+	vc.FreeAt = s.Now
+	r := &s.Routers[at]
+	r.occupied--
+	if port != geom.Local {
+		r.occNonLocal--
+	}
+	s.inFlight--
+	s.Stats.Lost++
+}
+
+// DiscardQueued records the loss of a queued (offered but not injected)
+// packet; the caller removes it from the NI queue.
+func (s *Sim) DiscardQueued(p *Packet) { s.Stats.Lost++ }
+
+// DeliverOutOfBand removes the packet in vc (buffered at router at's
+// input port) and counts it as delivered at the given cycle — modeling a
+// dedicated side network that bypasses the regular datapath, such as
+// DISHA's deadlock-buffer lane. deliverAt must not precede the current
+// cycle.
+func (s *Sim) DeliverOutOfBand(vc *VC, at geom.NodeID, port geom.Direction, deliverAt int64) {
+	p := vc.Pkt
+	if p == nil {
+		return
+	}
+	if deliverAt < s.Now {
+		deliverAt = s.Now
+	}
+	vc.Pkt = nil
+	vc.FreeAt = s.Now + int64(p.Len)
+	r := &s.Routers[at]
+	r.occupied--
+	if port != geom.Local {
+		r.occNonLocal--
+	}
+	s.inFlight--
+	p.DeliveredAt = deliverAt
+	s.Stats.DeliveredFlits += int64(p.Len)
+	s.Stats.recordDelivery(p)
+	if s.OnDeliver != nil {
+		s.OnDeliver(p)
+	}
+	s.LastProgress = s.Now
+}
+
+// Step advances the simulation by one cycle.
+func (s *Sim) Step() {
+	for _, f := range s.PreCycle {
+		f(s)
+	}
+	s.inject()
+	s.allocate()
+	s.transferBubbles()
+	for _, f := range s.PostCycle {
+		f(s)
+	}
+	s.Now++
+}
+
+// Run advances the simulation by n cycles.
+func (s *Sim) Run(n int) {
+	for i := 0; i < n; i++ {
+		s.Step()
+	}
+}
+
+// InFlight returns the number of packets currently inside the network
+// (occupying VCs or bubbles), excluding NI queues.
+func (s *Sim) InFlight() int64 { return s.inFlight }
+
+// QueuedPackets returns the number of packets waiting in NI queues.
+func (s *Sim) QueuedPackets() int64 {
+	var n int64
+	for _, byVnet := range s.NIQueue {
+		for _, q := range byVnet {
+			n += int64(len(q))
+		}
+	}
+	return n
+}
+
+// inject moves NI-queue heads into free local-port VCs, one packet per
+// node per vnet per cycle.
+func (s *Sim) inject() {
+	for id := range s.NIQueue {
+		node := geom.NodeID(id)
+		if !s.Topo.RouterAlive(node) {
+			continue
+		}
+		r := &s.Routers[id]
+		for vnet := range s.NIQueue[id] {
+			q := s.NIQueue[id][vnet]
+			if len(q) == 0 {
+				continue
+			}
+			p := q[0]
+			slot := s.findFreeVC(node, geom.Local, p, vnet)
+			if slot < 0 {
+				continue
+			}
+			vc := &r.In[geom.Local][slot]
+			vc.Pkt = p
+			vc.ReadyAt = s.Now + int64(s.Cfg.RouterLatency)
+			p.InjectedAt = s.Now
+			s.NIQueue[id][vnet] = q[1:]
+			s.Stats.Injected++
+			s.Stats.InjectedFlits += int64(p.Len)
+			s.inFlight++
+			r.occupied++
+		}
+	}
+}
+
+// findFreeVC returns a free VC slot index (within the full slot array) at
+// router node's input port `in` for packet p, or -1. Only slots of p's
+// vnet are considered; VCFilter may veto individual slots.
+func (s *Sim) findFreeVC(node geom.NodeID, in geom.Direction, p *Packet, vnet int) int {
+	r := &s.Routers[node]
+	base := vnet * s.Cfg.VCsPerVnet
+	for i := 0; i < s.Cfg.VCsPerVnet; i++ {
+		slot := base + i
+		vc := &r.In[in][slot]
+		if !vc.Empty(s.Now) {
+			continue
+		}
+		if s.VCFilter != nil && !s.VCFilter(p, node, in, i) {
+			continue
+		}
+		return slot
+	}
+	return -1
+}
+
+// OutputOf returns the output port packet p wants at router `at`: the
+// override if installed, else the next hop of its source route, else
+// Local (ejection) once the route is exhausted.
+func (s *Sim) OutputOf(p *Packet, at geom.NodeID) geom.Direction {
+	if s.OutputOverride != nil {
+		if d, ok := s.OutputOverride(p, at); ok {
+			return d
+		}
+	}
+	if p.Hop < len(p.Route) {
+		return p.Route[p.Hop]
+	}
+	return geom.Local
+}
+
+// UseLink records one cycle of control-message occupancy on the outgoing
+// link of node n in direction d, blocking any flit grant on that link for
+// the current cycle (control messages have priority over flits).
+func (s *Sim) UseLink(n geom.NodeID, d geom.Direction, class LinkClass) {
+	r := &s.Routers[n]
+	if r.OutFreeAt[d] <= s.Now {
+		r.OutFreeAt[d] = s.Now + 1
+	}
+	s.Stats.LinkCycles[class]++
+}
+
+// AliveDirectedLinkCount returns the number of usable directed channels,
+// the denominator of link-utilization statistics.
+func (s *Sim) AliveDirectedLinkCount() int {
+	n := 0
+	for id := 0; id < s.Topo.NumNodes(); id++ {
+		for _, d := range geom.LinkDirs {
+			if s.Topo.HasLink(geom.NodeID(id), d) {
+				n++
+			}
+		}
+	}
+	return n
+}

@@ -1,0 +1,89 @@
+package network
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+// Property suite: whatever traffic is thrown at the simulator, the
+// conservation and occupancy invariants hold at every step, and XY
+// workloads always drain (testing/quick drives the workload shape).
+
+func TestPropConservationUnderArbitraryWorkloads(t *testing.T) {
+	f := func(seed int64, rateRaw, lenSel uint8, cyclesRaw uint16) bool {
+		topo := topology.NewMesh(4, 4)
+		s := New(topo, Config{}, rand.New(rand.NewSource(seed)))
+		xy := routing.NewXY(topo)
+		rng := rand.New(rand.NewSource(seed + 1))
+		rate := float64(rateRaw%40) / 100
+		cycles := int(cyclesRaw%1500) + 200
+		offered := int64(0)
+		for c := 0; c < cycles; c++ {
+			if c < cycles/2 {
+				for n := 0; n < 16; n++ {
+					if rng.Float64() >= rate {
+						continue
+					}
+					dst := geom.NodeID(rng.Intn(16))
+					r, ok := xy.Route(geom.NodeID(n), dst, nil)
+					if !ok {
+						return false
+					}
+					ln := 1
+					if (lenSel+uint8(n))%2 == 0 {
+						ln = 5
+					}
+					s.Enqueue(s.NewPacket(geom.NodeID(n), dst, rng.Intn(3), ln, r))
+					offered++
+				}
+			}
+			s.Step()
+			if s.Stats.Delivered+s.InFlight()+s.QueuedPackets() != offered {
+				return false
+			}
+		}
+		// XY on a healthy mesh is deadlock-free: drain completely.
+		for i := 0; i < 40000 && s.InFlight()+s.QueuedPackets() > 0; i += 100 {
+			s.Run(100)
+		}
+		return s.Stats.Delivered == offered
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropLatencyFormulaHolds(t *testing.T) {
+	// For a lone packet: latency = (router+link)×hops + len + router.
+	f := func(hopsRaw, lenRaw, rl, ll uint8) bool {
+		hops := int(hopsRaw%7) + 1
+		ln := int(lenRaw%5) + 1
+		rLat := int(rl%3) + 1
+		lLat := int(ll%3) + 1
+		topo := topology.NewMesh(8, 1)
+		s := New(topo, Config{RouterLatency: rLat, LinkLatency: lLat, VCDepth: 5},
+			rand.New(rand.NewSource(1)))
+		route := make(routing.Route, hops)
+		for i := range route {
+			route[i] = geom.East
+		}
+		p := s.NewPacket(0, geom.NodeID(hops), 0, ln, route)
+		s.Enqueue(p)
+		s.Run((rLat+lLat)*(hops+2) + ln + 20)
+		if p.DeliveredAt < 0 {
+			return false
+		}
+		// injection pipeline (rLat) + hops x (rLat+lLat) + ejection
+		// pipeline (rLat) + serialization (ln-1)
+		want := int64((rLat+lLat)*hops + 2*rLat + ln - 1)
+		return p.Latency() == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,243 @@
+package network
+
+import (
+	"repro/internal/geom"
+)
+
+// Fence is the runtime injection restriction installed by a disable
+// message (the is_deadlock mechanism, paper Section IV-A2): while active,
+// only traffic from input port In may be switched to output port Out,
+// fencing the detected dependency chain off from new packets.
+type Fence struct {
+	Active bool
+	In     geom.Direction
+	Out    geom.Direction
+	// SrcID is the static-bubble router that installed the fence; only a
+	// matching enable clears it.
+	SrcID geom.NodeID
+}
+
+// Bubble is the optional extra packet buffer of a static-bubble router.
+// It is off until the recovery FSM activates it, at which point it acts
+// as one additional VC on input port InPort, usable by any vnet.
+type Bubble struct {
+	// Present marks this router as chosen by the placement algorithm.
+	Present bool
+	// Active is set while the FSM has the bubble switched on.
+	Active bool
+	// InPort is the input port the bubble serves while active (the input
+	// side of the IO-priority buffer).
+	InPort geom.Direction
+	VC     VC
+}
+
+// EligibleFor reports whether the bubble can accept a packet arriving on
+// input port `in` at cycle now.
+func (b *Bubble) EligibleFor(in geom.Direction, now int64) bool {
+	return b.Present && b.Active && b.InPort == in && b.VC.Empty(now)
+}
+
+// Router is the per-node switch state. In[port] holds the input VCs,
+// indexed vnet*VCsPerVnet+vc. OutFreeAt[port] is the earliest cycle a new
+// packet grant may start on that output (links and the ejection port are
+// busy for Len cycles per packet).
+type Router struct {
+	ID        geom.NodeID
+	In        [geom.NumPorts][]VC
+	OutFreeAt [geom.NumPorts]int64
+	Fence     Fence
+	Bubble    Bubble
+
+	saPtr       [geom.NumPorts]int
+	occupied    int
+	occNonLocal int
+	grants      int64
+}
+
+// Occupied returns the number of packets buffered at this router
+// (including the bubble).
+func (r *Router) Occupied() int { return r.occupied }
+
+// OccupiedNonLocal returns the number of packets buffered at non-local
+// input ports (including the bubble) — the candidates a detection FSM
+// watches.
+func (r *Router) OccupiedNonLocal() int { return r.occNonLocal }
+
+// Grants counts switch-allocation grants issued by this router over its
+// lifetime (including ejections) — a local progress signal used by the
+// recovery liveness guards.
+func (r *Router) Grants() int64 { return r.grants }
+
+// VCAt returns the VC at input port in, vnet, index vc.
+func (r *Router) VCAt(cfg Config, in geom.Direction, vnet, vc int) *VC {
+	return &r.In[in][vnet*cfg.VCsPerVnet+vc]
+}
+
+// allocate performs one cycle of switch allocation over every router:
+// for each output port, at most one waiting packet is granted, chosen
+// round-robin among eligible input VCs, subject to the fence, link
+// bandwidth, and downstream buffer availability (virtual cut-through:
+// the downstream VC must be able to hold the whole packet).
+//
+// Implementation: one gather pass per busy router buckets ready heads by
+// desired output (the simulator's hottest loop), then each output
+// arbitrates round-robin within its bucket starting at its saPtr.
+func (s *Sim) allocate() {
+	slots := s.Cfg.SlotsPerPort()
+	total := geom.NumPorts * slots // bubble uses index `total`
+	for id := range s.Routers {
+		r := &s.Routers[id]
+		if r.occupied == 0 || !s.Topo.RouterAlive(r.ID) {
+			continue
+		}
+		var nc [geom.NumPorts]int
+		for i := range s.saCand {
+			s.saCand[i] = s.saCand[i][:0]
+		}
+		for in := 0; in < geom.NumPorts; in++ {
+			vcs := r.In[in]
+			for sl := range vcs {
+				vc := &vcs[sl]
+				if !vc.HeadReady(s.Now) {
+					continue
+				}
+				out := s.OutputOf(vc.Pkt, r.ID)
+				if out == geom.Invalid ||
+					(r.Fence.Active && out == r.Fence.Out && geom.Direction(in) != r.Fence.In) {
+					continue
+				}
+				if s.GrantFilter != nil && !s.GrantFilter(vc.Pkt, r.ID, geom.Direction(in), out) {
+					continue
+				}
+				s.saCand[out] = append(s.saCand[out], int32(in*slots+sl))
+				nc[out]++
+			}
+		}
+		if r.Bubble.Present && r.Bubble.VC.HeadReady(s.Now) {
+			out := s.OutputOf(r.Bubble.VC.Pkt, r.ID)
+			if out != geom.Invalid &&
+				!(r.Fence.Active && out == r.Fence.Out && r.Bubble.InPort != r.Fence.In) {
+				s.saCand[out] = append(s.saCand[out], int32(total))
+				nc[out]++
+			}
+		}
+		for _, out := range geom.AllPorts {
+			n := nc[out]
+			if n == 0 || r.OutFreeAt[out] > s.Now {
+				continue
+			}
+			if out != geom.Local && !s.Topo.HasLink(r.ID, out) {
+				continue
+			}
+			// Rotate to the first candidate at or past the round-robin
+			// pointer (candidates are in ascending index order).
+			cands := s.saCand[out]
+			start := 0
+			for i, ci := range cands {
+				if int(ci) >= r.saPtr[out] {
+					start = i
+					break
+				}
+			}
+			for k := 0; k < n; k++ {
+				ci := cands[(start+k)%n]
+				var vc *VC
+				inPort := geom.Local
+				if int(ci) == total {
+					vc = &r.Bubble.VC
+					inPort = r.Bubble.InPort
+				} else {
+					inPort = geom.Direction(ci / int32(slots))
+					vc = &r.In[inPort][ci%int32(slots)]
+				}
+				if s.tryGrant(r, out, vc, vc.Pkt, inPort) {
+					r.saPtr[out] = (int(ci) + 1) % (total + 1)
+					break
+				}
+			}
+		}
+	}
+}
+
+// transferBubbles slides each bubble occupant into a free regular VC of
+// its vnet at the same input port, when one exists (paper footnote 6: a
+// chain packet advancing vacates a VC at the port; the bubble occupant
+// moves there, freeing the bubble for reclaim). Without this path a
+// packet wedged in the bubble would block every later recovery at the
+// router.
+func (s *Sim) transferBubbles() {
+	for id := range s.Routers {
+		b := &s.Routers[id].Bubble
+		if !b.Present || b.VC.Pkt == nil || b.VC.ReadyAt > s.Now {
+			continue
+		}
+		p := b.VC.Pkt
+		slot := s.findFreeVC(geom.NodeID(id), b.InPort, p, p.Vnet)
+		if slot < 0 {
+			continue
+		}
+		vc := &s.Routers[id].In[b.InPort][slot]
+		vc.Pkt = p
+		vc.ReadyAt = s.Now + 1
+		b.VC.Pkt = nil
+		b.VC.FreeAt = s.Now + 1
+		s.Stats.BubbleTransfers++
+		s.LastProgress = s.Now
+	}
+}
+
+// tryGrant moves p out of vc through output port out: ejection when out is
+// Local, else into a free downstream VC (or an eligible static bubble).
+// inPort is the port vc lives on (for occupancy bookkeeping). Returns
+// false if no downstream buffer is available.
+func (s *Sim) tryGrant(r *Router, out geom.Direction, vc *VC, p *Packet, inPort geom.Direction) bool {
+	length := int64(p.Len)
+	if out == geom.Local {
+		r.grants++
+		vc.Pkt = nil
+		vc.FreeAt = s.Now + length
+		r.OutFreeAt[geom.Local] = s.Now + length
+		p.DeliveredAt = s.Now + int64(s.Cfg.RouterLatency) + length - 1
+		s.Stats.DeliveredFlits += length
+		s.Stats.recordDelivery(p)
+		if s.OnDeliver != nil {
+			s.OnDeliver(p)
+		}
+		s.inFlight--
+		r.occupied--
+		if inPort != geom.Local {
+			r.occNonLocal--
+		}
+		s.LastProgress = s.Now
+		return true
+	}
+	nb := s.Topo.Neighbor(r.ID, out)
+	nbr := &s.Routers[nb]
+	in := out.Opposite()
+	var dst *VC
+	if slot := s.findFreeVC(nb, in, p, p.Vnet); slot >= 0 {
+		dst = &nbr.In[in][slot]
+	} else if nbr.Bubble.EligibleFor(in, s.Now) {
+		dst = &nbr.Bubble.VC
+		s.Stats.BubbleOccupancies++
+	} else {
+		return false
+	}
+	r.grants++
+	vc.Pkt = nil
+	vc.FreeAt = s.Now + length
+	dst.Pkt = p
+	dst.ReadyAt = s.Now + int64(s.Cfg.RouterLatency+s.Cfg.LinkLatency)
+	p.Hop++
+	r.OutFreeAt[out] = s.Now + length
+	s.Stats.LinkCycles[ClassFlit] += length
+	s.Stats.HopMoves++
+	r.occupied--
+	if inPort != geom.Local {
+		r.occNonLocal--
+	}
+	nbr.occupied++
+	nbr.occNonLocal++ // arrivals always land on a link-side port
+	s.LastProgress = s.Now
+	return true
+}

@@ -1,0 +1,129 @@
+package network
+
+// LinkClass classifies link occupancy for utilization accounting
+// (paper Fig. 11 breaks link utilization down by message class).
+type LinkClass int
+
+// The message classes that can occupy a link cycle.
+const (
+	ClassFlit LinkClass = iota
+	ClassProbe
+	ClassDisable
+	ClassEnable
+	ClassCheckProbe
+	NumLinkClasses
+)
+
+func (c LinkClass) String() string {
+	switch c {
+	case ClassFlit:
+		return "flit"
+	case ClassProbe:
+		return "probe"
+	case ClassDisable:
+		return "disable"
+	case ClassEnable:
+		return "enable"
+	case ClassCheckProbe:
+		return "check_probe"
+	}
+	return "unknown"
+}
+
+// Stats accumulates simulation counters. Scheme plugins increment the
+// recovery counters; the simulator core maintains the rest.
+type Stats struct {
+	// Offered counts packets enqueued at NIs; Injected those that entered
+	// the network; Delivered those that reached their destination NI.
+	Offered   int64
+	Injected  int64
+	Delivered int64
+	// DroppedUnreachable counts packets discarded at the source because
+	// no route existed (disconnected topology). They are never offered.
+	DroppedUnreachable int64
+	// Lost counts offered packets destroyed by runtime failures
+	// (conservation: Offered = Delivered + InFlight + Queued + Lost).
+	Lost int64
+
+	InjectedFlits  int64 // flits that entered the network
+	DeliveredFlits int64 // flits that reached their destination NI
+
+	SumLatency    int64 // total (queue+network) latency of delivered packets
+	SumNetLatency int64 // in-network latency of delivered packets
+	MaxLatency    int64
+	HopMoves      int64 // buffer-to-buffer packet movements
+
+	// LinkCycles[class] counts directed-link busy cycles per class.
+	LinkCycles [NumLinkClasses]int64
+
+	// Recovery-protocol counters (maintained by internal/core and
+	// internal/escape).
+	ProbesSent         int64
+	DisablesSent       int64
+	EnablesSent        int64
+	CheckProbesSent    int64
+	ProbesReturned     int64
+	DeadlockRecoveries int64 // disable returned → bubble switched on
+	BubbleOccupancies  int64 // packets that passed through a static bubble
+	BubbleTransfers    int64 // bubble→same-port-VC occupant transfers
+	EscapeTransfers    int64 // packets moved to escape routing
+	SpinRotations      int64 // synchronized cycle rotations (SPIN mode)
+}
+
+func (st *Stats) recordDelivery(p *Packet) {
+	st.Delivered++
+	lat := p.Latency()
+	st.SumLatency += lat
+	st.SumNetLatency += p.NetLatency()
+	if lat > st.MaxLatency {
+		st.MaxLatency = lat
+	}
+}
+
+// AvgLatency returns mean total latency of delivered packets, or 0 when
+// none were delivered.
+func (st *Stats) AvgLatency() float64 {
+	if st.Delivered == 0 {
+		return 0
+	}
+	return float64(st.SumLatency) / float64(st.Delivered)
+}
+
+// AvgNetLatency returns mean in-network latency of delivered packets.
+func (st *Stats) AvgNetLatency() float64 {
+	if st.Delivered == 0 {
+		return 0
+	}
+	return float64(st.SumNetLatency) / float64(st.Delivered)
+}
+
+// Throughput returns delivered flits per node per cycle over the given
+// horizon, the paper's throughput metric.
+func (st *Stats) ThroughputFlits(cycles int64, nodes int, avgFlitsPerPacket float64) float64 {
+	if cycles == 0 || nodes == 0 {
+		return 0
+	}
+	return float64(st.Delivered) * avgFlitsPerPacket / float64(cycles) / float64(nodes)
+}
+
+// ThroughputPackets returns delivered packets per node per cycle.
+func (st *Stats) ThroughputPackets(cycles int64, nodes int) float64 {
+	if cycles == 0 || nodes == 0 {
+		return 0
+	}
+	return float64(st.Delivered) / float64(cycles) / float64(nodes)
+}
+
+// LinkUtilization returns, per class, the fraction of (alive directed
+// link × cycle) slots occupied by that class.
+func (st *Stats) LinkUtilization(cycles int64, aliveDirectedLinks int) [NumLinkClasses]float64 {
+	var out [NumLinkClasses]float64
+	denom := float64(cycles) * float64(aliveDirectedLinks)
+	if denom == 0 {
+		return out
+	}
+	for c := 0; c < int(NumLinkClasses); c++ {
+		out[c] = float64(st.LinkCycles[c]) / denom
+	}
+	return out
+}

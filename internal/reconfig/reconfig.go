@@ -1,0 +1,326 @@
+// Package reconfig coordinates safe runtime topology changes over a live
+// simulation — the operations the paper's motivating domains perform:
+// power-gating routers (NoRD, Router Parking, Panthre) and surviving
+// link/router failures (Ariadne, uDIREC). Static Bubble guarantees the
+// *resulting* topology is deadlock-free; this package handles the
+// transition itself:
+//
+//   - Gating a router is graceful: new routes avoid it, traffic transiting
+//     it drains, and only then does it power off.
+//   - A failure is abrupt: packets whose remaining route crosses the dead
+//     component are rerouted in place from their current position, or
+//     dropped if their destination became unreachable (the paper's
+//     methodology drops such packets).
+//
+// After every change the manager rebuilds its minimal-routing tables, so
+// newly injected packets always use the current topology.
+package reconfig
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/geom"
+	"repro/internal/network"
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+// Manager wraps a simulator and its topology with safe mutation
+// operations. Create with New; use Routes for route computation so that
+// pending gates are respected.
+type Manager struct {
+	sim  *network.Sim
+	topo *topology.Topology
+	// minimal is rebuilt whenever the topology changes.
+	minimal *routing.Minimal
+	// pendingGate marks routers that must not receive new routes but are
+	// still draining.
+	pendingGate map[geom.NodeID]bool
+	// Dropped counts packets discarded because a failure disconnected
+	// their destination.
+	Dropped int64
+	// Rerouted counts packets whose route was recomputed in place.
+	Rerouted int64
+}
+
+// New builds a manager over a live simulation.
+func New(s *network.Sim) *Manager {
+	m := &Manager{
+		sim:         s,
+		topo:        s.Topo,
+		pendingGate: make(map[geom.NodeID]bool),
+	}
+	m.rebuild()
+	return m
+}
+
+func (m *Manager) rebuild() { m.minimal = routing.NewMinimal(m.topo) }
+
+// Route returns a minimal route from src to dst that avoids routers
+// pending gating, or ok=false if none exists. Use this instead of a raw
+// routing.Minimal while gating operations are in progress.
+func (m *Manager) Route(src, dst geom.NodeID) (routing.Route, bool) {
+	r, ok := m.minimal.Route(src, dst, m.sim.Rng)
+	if !ok {
+		return nil, false
+	}
+	if len(m.pendingGate) == 0 || !m.routeTouches(r, src, m.pendingGate) {
+		return r, ok
+	}
+	// Recompute on a view that excludes pending-gate routers.
+	view := m.topo.Clone()
+	for n := range m.pendingGate {
+		view.DisableRouter(n)
+	}
+	return routing.NewMinimal(view).Route(src, dst, m.sim.Rng)
+}
+
+// routeTouches reports whether route r from src visits any node in set
+// (intermediate or final).
+func (m *Manager) routeTouches(r routing.Route, src geom.NodeID, set map[geom.NodeID]bool) bool {
+	cur := src
+	if set[cur] {
+		return true
+	}
+	for _, d := range r {
+		cur = m.topo.Neighbor(cur, d)
+		if cur == geom.InvalidNode {
+			return true // malformed: treat as touching
+		}
+		if set[cur] {
+			return true
+		}
+	}
+	return false
+}
+
+// RequestGate marks router n for power-gating: new routes from Route
+// avoid it immediately. Call TryCompleteGates each cycle (or after Run
+// batches) to power it off once drained.
+func (m *Manager) RequestGate(n geom.NodeID) error {
+	if !m.topo.RouterAlive(n) {
+		return fmt.Errorf("reconfig: router %v is not alive", n)
+	}
+	m.pendingGate[n] = true
+	return nil
+}
+
+// TryCompleteGates powers off every pending router that has fully
+// drained: no packets buffered at it and no in-flight packet's remaining
+// route crossing it. It returns the routers gated this call.
+func (m *Manager) TryCompleteGates() []geom.NodeID {
+	if len(m.pendingGate) == 0 {
+		return nil
+	}
+	// Collect routers still referenced by in-flight traffic.
+	busy := make(map[geom.NodeID]bool)
+	for n := range m.pendingGate {
+		if m.sim.Routers[n].Occupied() > 0 {
+			busy[n] = true
+		}
+	}
+	m.forEachInFlight(func(p *network.Packet, at geom.NodeID) {
+		cur := at
+		if m.pendingGate[cur] {
+			busy[cur] = true
+		}
+		for _, d := range p.Route[p.Hop:] {
+			cur = m.topo.Neighbor(cur, d)
+			if cur == geom.InvalidNode {
+				break
+			}
+			if m.pendingGate[cur] {
+				busy[cur] = true
+			}
+		}
+	})
+	// NI queues also pin routers (their packets have committed routes).
+	for id := range m.sim.NIQueue {
+		for _, q := range m.sim.NIQueue[id] {
+			for _, p := range q {
+				cur := p.Src
+				if m.pendingGate[cur] {
+					busy[cur] = true
+				}
+				for _, d := range p.Route {
+					cur = m.topo.Neighbor(cur, d)
+					if cur == geom.InvalidNode {
+						break
+					}
+					if m.pendingGate[cur] {
+						busy[cur] = true
+					}
+				}
+			}
+		}
+	}
+	var gated []geom.NodeID
+	for n := range m.pendingGate {
+		if !busy[n] {
+			gated = append(gated, n)
+		}
+	}
+	for _, n := range gated {
+		delete(m.pendingGate, n)
+		m.topo.DisableRouter(n)
+	}
+	if len(gated) > 0 {
+		m.rebuild()
+	}
+	return gated
+}
+
+// PendingGates returns the routers still draining toward power-off.
+func (m *Manager) PendingGates() int { return len(m.pendingGate) }
+
+// Ungate powers a gated router back on and refreshes routing.
+func (m *Manager) Ungate(n geom.NodeID) {
+	m.topo.EnableRouter(n)
+	delete(m.pendingGate, n)
+	m.rebuild()
+}
+
+// FailLink kills the bidirectional link between n and its neighbor in
+// direction d, then repairs all affected traffic: queued and in-flight
+// packets whose remaining route crossed the link are rerouted from their
+// current position, or dropped if their destination is now unreachable.
+func (m *Manager) FailLink(n geom.NodeID, d geom.Direction) {
+	m.topo.DisableLink(n, d)
+	m.rebuild()
+	m.repairTraffic()
+}
+
+// FailRouter kills router n abruptly; packets buffered at n are lost
+// (counted as dropped), and other affected traffic is rerouted.
+func (m *Manager) FailRouter(n geom.NodeID) {
+	// Discard the dead router's buffered packets.
+	r := &m.sim.Routers[n]
+	for _, port := range geom.AllPorts {
+		for slot := range r.In[port] {
+			if r.In[port][slot].Pkt != nil {
+				m.discardVC(&r.In[port][slot], n, port)
+			}
+		}
+	}
+	if r.Bubble.VC.Pkt != nil {
+		m.discardVC(&r.Bubble.VC, n, r.Bubble.InPort)
+	}
+	m.topo.DisableRouter(n)
+	m.rebuild()
+	m.repairTraffic()
+}
+
+// discardVC removes a packet from a VC with full accounting.
+func (m *Manager) discardVC(vc *network.VC, at geom.NodeID, port geom.Direction) {
+	m.sim.RemovePacket(vc, at, port)
+	m.Dropped++
+}
+
+// forEachInFlight visits every buffered packet with its current router.
+func (m *Manager) forEachInFlight(fn func(p *network.Packet, at geom.NodeID)) {
+	for id := range m.sim.Routers {
+		r := &m.sim.Routers[id]
+		if r.Occupied() == 0 {
+			continue
+		}
+		for _, port := range geom.AllPorts {
+			for slot := range r.In[port] {
+				if p := r.In[port][slot].Pkt; p != nil {
+					fn(p, geom.NodeID(id))
+				}
+			}
+		}
+		if p := r.Bubble.VC.Pkt; p != nil {
+			fn(p, geom.NodeID(id))
+		}
+	}
+}
+
+// repairTraffic walks all live traffic and fixes routes broken by the
+// last topology change.
+func (m *Manager) repairTraffic() {
+	// In-flight packets: reroute from the router they currently occupy.
+	type fix struct {
+		vc   *network.VC
+		at   geom.NodeID
+		port geom.Direction
+	}
+	var broken []fix
+	for id := range m.sim.Routers {
+		r := &m.sim.Routers[id]
+		if r.Occupied() == 0 {
+			continue
+		}
+		for _, port := range geom.AllPorts {
+			for slot := range r.In[port] {
+				p := r.In[port][slot].Pkt
+				if p != nil && !m.routeValidFrom(p, geom.NodeID(id)) {
+					broken = append(broken, fix{&r.In[port][slot], geom.NodeID(id), port})
+				}
+			}
+		}
+		if p := r.Bubble.VC.Pkt; p != nil && !m.routeValidFrom(p, geom.NodeID(id)) {
+			broken = append(broken, fix{&r.Bubble.VC, geom.NodeID(id), r.Bubble.InPort})
+		}
+	}
+	for _, b := range broken {
+		p := b.vc.Pkt
+		if nr, ok := m.minimal.Route(b.at, p.Dst, m.sim.Rng); ok {
+			p.Route = nr
+			p.Hop = 0
+			m.Rerouted++
+		} else {
+			m.discardVC(b.vc, b.at, b.port)
+		}
+	}
+	// Queued packets: reroute from their source.
+	for id := range m.sim.NIQueue {
+		src := geom.NodeID(id)
+		for vnet, q := range m.sim.NIQueue[id] {
+			kept := q[:0]
+			for _, p := range q {
+				if m.routeValidFrom(p, src) {
+					kept = append(kept, p)
+					continue
+				}
+				if nr, ok := m.minimal.Route(src, p.Dst, m.sim.Rng); ok {
+					p.Route = nr
+					p.Hop = 0
+					m.Rerouted++
+					kept = append(kept, p)
+				} else {
+					m.sim.DiscardQueued(p)
+					m.Dropped++
+				}
+			}
+			m.sim.NIQueue[id][vnet] = kept
+		}
+	}
+}
+
+// Algorithm adapts the manager to routing.Algorithm so traffic
+// generators route through the manager's live tables (respecting pending
+// gates).
+func (m *Manager) Algorithm() routing.Algorithm { return managerAlg{m} }
+
+type managerAlg struct{ m *Manager }
+
+func (a managerAlg) Name() string { return "managed_minimal" }
+
+func (a managerAlg) Route(src, dst geom.NodeID, _ *rand.Rand) (routing.Route, bool) {
+	return a.m.Route(src, dst)
+}
+
+// routeValidFrom reports whether p's remaining route is walkable from at
+// over the current topology.
+func (m *Manager) routeValidFrom(p *network.Packet, at geom.NodeID) bool {
+	cur := at
+	for _, d := range p.Route[p.Hop:] {
+		if !m.topo.HasLink(cur, d) {
+			return false
+		}
+		cur = m.topo.Neighbor(cur, d)
+	}
+	return cur == p.Dst
+}

@@ -1,0 +1,147 @@
+package routing
+
+import (
+	"math/rand"
+
+	"repro/internal/geom"
+	"repro/internal/topology"
+)
+
+// Minimal routes packets along true shortest paths of the (possibly
+// irregular) topology, sampling uniformly at random among the minimal
+// next hops at every node. This is the unrestricted, deadlock-prone
+// routing that Static Bubble and the regular VCs of the escape-VC scheme
+// use (paper Section II-D).
+type Minimal struct {
+	topo *topology.Topology
+	// distTo[dst][n] is the directed-hop distance from n to dst.
+	distTo map[geom.NodeID][]int
+}
+
+// NewMinimal builds a minimal router over t. Distance tables are computed
+// lazily per destination and cached; the topology must not change after
+// construction.
+func NewMinimal(t *topology.Topology) *Minimal {
+	return &Minimal{topo: t, distTo: make(map[geom.NodeID][]int)}
+}
+
+// Name implements Algorithm.
+func (m *Minimal) Name() string { return "minimal" }
+
+func (m *Minimal) dist(dst geom.NodeID) []int {
+	if d, ok := m.distTo[dst]; ok {
+		return d
+	}
+	d := m.topo.ReverseBFSDistances(dst)
+	m.distTo[dst] = d
+	return d
+}
+
+// Reachable reports whether dst can be reached from src.
+func (m *Minimal) Reachable(src, dst geom.NodeID) bool {
+	if !m.topo.RouterAlive(src) || !m.topo.RouterAlive(dst) {
+		return false
+	}
+	return m.dist(dst)[src] >= 0
+}
+
+// Distance returns the shortest directed-hop distance from src to dst, or
+// -1 if unreachable.
+func (m *Minimal) Distance(src, dst geom.NodeID) int {
+	if !m.topo.RouterAlive(src) {
+		return -1
+	}
+	return m.dist(dst)[src]
+}
+
+// Route implements Algorithm: it samples one shortest path uniformly at
+// random among the minimal next hops at each step. With a nil rng the
+// first minimal direction in N,E,S,W order is chosen (deterministic).
+func (m *Minimal) Route(src, dst geom.NodeID, rng *rand.Rand) (Route, bool) {
+	if src == dst {
+		return Route{}, m.topo.RouterAlive(src)
+	}
+	dist := m.dist(dst)
+	if !m.topo.RouterAlive(src) || dist[src] < 0 {
+		return nil, false
+	}
+	route := make(Route, 0, dist[src])
+	cur := src
+	for cur != dst {
+		var choices [geom.NumLinkDirs]geom.Direction
+		n := 0
+		for _, d := range geom.LinkDirs {
+			if !m.topo.HasLink(cur, d) {
+				continue
+			}
+			nb := m.topo.Neighbor(cur, d)
+			if dist[nb] == dist[cur]-1 {
+				choices[n] = d
+				n++
+			}
+		}
+		if n == 0 {
+			// Cannot happen on a consistent distance table.
+			return nil, false
+		}
+		pick := choices[0]
+		if rng != nil && n > 1 {
+			pick = choices[rng.Intn(n)]
+		}
+		route = append(route, pick)
+		cur = m.topo.Neighbor(cur, pick)
+	}
+	return route, true
+}
+
+// XY routes dimension-ordered: all X (East/West) hops first, then all Y
+// (North/South) hops. It is only valid on a fully healthy mesh; Route
+// reports ok=false if any hop would use a dead channel.
+type XY struct {
+	topo *topology.Topology
+}
+
+// NewXY builds an XY router over t.
+func NewXY(t *topology.Topology) *XY { return &XY{topo: t} }
+
+// Name implements Algorithm.
+func (x *XY) Name() string { return "xy" }
+
+// Route implements Algorithm. rng is unused (XY is deterministic).
+func (x *XY) Route(src, dst geom.NodeID, _ *rand.Rand) (Route, bool) {
+	if !x.topo.RouterAlive(src) || !x.topo.RouterAlive(dst) {
+		return nil, false
+	}
+	a, b := x.topo.Coord(src), x.topo.Coord(dst)
+	route := make(Route, 0, geom.ManhattanDistance(a, b))
+	cur := src
+	step := func(d geom.Direction) bool {
+		if !x.topo.HasLink(cur, d) {
+			return false
+		}
+		route = append(route, d)
+		cur = x.topo.Neighbor(cur, d)
+		return true
+	}
+	for x.topo.Coord(cur).X < b.X {
+		if !step(geom.East) {
+			return nil, false
+		}
+	}
+	for x.topo.Coord(cur).X > b.X {
+		if !step(geom.West) {
+			return nil, false
+		}
+	}
+	for x.topo.Coord(cur).Y < b.Y {
+		if !step(geom.North) {
+			return nil, false
+		}
+	}
+	for x.topo.Coord(cur).Y > b.Y {
+		if !step(geom.South) {
+			return nil, false
+		}
+	}
+	return route, true
+}

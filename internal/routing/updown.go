@@ -1,0 +1,406 @@
+package routing
+
+import (
+	"math/rand"
+
+	"repro/internal/geom"
+	"repro/internal/topology"
+)
+
+// UpDown implements Ariadne-style spanning-tree up*/down* routing
+// (paper Section II-A): a BFS spanning tree is built per connected
+// component, every channel is classified as "up" (toward the root:
+// strictly lower BFS level, ties broken by lower node id) or "down", and a
+// legal route never takes an up channel after a down channel. This breaks
+// every cyclic channel dependency, making the scheme deadlock-free on any
+// surviving topology, at the cost of non-minimal paths.
+//
+// Routes returned are the shortest *legal* paths, sampled uniformly among
+// legal minimal next hops when an rng is supplied.
+type UpDown struct {
+	topo   *topology.Topology
+	level  []int         // BFS level within the component; -1 if dead
+	parent []geom.NodeID // BFS tree parent; InvalidNode at roots/dead
+	root   []geom.NodeID // component root per node; InvalidNode if dead
+	// distTo[dst] holds distances on the (node, downPhase) state graph:
+	// index 2*node+phase, phase 0 = may still go up, 1 = committed down.
+	distTo map[geom.NodeID][]int
+}
+
+// RootPolicy selects how the spanning-tree root of each component is
+// chosen.
+type RootPolicy int
+
+// Root selection policies.
+const (
+	// RootMedian picks the 1-median of the component (minimum total
+	// distance) — a stand-in for the tree-optimization heuristics of
+	// uDIREC/Router Parking. This is the default.
+	RootMedian RootPolicy = iota
+	// RootLowestID picks the lowest-id alive node, modeling Ariadne's
+	// topology-agnostic leader election (the tree is whatever the elected
+	// node's BFS produces).
+	RootLowestID
+)
+
+// NewUpDown constructs the spanning trees and classification for t with
+// the RootMedian policy. The topology must not change afterwards.
+func NewUpDown(t *topology.Topology) *UpDown {
+	return NewUpDownRooted(t, RootMedian)
+}
+
+// NewUpDownRooted constructs the spanning trees using the given root
+// policy.
+func NewUpDownRooted(t *topology.Topology, policy RootPolicy) *UpDown {
+	n := t.NumNodes()
+	u := &UpDown{
+		topo:   t,
+		level:  make([]int, n),
+		parent: make([]geom.NodeID, n),
+		root:   make([]geom.NodeID, n),
+		distTo: make(map[geom.NodeID][]int),
+	}
+	for i := range u.level {
+		u.level[i] = -1
+		u.parent[i] = geom.InvalidNode
+		u.root[i] = geom.InvalidNode
+	}
+	for _, comp := range t.ConnectedComponents() {
+		root := comp[0] // components are sorted: lowest id first
+		if policy == RootMedian {
+			root = chooseRoot(t, comp)
+		}
+		u.buildTree(root, comp)
+	}
+	return u
+}
+
+// chooseRoot picks the 1-median of the component (lowest id on ties).
+func chooseRoot(t *topology.Topology, comp []geom.NodeID) geom.NodeID {
+	best := comp[0]
+	bestSum := -1
+	for _, cand := range comp {
+		dist := t.BFSDistances(cand)
+		sum := 0
+		for _, m := range comp {
+			if dist[m] >= 0 {
+				sum += dist[m]
+			} else {
+				// Unreachable within component (unidirectional faults):
+				// penalize heavily.
+				sum += t.NumNodes() * t.NumNodes()
+			}
+		}
+		if bestSum < 0 || sum < bestSum || (sum == bestSum && cand < best) {
+			best, bestSum = cand, sum
+		}
+	}
+	return best
+}
+
+func (u *UpDown) buildTree(root geom.NodeID, comp []geom.NodeID) {
+	u.level[root] = 0
+	u.root[root] = root
+	queue := []geom.NodeID{root}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, d := range geom.LinkDirs {
+			if !u.topo.HasLink(cur, d) {
+				continue
+			}
+			nb := u.topo.Neighbor(cur, d)
+			if u.level[nb] < 0 {
+				u.level[nb] = u.level[cur] + 1
+				u.parent[nb] = cur
+				u.root[nb] = root
+				queue = append(queue, nb)
+			}
+		}
+	}
+	// Defensive: members not reached (possible only with unidirectional
+	// faults inside an undirected component) stay level -1 and are treated
+	// as unroutable by this scheme.
+	_ = comp
+}
+
+// Name implements Algorithm.
+func (u *UpDown) Name() string { return "updown" }
+
+// Level returns the BFS-tree level of n, or -1 if n is dead or unrouted.
+func (u *UpDown) Level(n geom.NodeID) int { return u.level[n] }
+
+// Parent returns the spanning-tree parent of n (InvalidNode at a root).
+func (u *UpDown) Parent(n geom.NodeID) geom.NodeID { return u.parent[n] }
+
+// Root returns the component root of n.
+func (u *UpDown) Root(n geom.NodeID) geom.NodeID { return u.root[n] }
+
+// IsUp reports whether the directed channel from n in direction d is an
+// "up" channel (toward the root ordering). Channels between different
+// components or involving dead nodes report false.
+func (u *UpDown) IsUp(n geom.NodeID, d geom.Direction) bool {
+	if !u.topo.HasLink(n, d) {
+		return false
+	}
+	nb := u.topo.Neighbor(n, d)
+	if u.level[n] < 0 || u.level[nb] < 0 {
+		return false
+	}
+	if u.level[nb] != u.level[n] {
+		return u.level[nb] < u.level[n]
+	}
+	return nb < n
+}
+
+// TurnLegal reports whether a packet that entered node n via heading
+// `in` (i.e. over channel prev→n) may leave via direction `out` under the
+// up*/down* rule: the down→up turn is forbidden, as are U-turns.
+func (u *UpDown) TurnLegal(n geom.NodeID, in, out geom.Direction) bool {
+	if out == in.Opposite() {
+		return false
+	}
+	prev := u.topo.Neighbor(n, in.Opposite())
+	if prev == geom.InvalidNode {
+		return false
+	}
+	cameDown := !u.IsUp(prev, in) // channel prev→n was a down channel
+	goesUp := u.IsUp(n, out)
+	return !(cameDown && goesUp)
+}
+
+const (
+	phaseUp   = 0 // may still take up channels
+	phaseDown = 1 // committed to down channels only
+)
+
+// dist returns the per-state distance table toward dst (index
+// 2*node+phase), computing and caching it on first use.
+func (u *UpDown) dist(dst geom.NodeID) []int {
+	if d, ok := u.distTo[dst]; ok {
+		return d
+	}
+	n := u.topo.NumNodes()
+	dist := make([]int, 2*n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	if u.level[dst] >= 0 {
+		type state struct {
+			node  geom.NodeID
+			phase int
+		}
+		dist[2*int(dst)+phaseUp] = 0
+		dist[2*int(dst)+phaseDown] = 0
+		queue := []state{{dst, phaseUp}, {dst, phaseDown}}
+		for len(queue) > 0 {
+			s := queue[0]
+			queue = queue[1:]
+			sd := dist[2*int(s.node)+s.phase]
+			// Predecessors (v, pv) with a legal transition (v,pv) → s.
+			for _, d := range geom.LinkDirs {
+				v := u.topo.Neighbor(s.node, d)
+				if v == geom.InvalidNode || !u.topo.HasLink(v, d.Opposite()) {
+					continue
+				}
+				if u.level[v] < 0 {
+					continue
+				}
+				chanUp := u.IsUp(v, d.Opposite()) // channel v→s.node
+				var preds []int
+				if chanUp {
+					// Up channels keep phaseUp and require phaseUp before.
+					if s.phase == phaseUp {
+						preds = []int{phaseUp}
+					}
+				} else {
+					// Down channels land in phaseDown from either phase.
+					if s.phase == phaseDown {
+						preds = []int{phaseUp, phaseDown}
+					}
+				}
+				for _, pv := range preds {
+					idx := 2*int(v) + pv
+					if dist[idx] < 0 {
+						dist[idx] = sd + 1
+						queue = append(queue, state{v, pv})
+					}
+				}
+			}
+		}
+	}
+	u.distTo[dst] = dist
+	return dist
+}
+
+// Distance returns the shortest legal up*/down* hop count from src to dst,
+// or -1 if unreachable under this scheme.
+func (u *UpDown) Distance(src, dst geom.NodeID) int {
+	if u.level[src] < 0 || u.level[dst] < 0 {
+		return -1
+	}
+	return u.dist(dst)[2*int(src)+phaseUp]
+}
+
+// Route implements Algorithm: the shortest legal up*/down* route, sampled
+// uniformly among legal minimal next hops when rng is non-nil.
+func (u *UpDown) Route(src, dst geom.NodeID, rng *rand.Rand) (Route, bool) {
+	if src == dst {
+		return Route{}, u.level[src] >= 0
+	}
+	dist := u.dist(dst)
+	if u.level[src] < 0 || dist[2*int(src)+phaseUp] < 0 {
+		return nil, false
+	}
+	route := make(Route, 0, dist[2*int(src)+phaseUp])
+	cur, phase := src, phaseUp
+	for cur != dst {
+		curD := dist[2*int(cur)+phase]
+		var dirs [geom.NumLinkDirs]geom.Direction
+		var phases [geom.NumLinkDirs]int
+		n := 0
+		for _, d := range geom.LinkDirs {
+			if !u.topo.HasLink(cur, d) {
+				continue
+			}
+			nb := u.topo.Neighbor(cur, d)
+			chanUp := u.IsUp(cur, d)
+			if chanUp && phase != phaseUp {
+				continue
+			}
+			nextPhase := phaseDown
+			if chanUp {
+				nextPhase = phaseUp
+			}
+			if dist[2*int(nb)+nextPhase] == curD-1 {
+				dirs[n], phases[n] = d, nextPhase
+				n++
+			}
+		}
+		if n == 0 {
+			return nil, false
+		}
+		pick := 0
+		if rng != nil && n > 1 {
+			pick = rng.Intn(n)
+		}
+		route = append(route, dirs[pick])
+		cur = u.topo.Neighbor(cur, dirs[pick])
+		phase = phases[pick]
+	}
+	return route, true
+}
+
+// TreeNextHop returns the next-hop direction from n toward dst using pure
+// spanning-tree routing (up to the lowest common ancestor, then down).
+// This is the per-router escape-path table of the escape-VC baseline
+// (Router Parking style). It returns Local when n == dst and Invalid when
+// dst is in a different component or either node is dead.
+func (u *UpDown) TreeNextHop(n, dst geom.NodeID) geom.Direction {
+	if u.level[n] < 0 || u.level[dst] < 0 || u.root[n] != u.root[dst] {
+		return geom.Invalid
+	}
+	if n == dst {
+		return geom.Local
+	}
+	// Walk dst's ancestor chain up to n's level; if it passes through n,
+	// descend toward dst, else go to parent.
+	walk := dst
+	var below geom.NodeID = geom.InvalidNode
+	for u.level[walk] > u.level[n] {
+		below = walk
+		walk = u.parent[walk]
+	}
+	var next geom.NodeID
+	if walk == n {
+		next = below // dst is in n's subtree
+	} else {
+		next = u.parent[n]
+	}
+	return geom.DirectionBetween(u.topo.Coord(n), u.topo.Coord(next))
+}
+
+// DependencyAcyclic verifies that the channel-dependency graph induced by
+// legal up*/down* turns contains no cycle — the theoretical guarantee the
+// spanning-tree baseline rests on. Exposed for property tests.
+func (u *UpDown) DependencyAcyclic() bool {
+	// Vertices: directed channels (n, d). Edge (a→b, b→c) iff TurnLegal.
+	type ch struct {
+		n geom.NodeID
+		d geom.Direction
+	}
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[ch]int8)
+	var dfs func(c ch) bool
+	dfs = func(c ch) bool {
+		color[c] = gray
+		mid := u.topo.Neighbor(c.n, c.d)
+		for _, out := range geom.LinkDirs {
+			if !u.topo.HasLink(mid, out) || !u.TurnLegal(mid, c.d, out) {
+				continue
+			}
+			next := ch{mid, out}
+			switch color[next] {
+			case gray:
+				return true
+			case white:
+				if dfs(next) {
+					return true
+				}
+			}
+		}
+		color[c] = black
+		return false
+	}
+	for id := 0; id < u.topo.NumNodes(); id++ {
+		n := geom.NodeID(id)
+		for _, d := range geom.LinkDirs {
+			if !u.topo.HasLink(n, d) {
+				continue
+			}
+			c := ch{n, d}
+			if color[c] == white && dfs(c) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TreeRoute returns the pure spanning-tree path from src to dst (up to
+// the lowest common ancestor, then down), or ok=false across components.
+func (u *UpDown) TreeRoute(src, dst geom.NodeID) (Route, bool) {
+	if u.level[src] < 0 || u.level[dst] < 0 || u.root[src] != u.root[dst] {
+		return nil, false
+	}
+	var route Route
+	cur := src
+	for cur != dst {
+		d := u.TreeNextHop(cur, dst)
+		if !d.IsLink() {
+			return nil, false
+		}
+		route = append(route, d)
+		cur = u.topo.Neighbor(cur, d)
+	}
+	return route, true
+}
+
+// TreeAlgorithm adapts the spanning tree to the Algorithm interface:
+// every packet follows the tree path through the lowest common ancestor.
+// This is the conservative tree-routing baseline the paper's introduction
+// describes ("messages are routed via the root"); the UpDown Algorithm
+// itself is the stronger all-links up*/down* variant.
+func (u *UpDown) TreeAlgorithm() Algorithm { return treeAlg{u} }
+
+type treeAlg struct{ u *UpDown }
+
+func (t treeAlg) Name() string { return "spanning_tree" }
+
+func (t treeAlg) Route(src, dst geom.NodeID, _ *rand.Rand) (Route, bool) {
+	return t.u.TreeRoute(src, dst)
+}

@@ -1,0 +1,158 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSampleBasics(t *testing.T) {
+	var s Sample
+	for _, v := range []float64{2, 4, 6, 8} {
+		s.Add(v)
+	}
+	if s.N() != 4 || s.Mean() != 5 || s.Min() != 2 || s.Max() != 8 {
+		t.Fatalf("sample = %v", s.String())
+	}
+	if math.Abs(s.Stddev()-math.Sqrt(5)) > 1e-12 {
+		t.Fatalf("stddev = %v", s.Stddev())
+	}
+}
+
+func TestSampleEmpty(t *testing.T) {
+	var s Sample
+	if s.Mean() != 0 || s.Stddev() != 0 || s.Percentile(50) != 0 {
+		t.Fatal("empty sample should be all zeros")
+	}
+	if s.Stable(1, 0.1) {
+		t.Fatal("empty sample cannot be stable")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	var s Sample
+	for i := 1; i <= 100; i++ {
+		s.Add(float64(i))
+	}
+	if got := s.Percentile(50); got != 50 {
+		t.Fatalf("p50 = %v", got)
+	}
+	if got := s.Percentile(99); got != 99 {
+		t.Fatalf("p99 = %v", got)
+	}
+	if got := s.Percentile(100); got != 100 {
+		t.Fatalf("p100 = %v", got)
+	}
+	if got := s.Percentile(0); got != 1 {
+		t.Fatalf("p0 = %v", got)
+	}
+}
+
+func TestStable(t *testing.T) {
+	var s Sample
+	for i := 0; i < 40; i++ {
+		s.Add(10)
+	}
+	if !s.Stable(20, 0.05) {
+		t.Fatal("constant sample must be stable")
+	}
+	var d Sample
+	for i := 0; i < 40; i++ {
+		d.Add(float64(i)) // strong trend
+	}
+	if d.Stable(20, 0.05) {
+		t.Fatal("trending sample must not be stable")
+	}
+}
+
+func TestStableAllZeros(t *testing.T) {
+	var s Sample
+	for i := 0; i < 30; i++ {
+		s.Add(0)
+	}
+	if !s.Stable(10, 0.05) {
+		t.Fatal("all-zero sample is stable")
+	}
+}
+
+func TestMeanMatchesNaiveProperty(t *testing.T) {
+	f := func(vals []float64) bool {
+		var s Sample
+		var sum float64
+		ok := true
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e9 {
+				continue
+			}
+			s.Add(v)
+			sum += v
+		}
+		if s.N() == 0 {
+			return s.Mean() == 0
+		}
+		want := sum / float64(s.N())
+		if want != 0 {
+			ok = math.Abs(s.Mean()-want)/math.Abs(want) < 1e-9
+		} else {
+			ok = math.Abs(s.Mean()) < 1e-9
+		}
+		return ok
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 1, 10)
+	for _, v := range []float64{0.05, 0.15, 0.15, 0.95, 1.5, -0.5} {
+		h.Add(v)
+	}
+	if h.Total() != 6 {
+		t.Fatalf("total = %d", h.Total())
+	}
+	if h.Bins[0] != 2 { // 0.05 and clamped -0.5
+		t.Fatalf("bin 0 = %d", h.Bins[0])
+	}
+	if h.Bins[1] != 2 {
+		t.Fatalf("bin 1 = %d", h.Bins[1])
+	}
+	if h.Bins[9] != 2 { // 0.95 and clamped 1.5
+		t.Fatalf("bin 9 = %d", h.Bins[9])
+	}
+	cum := h.CumulativeFraction()
+	if cum[9] != 1.0 {
+		t.Fatalf("final cumulative = %v", cum[9])
+	}
+	if cum[0] != 2.0/6 {
+		t.Fatalf("first cumulative = %v", cum[0])
+	}
+	// Monotone non-decreasing.
+	for i := 1; i < len(cum); i++ {
+		if cum[i] < cum[i-1] {
+			t.Fatal("cumulative fraction must be monotone")
+		}
+	}
+}
+
+func TestHistogramPanicsOnBadShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewHistogram(1, 0, 10)
+}
+
+func TestLatencyCollector(t *testing.T) {
+	var c LatencyCollector
+	for i := int64(1); i <= 100; i++ {
+		c.Observe(i)
+	}
+	if c.N() != 100 || c.Mean() != 50.5 || c.Max() != 100 {
+		t.Fatalf("collector: n=%d mean=%v max=%v", c.N(), c.Mean(), c.Max())
+	}
+	if c.P(99) != 99 || c.P(50) != 50 {
+		t.Fatalf("percentiles: p99=%v p50=%v", c.P(99), c.P(50))
+	}
+}

@@ -1,0 +1,41 @@
+package topology_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/geom"
+	"repro/internal/topology"
+)
+
+// Deriving an irregular topology from the mesh substrate, as failures or
+// power-gating would at runtime.
+func ExampleNewMesh() {
+	t := topology.NewMesh(8, 8)
+	fmt.Println(t)
+	topology.RandomLinkFaults(t, rand.New(rand.NewSource(1)), 10)
+	t.DisableRouter(t.ID(geom.Coord{X: 3, Y: 3}))
+	fmt.Println(t)
+	fmt.Println("still deadlock-prone:", t.HasTopologyCycle())
+	// Output:
+	// Topology(8x8, 64/64 routers, 112 links)
+	// Topology(8x8, 63/64 routers, 98 links)
+	// still deadlock-prone: true
+}
+
+// Design-time heterogeneity: carving accelerator tiles out of the mesh
+// (paper Fig. 1a).
+func ExampleHeterogeneousSoC() {
+	t, err := topology.HeterogeneousSoC(8, 8, []topology.Tile{
+		{Origin: geom.Coord{X: 0, Y: 5}, Width: 2, Height: 2, Attach: geom.Coord{X: 1, Y: 5}},
+		{Origin: geom.Coord{X: 4, Y: 0}, Width: 3, Height: 2, Attach: geom.Coord{X: 4, Y: 1}},
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("routers:", t.AliveRouterCount())
+	fmt.Println("components:", len(t.ConnectedComponents()))
+	// Output:
+	// routers: 56
+	// components: 1
+}

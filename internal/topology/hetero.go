@@ -1,0 +1,85 @@
+package topology
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+)
+
+// Tile describes a rectangular macro block (big core, GPU, accelerator)
+// occupying several mesh positions at design time, as in Fig. 1(a) of the
+// paper. The block consumes the routers inside its footprint; the whole
+// block attaches to the network through a single surviving router.
+type Tile struct {
+	// Origin is the lower-left corner of the footprint.
+	Origin geom.Coord
+	// Width and Height are the footprint size in mesh positions; both must
+	// be at least 1. A 1×1 tile is an ordinary core and removes nothing.
+	Width, Height int
+	// Attach is the coordinate inside the footprint whose router survives
+	// and serves as the block's network interface.
+	Attach geom.Coord
+}
+
+// Contains reports whether c lies inside the tile footprint.
+func (tl Tile) Contains(c geom.Coord) bool {
+	return c.X >= tl.Origin.X && c.X < tl.Origin.X+tl.Width &&
+		c.Y >= tl.Origin.Y && c.Y < tl.Origin.Y+tl.Height
+}
+
+// Validate checks the tile is well formed.
+func (tl Tile) Validate() error {
+	if tl.Width < 1 || tl.Height < 1 {
+		return fmt.Errorf("topology: tile %v has non-positive size %dx%d", tl.Origin, tl.Width, tl.Height)
+	}
+	if !tl.Contains(tl.Attach) {
+		return fmt.Errorf("topology: tile attach point %v outside footprint at %v (%dx%d)",
+			tl.Attach, tl.Origin, tl.Width, tl.Height)
+	}
+	return nil
+}
+
+// PlaceTile carves a heterogeneous block out of the mesh: every router in
+// the footprint except the attach point is disabled (design-time
+// irregularity). Links between removed routers disappear implicitly.
+func PlaceTile(t *Topology, tl Tile) error {
+	if err := tl.Validate(); err != nil {
+		return err
+	}
+	for y := tl.Origin.Y; y < tl.Origin.Y+tl.Height; y++ {
+		for x := tl.Origin.X; x < tl.Origin.X+tl.Width; x++ {
+			c := geom.Coord{X: x, Y: y}
+			if !t.InBounds(c) {
+				return fmt.Errorf("topology: tile at %v (%dx%d) extends outside %dx%d mesh",
+					tl.Origin, tl.Width, tl.Height, t.Width(), t.Height())
+			}
+			if c != tl.Attach {
+				t.DisableRouter(t.ID(c))
+			}
+		}
+	}
+	return nil
+}
+
+// HeterogeneousSoC builds a width×height mesh with the given macro tiles
+// carved out, returning an error if any tile is malformed, out of bounds,
+// or overlaps another.
+func HeterogeneousSoC(width, height int, tiles []Tile) (*Topology, error) {
+	t := NewMesh(width, height)
+	for i, tl := range tiles {
+		for j := 0; j < i; j++ {
+			if tilesOverlap(tiles[j], tl) {
+				return nil, fmt.Errorf("topology: tiles %d and %d overlap", j, i)
+			}
+		}
+		if err := PlaceTile(t, tl); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+func tilesOverlap(a, b Tile) bool {
+	return a.Origin.X < b.Origin.X+b.Width && b.Origin.X < a.Origin.X+a.Width &&
+		a.Origin.Y < b.Origin.Y+b.Height && b.Origin.Y < a.Origin.Y+a.Height
+}

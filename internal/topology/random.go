@@ -1,0 +1,81 @@
+package topology
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/geom"
+)
+
+// RandomLinkFaults disables k distinct alive links chosen uniformly at
+// random (bidirectionally), matching the random fault model of the
+// paper's evaluation (Section V-A). It returns the links removed.
+// It panics if fewer than k alive links exist.
+func RandomLinkFaults(t *Topology, rng *rand.Rand, k int) []UndirectedLink {
+	links := t.AliveUndirectedLinks()
+	if k > len(links) {
+		panic(fmt.Sprintf("topology: cannot inject %d link faults, only %d links alive", k, len(links)))
+	}
+	rng.Shuffle(len(links), func(i, j int) { links[i], links[j] = links[j], links[i] })
+	picked := links[:k]
+	for _, l := range picked {
+		t.DisableLink(l.From, l.Dir)
+	}
+	return picked
+}
+
+// RandomRouterFaults disables k distinct alive routers chosen uniformly at
+// random. It returns the routers removed. It panics if fewer than k alive
+// routers exist.
+func RandomRouterFaults(t *Topology, rng *rand.Rand, k int) []geom.NodeID {
+	routers := t.AliveRouters()
+	if k > len(routers) {
+		panic(fmt.Sprintf("topology: cannot inject %d router faults, only %d routers alive", k, len(routers)))
+	}
+	rng.Shuffle(len(routers), func(i, j int) { routers[i], routers[j] = routers[j], routers[i] })
+	picked := routers[:k]
+	for _, n := range picked {
+		t.DisableRouter(n)
+	}
+	return picked
+}
+
+// FaultKind selects which component class a random fault sweep removes.
+type FaultKind int
+
+// The two fault classes swept in the paper's evaluation.
+const (
+	LinkFaults FaultKind = iota
+	RouterFaults
+)
+
+func (k FaultKind) String() string {
+	if k == LinkFaults {
+		return "links"
+	}
+	return "routers"
+}
+
+// RandomIrregular builds a width×height mesh with k random faults of the
+// given kind, seeded deterministically. This is the topology-space
+// sampler used by every experiment sweep.
+func RandomIrregular(width, height int, kind FaultKind, k int, seed int64) *Topology {
+	t := NewMesh(width, height)
+	rng := rand.New(rand.NewSource(seed))
+	switch kind {
+	case LinkFaults:
+		RandomLinkFaults(t, rng, k)
+	case RouterFaults:
+		RandomRouterFaults(t, rng, k)
+	}
+	return t
+}
+
+// MaxFaults returns how many faults of the given kind a healthy
+// width×height mesh can absorb (total link or router count).
+func MaxFaults(width, height int, kind FaultKind) int {
+	if kind == LinkFaults {
+		return width*(height-1) + height*(width-1)
+	}
+	return width * height
+}

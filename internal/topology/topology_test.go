@@ -1,0 +1,489 @@
+package topology
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestNewMeshBasics(t *testing.T) {
+	m := NewMesh(8, 8)
+	if m.NumNodes() != 64 {
+		t.Fatalf("NumNodes = %d, want 64", m.NumNodes())
+	}
+	if m.AliveRouterCount() != 64 {
+		t.Fatalf("AliveRouterCount = %d, want 64", m.AliveRouterCount())
+	}
+	// 8x8 mesh has 2*8*7 = 112 links.
+	if got := m.AliveLinkCount(); got != 112 {
+		t.Fatalf("AliveLinkCount = %d, want 112", got)
+	}
+}
+
+func TestMeshLinkCountsVariousSizes(t *testing.T) {
+	cases := []struct{ w, h, links int }{
+		{1, 1, 0}, {2, 1, 1}, {1, 5, 4}, {2, 2, 4}, {4, 4, 24}, {16, 16, 480}, {3, 7, 32},
+	}
+	for _, c := range cases {
+		m := NewMesh(c.w, c.h)
+		if got := m.AliveLinkCount(); got != c.links {
+			t.Errorf("%dx%d mesh: links = %d, want %d", c.w, c.h, got, c.links)
+		}
+		if got := MaxFaults(c.w, c.h, LinkFaults); got != c.links {
+			t.Errorf("MaxFaults(%d,%d,links) = %d, want %d", c.w, c.h, got, c.links)
+		}
+		if got := MaxFaults(c.w, c.h, RouterFaults); got != c.w*c.h {
+			t.Errorf("MaxFaults(%d,%d,routers) = %d, want %d", c.w, c.h, got, c.w*c.h)
+		}
+	}
+}
+
+func TestNewMeshPanicsOnBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for 0x3 mesh")
+		}
+	}()
+	NewMesh(0, 3)
+}
+
+func TestNeighbor(t *testing.T) {
+	m := NewMesh(4, 4)
+	center := m.ID(geom.Coord{X: 1, Y: 1})
+	wants := map[geom.Direction]geom.Coord{
+		geom.North: {X: 1, Y: 2}, geom.East: {X: 2, Y: 1},
+		geom.South: {X: 1, Y: 0}, geom.West: {X: 0, Y: 1},
+	}
+	for d, c := range wants {
+		if got := m.Neighbor(center, d); got != m.ID(c) {
+			t.Errorf("Neighbor(%v) = %v, want %v", d, got, m.ID(c))
+		}
+	}
+	corner := m.ID(geom.Coord{X: 0, Y: 0})
+	if m.Neighbor(corner, geom.South) != geom.InvalidNode {
+		t.Error("south of (0,0) should be off-mesh")
+	}
+	if m.Neighbor(corner, geom.West) != geom.InvalidNode {
+		t.Error("west of (0,0) should be off-mesh")
+	}
+	if m.Neighbor(corner, geom.Local) != geom.InvalidNode {
+		t.Error("Local is not a link direction")
+	}
+}
+
+func TestDisableRouterKillsItsChannels(t *testing.T) {
+	m := NewMesh(4, 4)
+	n := m.ID(geom.Coord{X: 1, Y: 1})
+	m.DisableRouter(n)
+	if m.RouterAlive(n) {
+		t.Fatal("router should be dead")
+	}
+	for _, d := range geom.LinkDirs {
+		if m.HasLink(n, d) {
+			t.Errorf("dead router still has outgoing channel %v", d)
+		}
+		nb := m.Neighbor(n, d)
+		if m.HasLink(nb, d.Opposite()) {
+			t.Errorf("neighbor %v still has channel into dead router", nb)
+		}
+	}
+	m.EnableRouter(n)
+	for _, d := range geom.LinkDirs {
+		if !m.HasLink(n, d) {
+			t.Errorf("re-enabled router missing channel %v", d)
+		}
+	}
+}
+
+func TestDisableLinkBidirectional(t *testing.T) {
+	m := NewMesh(4, 4)
+	a := m.ID(geom.Coord{X: 1, Y: 1})
+	b := m.Neighbor(a, geom.East)
+	m.DisableLink(a, geom.East)
+	if m.HasLink(a, geom.East) || m.HasLink(b, geom.West) {
+		t.Fatal("link should be dead in both directions")
+	}
+	if m.HasUndirectedLink(a, geom.East) {
+		t.Fatal("undirected link should be dead")
+	}
+	m.EnableLink(a, geom.East)
+	if !m.HasLink(a, geom.East) || !m.HasLink(b, geom.West) {
+		t.Fatal("link should be restored in both directions")
+	}
+}
+
+func TestDisableDirectedLink(t *testing.T) {
+	m := NewMesh(4, 4)
+	a := m.ID(geom.Coord{X: 1, Y: 1})
+	b := m.Neighbor(a, geom.East)
+	m.DisableDirectedLink(a, geom.East)
+	if m.HasLink(a, geom.East) {
+		t.Fatal("a→b channel should be dead")
+	}
+	if !m.HasLink(b, geom.West) {
+		t.Fatal("b→a channel should survive a unidirectional fault")
+	}
+	if !m.HasUndirectedLink(a, geom.East) {
+		t.Fatal("undirected link should survive while one direction works")
+	}
+}
+
+func TestDisableLinkOffMeshIsNoop(t *testing.T) {
+	m := NewMesh(3, 3)
+	m.DisableLink(m.ID(geom.Coord{X: 0, Y: 0}), geom.West) // off-mesh
+	if m.AliveLinkCount() != 12 {
+		t.Fatal("off-mesh disable should not change link count")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	m := NewMesh(4, 4)
+	c := m.Clone()
+	c.DisableRouter(0)
+	c.DisableLink(5, geom.North)
+	if !m.RouterAlive(0) {
+		t.Fatal("clone mutation leaked into original (router)")
+	}
+	if !m.HasLink(5, geom.North) {
+		t.Fatal("clone mutation leaked into original (link)")
+	}
+}
+
+func TestConnectedComponentsWholeMesh(t *testing.T) {
+	m := NewMesh(5, 5)
+	comps := m.ConnectedComponents()
+	if len(comps) != 1 || len(comps[0]) != 25 {
+		t.Fatalf("healthy mesh components = %d sets, want 1 of 25", len(comps))
+	}
+}
+
+func TestConnectedComponentsSplit(t *testing.T) {
+	// Cut a 1x4 mesh in the middle: two components of 2.
+	m := NewMesh(4, 1)
+	m.DisableLink(1, geom.East)
+	comps := m.ConnectedComponents()
+	if len(comps) != 2 {
+		t.Fatalf("components = %d, want 2", len(comps))
+	}
+	if len(comps[0]) != 2 || len(comps[1]) != 2 {
+		t.Fatalf("component sizes = %d,%d, want 2,2", len(comps[0]), len(comps[1]))
+	}
+	if m.Connected(0, 3) {
+		t.Error("0 and 3 should be disconnected")
+	}
+	if !m.Connected(0, 1) {
+		t.Error("0 and 1 should stay connected")
+	}
+}
+
+func TestLargestComponent(t *testing.T) {
+	m := NewMesh(4, 1)
+	m.DisableLink(0, geom.East)
+	lc := m.LargestComponent()
+	if len(lc) != 3 {
+		t.Fatalf("largest component size = %d, want 3", len(lc))
+	}
+}
+
+func TestBFSDistancesHealthyMesh(t *testing.T) {
+	m := NewMesh(8, 8)
+	src := m.ID(geom.Coord{X: 0, Y: 0})
+	dist := m.BFSDistances(src)
+	for id := 0; id < m.NumNodes(); id++ {
+		c := m.Coord(geom.NodeID(id))
+		want := geom.ManhattanDistance(geom.Coord{}, c)
+		if dist[id] != want {
+			t.Fatalf("dist to %v = %d, want %d", c, dist[id], want)
+		}
+	}
+}
+
+func TestBFSDistancesRespectFaults(t *testing.T) {
+	// 3x1 line: kill middle router; ends unreachable from each other.
+	m := NewMesh(3, 1)
+	m.DisableRouter(1)
+	dist := m.BFSDistances(0)
+	if dist[2] != -1 {
+		t.Fatalf("dist to far end = %d, want -1", dist[2])
+	}
+	if dist[1] != -1 {
+		t.Fatalf("dist to dead router = %d, want -1", dist[1])
+	}
+}
+
+func TestBFSFromDeadRouter(t *testing.T) {
+	m := NewMesh(3, 3)
+	m.DisableRouter(4)
+	dist := m.BFSDistances(4)
+	for _, d := range dist {
+		if d != -1 {
+			t.Fatal("distances from a dead router must all be -1")
+		}
+	}
+}
+
+func TestReverseBFSMatchesForwardOnBidirectional(t *testing.T) {
+	m := NewMesh(6, 6)
+	rng := rand.New(rand.NewSource(7))
+	RandomLinkFaults(m, rng, 8)
+	for _, dst := range []geom.NodeID{0, 17, 35} {
+		if !m.RouterAlive(dst) {
+			continue
+		}
+		fwd := m.BFSDistances(dst) // symmetric topology: dist(dst,·)==dist(·,dst)
+		rev := m.ReverseBFSDistances(dst)
+		for id := range fwd {
+			if fwd[id] != rev[id] {
+				t.Fatalf("dst %d node %d: forward %d != reverse %d", dst, id, fwd[id], rev[id])
+			}
+		}
+	}
+}
+
+func TestReverseBFSWithUnidirectionalFault(t *testing.T) {
+	// 2x1: kill 0→1 direction only. 0 can still be reached from... 1→0 works.
+	m := NewMesh(2, 1)
+	m.DisableDirectedLink(0, geom.East)
+	rev := m.ReverseBFSDistances(1)
+	if rev[0] != -1 {
+		t.Fatalf("node 0 should not reach node 1 (channel dead), got %d", rev[0])
+	}
+	rev0 := m.ReverseBFSDistances(0)
+	if rev0[1] != 1 {
+		t.Fatalf("node 1 should reach node 0 in 1 hop, got %d", rev0[1])
+	}
+}
+
+func TestHasTopologyCycle(t *testing.T) {
+	if NewMesh(1, 8).HasTopologyCycle() {
+		t.Error("a line has no cycle")
+	}
+	if !NewMesh(2, 2).HasTopologyCycle() {
+		t.Error("2x2 mesh is a 4-cycle")
+	}
+	m := NewMesh(2, 2)
+	m.DisableLink(0, geom.East)
+	if m.HasTopologyCycle() {
+		t.Error("2x2 minus one link is a tree")
+	}
+}
+
+func TestNoUTurnCycleMatchesTopologyCycleOnMeshes(t *testing.T) {
+	// For mesh-derived topologies with bidirectional channels, an
+	// undirected cycle exists iff a no-U-turn directed cycle exists
+	// (mesh girth is 4, so every undirected cycle is U-turn free).
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 60; trial++ {
+		m := NewMesh(6, 6)
+		RandomLinkFaults(m, rng, rng.Intn(50))
+		RandomRouterFaults(m, rng, rng.Intn(10))
+		a, b := m.HasTopologyCycle(), m.HasNoUTurnCycle()
+		if a != b {
+			t.Fatalf("trial %d: HasTopologyCycle=%v but HasNoUTurnCycle=%v for %v", trial, a, b, m)
+		}
+	}
+}
+
+func TestNoUTurnCycleExcluding(t *testing.T) {
+	// 3x3 mesh: the 8-node ring around the center is a cycle avoiding the
+	// center; excluding any single ring node still leaves the 4-cycles.
+	m := NewMesh(3, 3)
+	center := m.ID(geom.Coord{X: 1, Y: 1})
+	if !m.HasNoUTurnCycleExcluding(func(n geom.NodeID) bool { return n == center }) {
+		t.Error("outer ring cycle should survive excluding the center")
+	}
+	// Excluding all four edge-midpoint nodes leaves only corners+center:
+	// a star with no cycles.
+	mid := map[geom.NodeID]bool{
+		m.ID(geom.Coord{X: 1, Y: 0}): true, m.ID(geom.Coord{X: 0, Y: 1}): true,
+		m.ID(geom.Coord{X: 2, Y: 1}): true, m.ID(geom.Coord{X: 1, Y: 2}): true,
+	}
+	if m.HasNoUTurnCycleExcluding(func(n geom.NodeID) bool { return mid[n] }) {
+		t.Error("no cycle should survive excluding all edge midpoints of 3x3")
+	}
+}
+
+func TestFindNoUTurnCycleProducesValidCycle(t *testing.T) {
+	m := NewMesh(4, 4)
+	cyc := m.FindNoUTurnCycle(nil)
+	if cyc == nil {
+		t.Fatal("healthy 4x4 mesh must contain a cycle")
+	}
+	if cyc[0] != cyc[len(cyc)-1] {
+		t.Fatalf("cycle not closed: %v", cyc)
+	}
+	if len(cyc) < 5 {
+		t.Fatalf("mesh cycle must have at least 4 hops, got %v", cyc)
+	}
+	// Validate adjacency and the no-U-turn property.
+	var prev geom.Direction = geom.Invalid
+	for i := 0; i+1 < len(cyc); i++ {
+		d := geom.DirectionBetween(m.Coord(cyc[i]), m.Coord(cyc[i+1]))
+		if d == geom.Invalid {
+			t.Fatalf("cycle step %d: %v and %v not adjacent", i, cyc[i], cyc[i+1])
+		}
+		if !m.HasLink(cyc[i], d) {
+			t.Fatalf("cycle uses dead channel %v→%v", cyc[i], cyc[i+1])
+		}
+		if prev != geom.Invalid && d == prev.Opposite() {
+			t.Fatalf("cycle takes a U-turn at step %d", i)
+		}
+		prev = d
+	}
+}
+
+func TestFindNoUTurnCycleNilOnTree(t *testing.T) {
+	m := NewMesh(5, 1)
+	if cyc := m.FindNoUTurnCycle(nil); cyc != nil {
+		t.Fatalf("line topology returned cycle %v", cyc)
+	}
+}
+
+func TestRandomLinkFaultsExactCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := NewMesh(8, 8)
+	removed := RandomLinkFaults(m, rng, 20)
+	if len(removed) != 20 {
+		t.Fatalf("removed %d links, want 20", len(removed))
+	}
+	if got := m.AliveLinkCount(); got != 92 {
+		t.Fatalf("AliveLinkCount = %d, want 92", got)
+	}
+	seen := map[UndirectedLink]bool{}
+	for _, l := range removed {
+		if seen[l] {
+			t.Fatalf("duplicate fault %v", l)
+		}
+		seen[l] = true
+	}
+}
+
+func TestRandomRouterFaultsExactCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m := NewMesh(8, 8)
+	removed := RandomRouterFaults(m, rng, 10)
+	if len(removed) != 10 {
+		t.Fatalf("removed %d routers, want 10", len(removed))
+	}
+	if got := m.AliveRouterCount(); got != 54 {
+		t.Fatalf("AliveRouterCount = %d, want 54", got)
+	}
+}
+
+func TestRandomFaultsPanicWhenTooMany(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	RandomLinkFaults(NewMesh(2, 2), rand.New(rand.NewSource(3)), 5)
+}
+
+func TestRandomIrregularDeterministic(t *testing.T) {
+	a := RandomIrregular(8, 8, LinkFaults, 15, 99)
+	b := RandomIrregular(8, 8, LinkFaults, 15, 99)
+	for id := 0; id < a.NumNodes(); id++ {
+		n := geom.NodeID(id)
+		for _, d := range geom.LinkDirs {
+			if a.HasLink(n, d) != b.HasLink(n, d) {
+				t.Fatal("same seed produced different topologies")
+			}
+		}
+	}
+	c := RandomIrregular(8, 8, LinkFaults, 15, 100)
+	same := true
+	for id := 0; id < a.NumNodes() && same; id++ {
+		n := geom.NodeID(id)
+		for _, d := range geom.LinkDirs {
+			if a.HasLink(n, d) != c.HasLink(n, d) {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical topologies (suspicious)")
+	}
+}
+
+func TestFaultKindString(t *testing.T) {
+	if LinkFaults.String() != "links" || RouterFaults.String() != "routers" {
+		t.Error("unexpected FaultKind strings")
+	}
+}
+
+func TestHeterogeneousSoC(t *testing.T) {
+	tiles := []Tile{
+		{Origin: geom.Coord{X: 0, Y: 0}, Width: 2, Height: 2, Attach: geom.Coord{X: 0, Y: 0}},
+		{Origin: geom.Coord{X: 5, Y: 5}, Width: 3, Height: 2, Attach: geom.Coord{X: 6, Y: 5}},
+	}
+	m, err := HeterogeneousSoC(8, 8, tiles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tile 1 removes 3 routers, tile 2 removes 5.
+	if got := m.AliveRouterCount(); got != 64-8 {
+		t.Fatalf("alive routers = %d, want 56", got)
+	}
+	if !m.RouterAlive(m.ID(geom.Coord{X: 0, Y: 0})) {
+		t.Error("attach router of tile 1 must survive")
+	}
+	if m.RouterAlive(m.ID(geom.Coord{X: 1, Y: 1})) {
+		t.Error("interior router of tile 1 must be removed")
+	}
+	if !m.RouterAlive(m.ID(geom.Coord{X: 6, Y: 5})) {
+		t.Error("attach router of tile 2 must survive")
+	}
+}
+
+func TestHeterogeneousSoCRejectsOverlap(t *testing.T) {
+	tiles := []Tile{
+		{Origin: geom.Coord{X: 0, Y: 0}, Width: 3, Height: 3, Attach: geom.Coord{X: 0, Y: 0}},
+		{Origin: geom.Coord{X: 2, Y: 2}, Width: 2, Height: 2, Attach: geom.Coord{X: 2, Y: 2}},
+	}
+	if _, err := HeterogeneousSoC(8, 8, tiles); err == nil {
+		t.Fatal("expected overlap error")
+	}
+}
+
+func TestHeterogeneousSoCRejectsOutOfBounds(t *testing.T) {
+	tiles := []Tile{
+		{Origin: geom.Coord{X: 7, Y: 7}, Width: 2, Height: 2, Attach: geom.Coord{X: 7, Y: 7}},
+	}
+	if _, err := HeterogeneousSoC(8, 8, tiles); err == nil {
+		t.Fatal("expected out-of-bounds error")
+	}
+}
+
+func TestTileValidate(t *testing.T) {
+	bad := Tile{Origin: geom.Coord{X: 0, Y: 0}, Width: 0, Height: 2, Attach: geom.Coord{X: 0, Y: 0}}
+	if err := bad.Validate(); err == nil {
+		t.Error("zero-width tile should fail validation")
+	}
+	badAttach := Tile{Origin: geom.Coord{X: 0, Y: 0}, Width: 2, Height: 2, Attach: geom.Coord{X: 5, Y: 5}}
+	if err := badAttach.Validate(); err == nil {
+		t.Error("attach outside footprint should fail validation")
+	}
+}
+
+func TestDegree(t *testing.T) {
+	m := NewMesh(3, 3)
+	if got := m.Degree(m.ID(geom.Coord{X: 1, Y: 1})); got != 4 {
+		t.Errorf("center degree = %d, want 4", got)
+	}
+	if got := m.Degree(m.ID(geom.Coord{X: 0, Y: 0})); got != 2 {
+		t.Errorf("corner degree = %d, want 2", got)
+	}
+	m.DisableLink(m.ID(geom.Coord{X: 1, Y: 1}), geom.North)
+	if got := m.Degree(m.ID(geom.Coord{X: 1, Y: 1})); got != 3 {
+		t.Errorf("center degree after fault = %d, want 3", got)
+	}
+}
+
+func TestStringDescribes(t *testing.T) {
+	m := NewMesh(2, 2)
+	if m.String() != "Topology(2x2, 4/4 routers, 4 links)" {
+		t.Errorf("String() = %q", m.String())
+	}
+}

@@ -1,0 +1,136 @@
+// Package trace records recovery-protocol and simulator events for
+// debugging and post-mortem analysis. It productizes the instrumentation
+// used to harden the recovery protocol (DESIGN.md §6): a bounded ring
+// buffer of structured events, filterable dumps, and per-event-kind
+// counters.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+)
+
+// Event is one recorded protocol event.
+type Event struct {
+	Cycle int64
+	Node  geom.NodeID
+	Text  string
+}
+
+func (e Event) String() string {
+	return fmt.Sprintf("[%d] R%d: %s", e.Cycle, e.Node, e.Text)
+}
+
+// Recorder is a bounded in-memory event log. Attach its Hook to
+// core.Options.Trace. The zero value is unusable; construct with New.
+type Recorder struct {
+	events []Event
+	// next is the write position once the buffer has wrapped.
+	next    int
+	wrapped bool
+	cap     int
+	total   int64
+	// counts aggregates events by their leading word ("send", "probe",
+	// "fence", ...).
+	counts map[string]int64
+}
+
+// New builds a recorder keeping the most recent capacity events.
+func New(capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	return &Recorder{
+		events: make([]Event, 0, capacity),
+		cap:    capacity,
+		counts: make(map[string]int64),
+	}
+}
+
+// Hook returns the callback to install as core.Options.Trace.
+func (r *Recorder) Hook() func(now int64, node geom.NodeID, event string) {
+	return func(now int64, node geom.NodeID, event string) {
+		r.record(Event{Cycle: now, Node: node, Text: event})
+	}
+}
+
+func (r *Recorder) record(e Event) {
+	r.total++
+	if key, _, ok := strings.Cut(e.Text, " "); ok {
+		r.counts[strings.TrimSuffix(key, ":")]++
+	} else {
+		r.counts[e.Text]++
+	}
+	if len(r.events) < r.cap {
+		r.events = append(r.events, e)
+		return
+	}
+	r.events[r.next] = e
+	r.next = (r.next + 1) % r.cap
+	r.wrapped = true
+}
+
+// Total returns the number of events ever recorded (including evicted).
+func (r *Recorder) Total() int64 { return r.total }
+
+// Count returns the number of events whose first word matched key.
+func (r *Recorder) Count(key string) int64 { return r.counts[key] }
+
+// Events returns the retained events in chronological order.
+func (r *Recorder) Events() []Event {
+	if !r.wrapped {
+		return append([]Event(nil), r.events...)
+	}
+	out := make([]Event, 0, r.cap)
+	out = append(out, r.events[r.next:]...)
+	out = append(out, r.events[:r.next]...)
+	return out
+}
+
+// Filter returns retained events matching the node (or any node when
+// node < 0) and containing substr (or all when empty).
+func (r *Recorder) Filter(node geom.NodeID, substr string) []Event {
+	var out []Event
+	for _, e := range r.Events() {
+		if node >= 0 && e.Node != node {
+			continue
+		}
+		if substr != "" && !strings.Contains(e.Text, substr) {
+			continue
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// Dump writes retained events to w, most recent last.
+func (r *Recorder) Dump(w io.Writer) {
+	for _, e := range r.Events() {
+		fmt.Fprintln(w, e)
+	}
+}
+
+// Summary writes the per-kind counters to w in deterministic order.
+func (r *Recorder) Summary(w io.Writer) {
+	keys := make([]string, 0, len(r.counts))
+	for k := range r.counts {
+		keys = append(keys, k)
+	}
+	// Insertion sort: the key set is tiny.
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	fmt.Fprintf(w, "trace: %d events (%d retained)\n", r.total, len(r.events))
+	for _, k := range keys {
+		fmt.Fprintf(w, "  %-14s %d\n", k, r.counts[k])
+	}
+}
+
+// Verify the hook signature stays compatible with core.Options.
+var _ = core.Options{Trace: New(1).Hook()}

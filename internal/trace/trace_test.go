@@ -1,0 +1,115 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/network"
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+func TestRecorderBasics(t *testing.T) {
+	r := New(8)
+	hook := r.Hook()
+	for i := 0; i < 5; i++ {
+		hook(int64(i), geom.NodeID(i%2), "send probe")
+	}
+	if r.Total() != 5 {
+		t.Fatalf("total = %d", r.Total())
+	}
+	if r.Count("send") != 5 {
+		t.Fatalf("count(send) = %d", r.Count("send"))
+	}
+	evs := r.Events()
+	if len(evs) != 5 || evs[0].Cycle != 0 || evs[4].Cycle != 4 {
+		t.Fatalf("events = %v", evs)
+	}
+}
+
+func TestRecorderWrapsKeepingMostRecent(t *testing.T) {
+	r := New(4)
+	hook := r.Hook()
+	for i := 0; i < 10; i++ {
+		hook(int64(i), 0, "e")
+	}
+	evs := r.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained = %d", len(evs))
+	}
+	for i, e := range evs {
+		if e.Cycle != int64(6+i) {
+			t.Fatalf("chronology broken: %v", evs)
+		}
+	}
+	if r.Total() != 10 {
+		t.Fatalf("total = %d", r.Total())
+	}
+}
+
+func TestRecorderFilter(t *testing.T) {
+	r := New(16)
+	hook := r.Hook()
+	hook(1, 3, "fence set in=N out=E src=9")
+	hook(2, 4, "fence cleared by enable(src=9)")
+	hook(3, 3, "send probe out=W")
+	if got := len(r.Filter(3, "")); got != 2 {
+		t.Fatalf("node filter = %d", got)
+	}
+	if got := len(r.Filter(-1, "fence")); got != 2 {
+		t.Fatalf("substr filter = %d", got)
+	}
+	if got := len(r.Filter(3, "fence")); got != 1 {
+		t.Fatalf("combined filter = %d", got)
+	}
+}
+
+func TestRecorderDumpAndSummary(t *testing.T) {
+	r := New(16)
+	hook := r.Hook()
+	hook(7, 2, "send enable out=S")
+	var buf bytes.Buffer
+	r.Dump(&buf)
+	if !strings.Contains(buf.String(), "[7] R2: send enable out=S") {
+		t.Fatalf("dump = %q", buf.String())
+	}
+	buf.Reset()
+	r.Summary(&buf)
+	if !strings.Contains(buf.String(), "send") || !strings.Contains(buf.String(), "1 events") {
+		t.Fatalf("summary = %q", buf.String())
+	}
+}
+
+func TestRecorderCapturesRealRecovery(t *testing.T) {
+	rec := New(0) // default capacity
+	topo := topology.NewMesh(2, 2)
+	s := network.New(topo, network.Config{}, rand.New(rand.NewSource(1)))
+	core.Attach(s, core.Options{TDD: 20, Trace: rec.Hook()})
+	hops := map[geom.NodeID]geom.Direction{0: geom.North, 2: geom.East, 3: geom.South, 1: geom.West}
+	for _, n := range []geom.NodeID{0, 2, 3, 1} {
+		d1 := hops[n]
+		mid := topo.Neighbor(n, d1)
+		d2 := hops[mid]
+		dst := topo.Neighbor(mid, d2)
+		for k := 0; k < 12; k++ {
+			s.Enqueue(s.NewPacket(n, dst, 0, 5, routing.Route{d1, d2}))
+		}
+	}
+	s.Run(20000)
+	if rec.Total() == 0 {
+		t.Fatal("no events recorded")
+	}
+	if len(rec.Filter(-1, "recovery started")) == 0 {
+		t.Fatal("recovery start not captured")
+	}
+	if len(rec.Filter(-1, "enable returned")) == 0 {
+		t.Fatal("recovery completion not captured")
+	}
+	if rec.Count("send") == 0 {
+		t.Fatal("send counter empty")
+	}
+}

@@ -1,0 +1,229 @@
+package traffic
+
+import (
+	"math/rand"
+
+	"repro/internal/geom"
+	"repro/internal/network"
+	"repro/internal/routing"
+)
+
+// AppProfile is a synthetic stand-in for a full-system application trace
+// (PARSEC 2.0 / Rodinia in the paper). The parameters encode the
+// qualitative properties the paper reports: PARSEC workloads inject an
+// order of magnitude below network saturation due to high L1 hit rates;
+// Hadoop has heavy collective (hotspot) traffic that saturates every
+// design early; BPlus and srad are bandwidth-hungry. Runtime is measured
+// as cycles to deliver a fixed amount of work, throughput as delivered
+// packets per cycle.
+type AppProfile struct {
+	Name string
+	// RateFlits is the per-node offered load in flits/node/cycle during
+	// compute phases.
+	RateFlits float64
+	// HotspotFraction routes this fraction of packets to a fixed node
+	// (memory-controller-style collectives).
+	HotspotFraction float64
+	// BurstLen and IdleLen alternate: BurstLen cycles at RateFlits, then
+	// IdleLen cycles silent, modeling phase behaviour. IdleLen 0 means a
+	// steady stream.
+	BurstLen, IdleLen int
+	// CtrlFraction is the 1-flit (request/coherence) packet share.
+	CtrlFraction float64
+	// WorkPackets is the fixed work per run: the run completes when this
+	// many packets have been delivered.
+	WorkPackets int
+	// OutstandingWindow, when positive, makes the run closed-loop: each
+	// node keeps at most this many requests in flight (an MSHR-style
+	// window), so network latency throttles issue rate — the coupling
+	// through which path stretch becomes application runtime, as in the
+	// paper's full-system PARSEC runs. Zero keeps the open-loop model.
+	OutstandingWindow int
+	// ThinkTime is the compute delay (cycles) between a request's
+	// completion and the node's next issue in closed-loop mode: runtime
+	// per request ≈ ThinkTime + network round trip, so the network's
+	// latency share is ThinkTime-controlled.
+	ThinkTime int
+}
+
+// Rodinia returns the five Rodinia profiles used in Fig. 12.
+func Rodinia() []AppProfile {
+	return []AppProfile{
+		// Hadoop: heavy collective traffic that saturates all designs
+		// early (Fig. 12 shows no scheme differentiates on it).
+		{Name: "Hadoop", RateFlits: 0.40, HotspotFraction: 0.5, BurstLen: 400, IdleLen: 0, CtrlFraction: 0.3, WorkPackets: 3000},
+		// BPlus: bandwidth-hungry streaming.
+		{Name: "BPlus", RateFlits: 0.20, HotspotFraction: 0.1, BurstLen: 300, IdleLen: 100, CtrlFraction: 0.4, WorkPackets: 2500},
+		// kmeans: moderate, bursty.
+		{Name: "kmeans", RateFlits: 0.12, HotspotFraction: 0.1, BurstLen: 200, IdleLen: 200, CtrlFraction: 0.5, WorkPackets: 2000},
+		// srad: bandwidth-hungry stencil.
+		{Name: "srad", RateFlits: 0.18, HotspotFraction: 0.05, BurstLen: 300, IdleLen: 100, CtrlFraction: 0.4, WorkPackets: 2500},
+		// BFS: irregular, lighter.
+		{Name: "BFS", RateFlits: 0.08, HotspotFraction: 0.15, BurstLen: 150, IdleLen: 250, CtrlFraction: 0.6, WorkPackets: 1500},
+	}
+}
+
+// Parsec returns PARSEC-like profiles for Fig. 13: low injection rates
+// (an order of magnitude under saturation) with coherence-style control
+// traffic.
+func Parsec() []AppProfile {
+	return []AppProfile{
+		{Name: "blackscholes", RateFlits: 0.010, HotspotFraction: 0.2, BurstLen: 500, IdleLen: 100, CtrlFraction: 0.6, WorkPackets: 1200, OutstandingWindow: 1, ThinkTime: 120},
+		{Name: "canneal", RateFlits: 0.025, HotspotFraction: 0.2, BurstLen: 400, IdleLen: 150, CtrlFraction: 0.6, WorkPackets: 1500, OutstandingWindow: 1, ThinkTime: 45},
+		{Name: "fluidanimate", RateFlits: 0.015, HotspotFraction: 0.15, BurstLen: 400, IdleLen: 200, CtrlFraction: 0.6, WorkPackets: 1200, OutstandingWindow: 1, ThinkTime: 75},
+		{Name: "swaptions", RateFlits: 0.008, HotspotFraction: 0.1, BurstLen: 600, IdleLen: 100, CtrlFraction: 0.6, WorkPackets: 1000, OutstandingWindow: 1, ThinkTime: 160},
+	}
+}
+
+// AppRun drives one application profile over a simulator until the work
+// completes or maxCycles elapse.
+type AppRun struct {
+	Profile AppProfile
+	inj     *Injector
+	phase   int // cycle counter within the burst/idle period
+	// outstanding tracks each node's in-flight requests in closed-loop
+	// mode; nextIssueAt is the earliest cycle a node may issue again
+	// (think time after a completion).
+	outstanding map[geom.NodeID][]*network.Packet
+	nextIssueAt map[geom.NodeID]int64
+	rng         *rand.Rand
+	pattern     Pattern
+	alg         routing.Algorithm
+}
+
+// NewAppRun prepares a run of profile p on the alive nodes of s's
+// topology, using alg for routes. The hotspot is the alive router closest
+// to the mesh center (a memory-controller stand-in).
+func NewAppRun(s *network.Sim, alg routing.Algorithm, p AppProfile, rng *rand.Rand) *AppRun {
+	alive := s.Topo.AliveRouters()
+	uniform := NewUniformRandom(alive)
+	var pattern Pattern = uniform
+	if p.HotspotFraction > 0 {
+		pattern = Hotspot{Spot: centerMost(s, alive), Fraction: p.HotspotFraction, Uniform: uniform}
+	}
+	inj := NewInjector(alive, alg, pattern, p.RateFlits, rng)
+	inj.CtrlFraction = p.CtrlFraction
+	return &AppRun{
+		Profile:     p,
+		inj:         inj,
+		outstanding: make(map[geom.NodeID][]*network.Packet),
+		nextIssueAt: make(map[geom.NodeID]int64),
+		rng:         rng,
+		pattern:     pattern,
+		alg:         alg,
+	}
+}
+
+// tickClosedLoop issues at most one request per node per cycle: a node
+// issues when its window has room and its think time since the last
+// completion has elapsed, so per-request cost ≈ ThinkTime + round trip.
+func (a *AppRun) tickClosedLoop(s *network.Sim, budget int64) int64 {
+	p := a.Profile
+	issued := int64(0)
+	for _, src := range s.Topo.AliveRouters() {
+		// Retire completed requests and start the think timer.
+		live := a.outstanding[src][:0]
+		for _, q := range a.outstanding[src] {
+			if q.DeliveredAt >= 0 && q.DeliveredAt <= s.Now {
+				a.nextIssueAt[src] = q.DeliveredAt + int64(p.ThinkTime)
+			} else {
+				live = append(live, q)
+			}
+		}
+		a.outstanding[src] = live
+		if budget-issued <= 0 || len(live) >= p.OutstandingWindow {
+			continue
+		}
+		if s.Now < a.nextIssueAt[src] {
+			continue
+		}
+		dst := a.pattern.Dest(src, a.rng)
+		if dst == src {
+			continue
+		}
+		route, ok := a.alg.Route(src, dst, a.rng)
+		if !ok {
+			s.Drop()
+			continue
+		}
+		vnet, ln := a.inj.CtrlVnet, 1
+		if a.rng.Float64() >= p.CtrlFraction {
+			vnet, ln = a.inj.DataVnet, a.inj.DataLen
+		}
+		pkt := s.NewPacket(src, dst, vnet, ln, route)
+		s.Enqueue(pkt)
+		a.outstanding[src] = append(a.outstanding[src], pkt)
+		issued++
+	}
+	return issued
+}
+
+// centerMost returns the alive router closest to the mesh center.
+func centerMost(s *network.Sim, alive []geom.NodeID) geom.NodeID {
+	cx, cy := (s.Topo.Width()-1)/2, (s.Topo.Height()-1)/2
+	best := alive[0]
+	bestD := 1 << 30
+	for _, n := range alive {
+		d := geom.ManhattanDistance(s.Topo.Coord(n), geom.Coord{X: cx, Y: cy})
+		if d < bestD {
+			best, bestD = n, d
+		}
+	}
+	return best
+}
+
+// Result summarizes a completed application run.
+type Result struct {
+	Runtime    int64 // cycles until WorkPackets were delivered (or horizon)
+	Delivered  int64
+	Completed  bool
+	Throughput float64 // delivered packets per cycle
+	AvgLatency float64
+}
+
+// Run executes the application until its work completes or maxCycles
+// elapse, and reports the outcome.
+func (a *AppRun) Run(s *network.Sim, maxCycles int) Result {
+	p := a.Profile
+	period := p.BurstLen + p.IdleLen
+	start := s.Now
+	startDelivered := s.Stats.Delivered
+	startOffered := s.Stats.Offered
+	startDropped := s.Stats.DroppedUnreachable
+	for int(s.Now-start) < maxCycles {
+		offered := s.Stats.Offered - startOffered
+		dropped := s.Stats.DroppedUnreachable - startDropped
+		delivered := s.Stats.Delivered - startDelivered
+		// The run completes when the generated (routable) work has
+		// drained. Dropped packets never count as work.
+		if offered >= int64(p.WorkPackets) && delivered >= offered {
+			break
+		}
+		_ = dropped
+		// Offer traffic only while work remains to be generated and we
+		// are in a burst phase.
+		inBurst := p.IdleLen == 0 || a.phase%period < p.BurstLen
+		if inBurst && offered < int64(p.WorkPackets) {
+			if p.OutstandingWindow > 0 {
+				a.tickClosedLoop(s, int64(p.WorkPackets)-offered)
+			} else {
+				a.inj.Tick(s)
+			}
+		}
+		s.Step()
+		a.phase++
+	}
+	offered := s.Stats.Offered - startOffered
+	delivered := s.Stats.Delivered - startDelivered
+	runtime := s.Now - start
+	res := Result{
+		Runtime:    runtime,
+		Delivered:  delivered,
+		Completed:  offered >= int64(p.WorkPackets) && delivered >= offered,
+		AvgLatency: s.Stats.AvgLatency(),
+	}
+	if runtime > 0 {
+		res.Throughput = float64(delivered) / float64(runtime)
+	}
+	return res
+}

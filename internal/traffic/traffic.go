@@ -1,0 +1,169 @@
+// Package traffic generates network workloads: the synthetic patterns of
+// the paper's evaluation (uniform random and bit-complement with a mix of
+// 1-flit control and 5-flit data packets, Table II), auxiliary patterns
+// (transpose, hotspot), and parameterized application profiles standing
+// in for the PARSEC and Rodinia workloads (see DESIGN.md §4 for the
+// substitution rationale).
+package traffic
+
+import (
+	"math/rand"
+
+	"repro/internal/geom"
+	"repro/internal/network"
+	"repro/internal/routing"
+)
+
+// Pattern maps a source node to a destination.
+type Pattern interface {
+	Name() string
+	// Dest picks a destination for a packet from src; it may equal src
+	// (callers usually skip self-traffic) and need not be reachable.
+	Dest(src geom.NodeID, rng *rand.Rand) geom.NodeID
+}
+
+// UniformRandom picks any alive router uniformly.
+type UniformRandom struct {
+	nodes []geom.NodeID
+}
+
+// NewUniformRandom builds the pattern over the given candidate
+// destinations (normally topo.AliveRouters()).
+func NewUniformRandom(nodes []geom.NodeID) *UniformRandom {
+	if len(nodes) == 0 {
+		panic("traffic: uniform random needs at least one destination")
+	}
+	return &UniformRandom{nodes: nodes}
+}
+
+// Name implements Pattern.
+func (u *UniformRandom) Name() string { return "uniform_random" }
+
+// Dest implements Pattern.
+func (u *UniformRandom) Dest(_ geom.NodeID, rng *rand.Rand) geom.NodeID {
+	return u.nodes[rng.Intn(len(u.nodes))]
+}
+
+// BitComplement sends from (x, y) to (W−1−x, H−1−y).
+type BitComplement struct {
+	Width, Height int
+}
+
+// Name implements Pattern.
+func (b BitComplement) Name() string { return "bit_complement" }
+
+// Dest implements Pattern.
+func (b BitComplement) Dest(src geom.NodeID, _ *rand.Rand) geom.NodeID {
+	c := src.CoordOf(b.Width)
+	return geom.Coord{X: b.Width - 1 - c.X, Y: b.Height - 1 - c.Y}.IDOf(b.Width)
+}
+
+// Transpose sends from (x, y) to (y, x); only defined on square meshes.
+type Transpose struct {
+	Width int
+}
+
+// Name implements Pattern.
+func (t Transpose) Name() string { return "transpose" }
+
+// Dest implements Pattern.
+func (t Transpose) Dest(src geom.NodeID, _ *rand.Rand) geom.NodeID {
+	c := src.CoordOf(t.Width)
+	return geom.Coord{X: c.Y, Y: c.X}.IDOf(t.Width)
+}
+
+// Hotspot sends a fraction of traffic to a fixed node (e.g. a memory
+// controller) and the rest uniformly.
+type Hotspot struct {
+	Spot     geom.NodeID
+	Fraction float64 // probability a packet targets Spot
+	Uniform  *UniformRandom
+}
+
+// Name implements Pattern.
+func (h Hotspot) Name() string { return "hotspot" }
+
+// Dest implements Pattern.
+func (h Hotspot) Dest(src geom.NodeID, rng *rand.Rand) geom.NodeID {
+	if rng.Float64() < h.Fraction {
+		return h.Spot
+	}
+	return h.Uniform.Dest(src, rng)
+}
+
+// Injector drives Bernoulli open-loop traffic into a simulator: each
+// alive node offers packets at the configured flit rate, with the
+// control/data mix of Table II.
+type Injector struct {
+	// Topo-derived state.
+	sources []geom.NodeID
+	router  routing.Algorithm
+	pattern Pattern
+	rng     *rand.Rand
+
+	// RateFlits is the offered load in flits/node/cycle.
+	RateFlits float64
+	// CtrlFraction is the fraction of packets that are 1-flit control
+	// packets (the rest are DataLen-flit data packets). Default 0.5.
+	CtrlFraction float64
+	// DataLen is the data packet length in flits. Default 5.
+	DataLen int
+	// CtrlVnet and DataVnet are the vnets used by each class
+	// (defaults 0 and 2, modeling request and response classes).
+	CtrlVnet, DataVnet int
+}
+
+// NewInjector builds an injector. sources are the nodes that inject
+// (normally the alive routers); alg computes a route per packet.
+func NewInjector(sources []geom.NodeID, alg routing.Algorithm, p Pattern, rateFlits float64, rng *rand.Rand) *Injector {
+	return &Injector{
+		sources:      sources,
+		router:       alg,
+		pattern:      p,
+		rng:          rng,
+		RateFlits:    rateFlits,
+		CtrlFraction: 0.5,
+		DataLen:      5,
+		CtrlVnet:     0,
+		DataVnet:     2,
+	}
+}
+
+// meanLen returns the expected packet length under the current mix.
+func (in *Injector) meanLen() float64 {
+	return in.CtrlFraction*1 + (1-in.CtrlFraction)*float64(in.DataLen)
+}
+
+// Tick offers one cycle's worth of traffic to s. Unreachable destinations
+// are dropped at the source, per the paper's methodology.
+func (in *Injector) Tick(s *network.Sim) {
+	pPkt := in.RateFlits / in.meanLen()
+	for _, src := range in.sources {
+		if in.rng.Float64() >= pPkt {
+			continue
+		}
+		dst := in.pattern.Dest(src, in.rng)
+		if dst == src {
+			continue
+		}
+		route, ok := in.router.Route(src, dst, in.rng)
+		if !ok {
+			s.Drop()
+			continue
+		}
+		vnet, ln := in.CtrlVnet, 1
+		if in.rng.Float64() >= in.CtrlFraction {
+			vnet, ln = in.DataVnet, in.DataLen
+		}
+		s.Enqueue(s.NewPacket(src, dst, vnet, ln, route))
+	}
+}
+
+// Run drives the simulator for the given number of cycles, offering
+// traffic each cycle.
+func (in *Injector) Run(s *network.Sim, cycles int) {
+	for i := 0; i < cycles; i++ {
+		in.Tick(s)
+		s.Step()
+	}
+}

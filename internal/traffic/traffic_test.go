@@ -1,0 +1,229 @@
+package traffic
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/network"
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+func TestUniformRandomCoversAllDestinations(t *testing.T) {
+	topo := topology.NewMesh(4, 4)
+	u := NewUniformRandom(topo.AliveRouters())
+	rng := rand.New(rand.NewSource(1))
+	seen := map[geom.NodeID]int{}
+	const n = 16000
+	for i := 0; i < n; i++ {
+		seen[u.Dest(0, rng)]++
+	}
+	if len(seen) != 16 {
+		t.Fatalf("covered %d destinations, want 16", len(seen))
+	}
+	for dst, cnt := range seen {
+		frac := float64(cnt) / n
+		if math.Abs(frac-1.0/16) > 0.01 {
+			t.Errorf("destination %v frequency %.3f, want ~0.0625", dst, frac)
+		}
+	}
+}
+
+func TestUniformRandomPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewUniformRandom(nil)
+}
+
+func TestBitComplement(t *testing.T) {
+	b := BitComplement{Width: 8, Height: 8}
+	cases := map[geom.Coord]geom.Coord{
+		{X: 0, Y: 0}: {X: 7, Y: 7},
+		{X: 7, Y: 7}: {X: 0, Y: 0},
+		{X: 2, Y: 5}: {X: 5, Y: 2},
+		{X: 3, Y: 3}: {X: 4, Y: 4},
+	}
+	for src, want := range cases {
+		if got := b.Dest(src.IDOf(8), nil); got != want.IDOf(8) {
+			t.Errorf("bit complement of %v = %v, want %v", src, got.CoordOf(8), want)
+		}
+	}
+	// Involution property.
+	for id := geom.NodeID(0); id < 64; id++ {
+		if b.Dest(b.Dest(id, nil), nil) != id {
+			t.Fatalf("bit complement not an involution at %v", id)
+		}
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	tr := Transpose{Width: 8}
+	src := geom.Coord{X: 2, Y: 5}.IDOf(8)
+	if got := tr.Dest(src, nil); got != (geom.Coord{X: 5, Y: 2}).IDOf(8) {
+		t.Fatalf("transpose = %v", got.CoordOf(8))
+	}
+	for id := geom.NodeID(0); id < 64; id++ {
+		if tr.Dest(tr.Dest(id, nil), nil) != id {
+			t.Fatal("transpose not an involution")
+		}
+	}
+}
+
+func TestHotspotFraction(t *testing.T) {
+	topo := topology.NewMesh(4, 4)
+	h := Hotspot{Spot: 5, Fraction: 0.3, Uniform: NewUniformRandom(topo.AliveRouters())}
+	rng := rand.New(rand.NewSource(2))
+	hits := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if h.Dest(0, rng) == 5 {
+			hits++
+		}
+	}
+	frac := float64(hits) / n
+	// Spot also receives ~1/16 of the uniform share.
+	want := 0.3 + 0.7/16
+	if math.Abs(frac-want) > 0.02 {
+		t.Fatalf("hotspot fraction %.3f, want ~%.3f", frac, want)
+	}
+}
+
+func TestPatternNames(t *testing.T) {
+	topo := topology.NewMesh(2, 2)
+	u := NewUniformRandom(topo.AliveRouters())
+	if u.Name() != "uniform_random" ||
+		(BitComplement{}).Name() != "bit_complement" ||
+		(Transpose{}).Name() != "transpose" ||
+		(Hotspot{Uniform: u}).Name() != "hotspot" {
+		t.Fatal("unexpected pattern names")
+	}
+}
+
+func TestInjectorOfferedRate(t *testing.T) {
+	topo := topology.NewMesh(8, 8)
+	s := network.New(topo, network.Config{}, rand.New(rand.NewSource(3)))
+	min := routing.NewMinimal(topo)
+	rng := rand.New(rand.NewSource(4))
+	inj := NewInjector(topo.AliveRouters(), min, NewUniformRandom(topo.AliveRouters()), 0.09, rng)
+	const cycles = 3000
+	inj.Run(s, cycles)
+	// Offered flits per node per cycle should approximate the target
+	// (self-traffic skips depress it slightly: 1/64 of draws).
+	var flits float64 = float64(s.Stats.Offered) * inj.meanLen()
+	rate := flits / float64(cycles) / 64
+	if math.Abs(rate-0.09*63/64) > 0.01 {
+		t.Fatalf("offered rate %.4f, want ~%.4f", rate, 0.09*63.0/64)
+	}
+}
+
+func TestInjectorDropsUnreachable(t *testing.T) {
+	topo := topology.NewMesh(4, 1)
+	topo.DisableLink(1, geom.East)
+	s := network.New(topo, network.Config{}, rand.New(rand.NewSource(5)))
+	min := routing.NewMinimal(topo)
+	rng := rand.New(rand.NewSource(6))
+	inj := NewInjector(topo.AliveRouters(), min, NewUniformRandom(topo.AliveRouters()), 0.5, rng)
+	inj.Run(s, 2000)
+	if s.Stats.DroppedUnreachable == 0 {
+		t.Fatal("expected drops across the cut")
+	}
+	if s.Stats.Delivered == 0 {
+		t.Fatal("expected deliveries within components")
+	}
+}
+
+func TestInjectorPacketMix(t *testing.T) {
+	topo := topology.NewMesh(4, 4)
+	s := network.New(topo, network.Config{}, rand.New(rand.NewSource(7)))
+	min := routing.NewMinimal(topo)
+	rng := rand.New(rand.NewSource(8))
+	inj := NewInjector(topo.AliveRouters(), min, NewUniformRandom(topo.AliveRouters()), 0.12, rng)
+	inj.Run(s, 4000)
+	s.Run(500) // drain
+	if s.Stats.Delivered != s.Stats.Offered {
+		t.Fatalf("drain incomplete: %d of %d", s.Stats.Delivered, s.Stats.Offered)
+	}
+	// Flit link cycles / delivered ≈ meanLen × avg hops; just check both
+	// classes flowed by looking at per-vnet evidence via total flit count
+	// exceeding packet count (data packets are 5 flits).
+	if s.Stats.LinkCycles[network.ClassFlit] <= s.Stats.Delivered {
+		t.Fatal("expected multi-flit packets in the mix")
+	}
+}
+
+func TestAppProfilesSane(t *testing.T) {
+	all := append(Rodinia(), Parsec()...)
+	names := map[string]bool{}
+	for _, p := range all {
+		if p.Name == "" || p.RateFlits <= 0 || p.WorkPackets <= 0 || p.BurstLen <= 0 {
+			t.Fatalf("profile %+v malformed", p)
+		}
+		if names[p.Name] {
+			t.Fatalf("duplicate profile name %q", p.Name)
+		}
+		names[p.Name] = true
+	}
+	if len(Rodinia()) != 5 {
+		t.Fatal("Fig. 12 uses five Rodinia workloads")
+	}
+	// PARSEC rates are an order of magnitude below Rodinia's heavy hitters.
+	for _, p := range Parsec() {
+		if p.RateFlits > 0.03 {
+			t.Fatalf("PARSEC profile %s rate %.3f too high", p.Name, p.RateFlits)
+		}
+	}
+}
+
+func TestAppRunCompletesOnHealthyMesh(t *testing.T) {
+	topo := topology.NewMesh(8, 8)
+	s := network.New(topo, network.Config{}, rand.New(rand.NewSource(9)))
+	core.Attach(s, core.Options{})
+	min := routing.NewMinimal(topo)
+	rng := rand.New(rand.NewSource(10))
+	run := NewAppRun(s, min, Parsec()[0], rng)
+	res := run.Run(s, 400000)
+	if !res.Completed {
+		t.Fatalf("run did not complete: %+v", res)
+	}
+	if res.Throughput <= 0 || res.Runtime <= 0 {
+		t.Fatalf("degenerate result: %+v", res)
+	}
+	if res.Delivered < int64(run.Profile.WorkPackets) {
+		t.Fatalf("delivered %d < work %d", res.Delivered, run.Profile.WorkPackets)
+	}
+}
+
+func TestAppRunDeterministic(t *testing.T) {
+	run := func() Result {
+		topo := topology.NewMesh(6, 6)
+		s := network.New(topo, network.Config{}, rand.New(rand.NewSource(11)))
+		min := routing.NewMinimal(topo)
+		rng := rand.New(rand.NewSource(12))
+		return NewAppRun(s, min, Rodinia()[2], rng).Run(s, 200000)
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("app runs differ: %+v vs %+v", a, b)
+	}
+}
+
+func TestCenterMostPrefersCenter(t *testing.T) {
+	topo := topology.NewMesh(8, 8)
+	s := network.New(topo, network.Config{}, rand.New(rand.NewSource(13)))
+	got := centerMost(s, topo.AliveRouters())
+	if got != topo.ID(geom.Coord{X: 3, Y: 3}) {
+		t.Fatalf("centerMost = %v", got)
+	}
+	// With the center dead, a neighbor is picked.
+	topo.DisableRouter(got)
+	got2 := centerMost(s, topo.AliveRouters())
+	if geom.ManhattanDistance(topo.Coord(got2), geom.Coord{X: 3, Y: 3}) != 1 {
+		t.Fatalf("fallback centerMost = %v", got2)
+	}
+}

@@ -1,0 +1,136 @@
+// Package validate provides runtime invariant checking for simulations:
+// conservation of packets, occupancy-counter consistency, fence
+// ownership, and bubble-state sanity. Tests use it as a one-call oracle;
+// cmd/sbsim exposes it with -check to validate long runs.
+package validate
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/network"
+)
+
+// Violation describes one failed invariant.
+type Violation struct {
+	Invariant string
+	Detail    string
+}
+
+func (v Violation) Error() string { return v.Invariant + ": " + v.Detail }
+
+// Check runs every invariant over the simulator (and controller, when
+// non-nil) and returns all violations found.
+func Check(s *network.Sim, ctrl *core.Controller) []Violation {
+	var out []Violation
+	report := func(inv, format string, args ...any) {
+		out = append(out, Violation{Invariant: inv, Detail: fmt.Sprintf(format, args...)})
+	}
+
+	// Conservation: offered = delivered + in-flight + queued + lost.
+	total := s.Stats.Delivered + s.InFlight() + s.QueuedPackets() + s.Stats.Lost
+	if total != s.Stats.Offered {
+		report("conservation", "accounted %d != offered %d (delivered %d, inflight %d, queued %d, lost %d)",
+			total, s.Stats.Offered, s.Stats.Delivered, s.InFlight(), s.QueuedPackets(), s.Stats.Lost)
+	}
+
+	// Occupancy counters match buffer contents; in-flight matches the sum.
+	var globalOcc int64
+	for id := range s.Routers {
+		r := &s.Routers[id]
+		occ, nonLocal := 0, 0
+		for _, port := range geom.AllPorts {
+			for slot := range r.In[port] {
+				if r.In[port][slot].Pkt != nil {
+					occ++
+					if port != geom.Local {
+						nonLocal++
+					}
+				}
+			}
+		}
+		if r.Bubble.VC.Pkt != nil {
+			occ++
+			nonLocal++
+			if !r.Bubble.Present {
+				report("bubble", "router %d holds a packet in a non-present bubble", id)
+			}
+		}
+		if r.Occupied() != occ {
+			report("occupancy", "router %d: counter %d != actual %d", id, r.Occupied(), occ)
+		}
+		if r.OccupiedNonLocal() != nonLocal {
+			report("occupancy", "router %d: non-local counter %d != actual %d",
+				id, r.OccupiedNonLocal(), nonLocal)
+		}
+		globalOcc += int64(occ)
+
+		// Dead routers must be empty and unfenced.
+		if !s.Topo.RouterAlive(geom.NodeID(id)) {
+			if occ != 0 {
+				report("dead-router", "router %d is dead but holds %d packets", id, occ)
+			}
+			if r.Fence.Active {
+				report("dead-router", "router %d is dead but fenced", id)
+			}
+		}
+
+		// Buffered packets must be at a position consistent with their
+		// route (the remaining route starts here and is walkable, unless
+		// an output override is installed).
+		if s.OutputOverride == nil {
+			for _, port := range geom.AllPorts {
+				for slot := range r.In[port] {
+					p := r.In[port][slot].Pkt
+					if p == nil {
+						continue
+					}
+					if p.Hop > len(p.Route) {
+						report("route", "packet %d hop %d beyond route length %d", p.ID, p.Hop, len(p.Route))
+					}
+				}
+			}
+		}
+	}
+	if globalOcc != s.InFlight() {
+		report("occupancy", "global buffered %d != in-flight counter %d", globalOcc, s.InFlight())
+	}
+
+	// Fence ownership: every active fence's source must be an SB router
+	// whose FSM is mid-recovery (with a controller attached, a stale
+	// fence means a teardown guard failed).
+	if ctrl != nil {
+		inRecovery := map[geom.NodeID]bool{}
+		for _, n := range ctrl.BubbleRouters() {
+			switch ctrl.FSMState(n) {
+			case core.StateDisable, core.StateSBActive, core.StateCheckProbe, core.StateEnable:
+				inRecovery[n] = true
+			}
+		}
+		for id := range s.Routers {
+			fe := s.Routers[id].Fence
+			if fe.Active && !inRecovery[fe.SrcID] {
+				report("fence", "router %d fenced by %v whose FSM is %v",
+					id, fe.SrcID, ctrl.FSMState(fe.SrcID))
+			}
+		}
+		// Active bubbles belong to recovering FSMs.
+		for id := range s.Routers {
+			b := &s.Routers[id].Bubble
+			if b.Active && !inRecovery[geom.NodeID(id)] {
+				report("bubble", "router %d bubble active but FSM is %v",
+					id, ctrl.FSMState(geom.NodeID(id)))
+			}
+		}
+	}
+	return out
+}
+
+// Must panics on the first violation; handy in examples and debugging
+// sessions.
+func Must(s *network.Sim, ctrl *core.Controller) {
+	if vs := Check(s, ctrl); len(vs) > 0 {
+		panic(fmt.Sprintf("validate: %d violations, first: %v", len(vs), vs[0]))
+	}
+}

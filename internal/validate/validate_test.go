@@ -1,0 +1,130 @@
+package validate
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/network"
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+func TestCleanSimPasses(t *testing.T) {
+	topo := topology.NewMesh(4, 4)
+	s := network.New(topo, network.Config{}, rand.New(rand.NewSource(1)))
+	ctrl := core.Attach(s, core.Options{})
+	if vs := Check(s, ctrl); len(vs) != 0 {
+		t.Fatalf("violations on a clean sim: %v", vs)
+	}
+	Must(s, ctrl) // must not panic
+}
+
+func TestBusySimPassesEveryCycle(t *testing.T) {
+	topo := topology.RandomIrregular(6, 6, topology.LinkFaults, 8, 3)
+	s := network.New(topo, network.Config{}, rand.New(rand.NewSource(2)))
+	ctrl := core.Attach(s, core.Options{TDD: 24})
+	min := routing.NewMinimal(topo)
+	rng := rand.New(rand.NewSource(4))
+	for cyc := 0; cyc < 2500; cyc++ {
+		if cyc < 1800 {
+			for n := 0; n < 36; n++ {
+				if topo.RouterAlive(geom.NodeID(n)) && rng.Float64() < 0.08 {
+					dst := geom.NodeID(rng.Intn(36))
+					if r, ok := min.Route(geom.NodeID(n), dst, rng); ok {
+						s.Enqueue(s.NewPacket(geom.NodeID(n), dst, rng.Intn(3), 5, r))
+					} else {
+						s.Drop()
+					}
+				}
+			}
+		}
+		s.Step()
+		if cyc%100 == 99 {
+			if vs := Check(s, ctrl); len(vs) != 0 {
+				t.Fatalf("cycle %d: %v", cyc, vs)
+			}
+		}
+	}
+}
+
+func TestDetectsStaleFence(t *testing.T) {
+	topo := topology.NewMesh(4, 4)
+	s := network.New(topo, network.Config{}, rand.New(rand.NewSource(5)))
+	ctrl := core.Attach(s, core.Options{})
+	s.Routers[2].Fence = network.Fence{Active: true, In: geom.West, Out: geom.East, SrcID: 5}
+	vs := Check(s, ctrl)
+	if len(vs) == 0 {
+		t.Fatal("stale fence not detected")
+	}
+	if vs[0].Invariant != "fence" {
+		t.Fatalf("violation = %v", vs[0])
+	}
+}
+
+func TestDetectsOrphanBubbleActivation(t *testing.T) {
+	topo := topology.NewMesh(8, 8)
+	s := network.New(topo, network.Config{}, rand.New(rand.NewSource(6)))
+	ctrl := core.Attach(s, core.Options{})
+	b := ctrl.BubbleRouters()[0]
+	s.Routers[b].Bubble.Active = true
+	found := false
+	for _, v := range Check(s, ctrl) {
+		if v.Invariant == "bubble" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("orphan bubble activation not detected")
+	}
+}
+
+func TestDetectsCounterCorruption(t *testing.T) {
+	topo := topology.NewMesh(2, 2)
+	s := network.New(topo, network.Config{}, rand.New(rand.NewSource(7)))
+	// Plant a packet without bookkeeping: occupancy invariant must trip.
+	p := s.NewPacket(0, 1, 0, 1, routing.Route{geom.East})
+	s.Routers[0].In[geom.West][0].Pkt = p
+	vs := Check(s, nil)
+	if len(vs) == 0 {
+		t.Fatal("counter corruption not detected")
+	}
+}
+
+func TestDetectsDeadRouterWithTraffic(t *testing.T) {
+	topo := topology.NewMesh(2, 1)
+	s := network.New(topo, network.Config{}, rand.New(rand.NewSource(8)))
+	p := s.NewPacket(0, 1, 0, 5, routing.Route{geom.East})
+	s.Enqueue(p)
+	s.Run(2)
+	topo.DisableRouter(1)
+	found := false
+	for _, v := range Check(s, nil) {
+		if v.Invariant == "dead-router" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("dead router holding packets not detected")
+	}
+}
+
+func TestMustPanicsOnViolation(t *testing.T) {
+	topo := topology.NewMesh(2, 2)
+	s := network.New(topo, network.Config{}, rand.New(rand.NewSource(9)))
+	s.Routers[0].In[geom.West][0].Pkt = s.NewPacket(0, 1, 0, 1, routing.Route{geom.East})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Must should panic on violations")
+		}
+	}()
+	Must(s, nil)
+}
+
+func TestViolationError(t *testing.T) {
+	v := Violation{Invariant: "conservation", Detail: "off by one"}
+	if v.Error() != "conservation: off by one" {
+		t.Fatalf("Error() = %q", v.Error())
+	}
+}
