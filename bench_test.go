@@ -66,7 +66,7 @@ func BenchmarkPlacement(b *testing.B) {
 
 func BenchmarkTable1BufferCounts(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows := experiments.Table1(nil)
+		rows := experiments.Table1(experiments.Quick(), nil)
 		experiments.PrintTable1(io.Discard, rows)
 	}
 }

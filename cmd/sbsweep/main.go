@@ -3,6 +3,12 @@
 // reduced sweep for a fast smoke pass, -scale full approaches the paper's
 // sampling.
 //
+// Sweeps run on the internal/sweep engine: a bounded worker pool
+// (-jobs) with a content-addressed on-disk result cache under
+// results/cache/ (-cache-dir, -no-cache). An interrupted run (Ctrl-C)
+// keeps every completed cell; rerunning with -resume simulates only the
+// missing ones. -progress prints live status and an ETA to stderr.
+//
 // Usage:
 //
 //	sbsweep -fig 2          # deadlock-prone topology fraction
@@ -10,15 +16,20 @@
 //	sbsweep -fig t1         # Table I buffer counts
 //	sbsweep -fig 8|9|10|11|12|13
 //	sbsweep -fig all -scale quick
+//	sbsweep -fig 9 -resume -progress   # continue an interrupted sweep
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/stats"
+	"repro/internal/sweep"
 )
 
 func main() {
@@ -27,6 +38,11 @@ func main() {
 	topos := flag.Int("topos", 0, "override topologies per point")
 	seed := flag.Int64("seed", 0, "base seed for topology sampling")
 	format := flag.String("format", "table", "output format: table or csv")
+	jobs := flag.Int("jobs", 0, "concurrent simulation jobs (0 = all cores)")
+	noCache := flag.Bool("no-cache", false, "disable the on-disk result cache")
+	resume := flag.Bool("resume", false, "reuse cached cells from a previous or interrupted run")
+	progress := flag.Bool("progress", false, "print live progress and ETA to stderr")
+	cacheDir := flag.String("cache-dir", sweep.DefaultCacheDir, "result cache location")
 	flag.Parse()
 	asCSV := *format == "csv"
 
@@ -45,8 +61,34 @@ func main() {
 		p.Topologies = *topos
 	}
 
+	// Ctrl-C cancels between jobs; completed cells stay on disk, so a
+	// -resume rerun picks up where this one stopped.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	cfg := sweep.Config{Workers: *jobs, Ctx: ctx, Resume: *resume}
+	if !*noCache {
+		cfg.Cache = &sweep.Cache{Dir: *cacheDir, Salt: experiments.CodeVersion}
+	}
+	if *progress {
+		// Callback invocations are serialized by the engine.
+		var lastPrint time.Time
+		cfg.Progress = func(s stats.ProgressSnapshot) {
+			if s.Done < s.Total && time.Since(lastPrint) < time.Second {
+				return
+			}
+			lastPrint = time.Now()
+			fmt.Fprintln(os.Stderr, s)
+		}
+	}
+	engine := sweep.New(cfg)
+	p.Engine = engine
+
 	run := func(id string, fn func()) {
 		if *fig != "all" && *fig != id {
+			return
+		}
+		if ctx.Err() != nil {
 			return
 		}
 		start := time.Now()
@@ -66,8 +108,8 @@ func main() {
 		return table
 	}
 	run("t1", emit(
-		func() { experiments.PrintTable1(os.Stdout, experiments.Table1(nil)) },
-		func() error { return experiments.Table1CSV(os.Stdout, experiments.Table1(nil)) }))
+		func() { experiments.PrintTable1(os.Stdout, experiments.Table1(p, nil)) },
+		func() error { return experiments.Table1CSV(os.Stdout, experiments.Table1(p, nil)) }))
 	run("2", emit(
 		func() { experiments.PrintFig2(os.Stdout, experiments.Fig2(p, nil)) },
 		func() error { return experiments.Fig2CSV(os.Stdout, experiments.Fig2(p, nil)) }))
@@ -107,4 +149,16 @@ func main() {
 	run("ablation", emit(
 		func() { experiments.PrintAblation(os.Stdout, experiments.Ablation(p)) },
 		func() error { return experiments.AblationCSV(os.Stdout, experiments.Ablation(p)) }))
+
+	st := engine.Stats()
+	fmt.Fprintf(os.Stderr, "sweep engine: %d jobs (%d executed, %d cached, %d failed, %d cancelled)\n",
+		st.Jobs, st.Executed, st.CacheHits, st.Failed, st.Cancelled)
+	if st.CacheWriteErrs > 0 {
+		fmt.Fprintf(os.Stderr, "sbsweep: warning: %d results could not be written to %s — a -resume rerun will resimulate them\n",
+			st.CacheWriteErrs, *cacheDir)
+	}
+	if ctx.Err() != nil {
+		fmt.Fprintln(os.Stderr, "sbsweep: interrupted — completed cells are cached; rerun with -resume to continue")
+		os.Exit(130)
+	}
 }

@@ -9,6 +9,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/network"
 	"repro/internal/routing"
+	"repro/internal/sweep"
 	"repro/internal/topology"
 )
 
@@ -51,30 +52,56 @@ func Ablation(p Params) []AblationRow {
 	positions := [][2]int{{0, 0}, {2, 2}, {4, 3}, {5, 5}, {1, 4}}
 	var rows []AblationRow
 	for _, v := range variants {
-		row := AblationRow{Variant: v.name}
-		for _, pos := range positions {
-			topo := topology.NewMesh(p.Width, p.Height)
-			s := network.New(topo, network.Config{}, rand.New(rand.NewSource(1)))
-			c := core.Attach(s, core.Options{
-				TDD:               p.TDD,
-				Placement:         v.placement,
-				DisableCheckProbe: v.noCheck,
-				Spin:              v.spin,
+		v := v
+		type res struct {
+			Buffers                            int
+			RecoveryCycles, Recov, CheckProbes float64
+		}
+		key := func(i int) *sweep.Key {
+			return p.cellKey("ablation").Str("variant", v.name).
+				Int("x", positions[i][0]).Int("y", positions[i][1])
+		}
+		// The constructed ring-deadlock workload is fully deterministic;
+		// the job seed is unused by design (the cell is still cached).
+		results := sweep.Run(p.engine(), len(positions), key,
+			func(i int, seed int64) (res, error) {
+				pos := positions[i]
+				topo := topology.NewMesh(p.Width, p.Height)
+				s := network.New(topo, network.Config{}, rand.New(rand.NewSource(1)))
+				c := core.Attach(s, core.Options{
+					TDD:               p.TDD,
+					Placement:         v.placement,
+					DisableCheckProbe: v.noCheck,
+					Spin:              v.spin,
+				})
+				var r res
+				r.Buffers = len(c.BubbleRouters())
+				total := primeSquareLoop(s, pos[0], pos[1], 10)
+				start := s.Now
+				for s.Stats.Delivered < int64(total) && s.Now-start < 200000 {
+					s.Step()
+				}
+				r.RecoveryCycles = float64(s.Now - start)
+				r.Recov = float64(s.Stats.DeadlockRecoveries)
+				r.CheckProbes = float64(s.Stats.CheckProbesSent)
+				return r, nil
 			})
-			row.Buffers = len(c.BubbleRouters())
-			total := primeSquareLoop(s, pos[0], pos[1], 10)
-			start := s.Now
-			for s.Stats.Delivered < int64(total) && s.Now-start < 200000 {
-				s.Step()
+		row := AblationRow{Variant: v.name}
+		for _, res := range results {
+			if !res.OK() {
+				continue
 			}
-			row.RecoveryCycles += float64(s.Now - start)
-			row.Recoveries += float64(s.Stats.DeadlockRecoveries)
-			row.CheckProbes += float64(s.Stats.CheckProbesSent)
+			row.Buffers = res.Value.Buffers
+			row.RecoveryCycles += res.Value.RecoveryCycles
+			row.Recoveries += res.Value.Recov
+			row.CheckProbes += res.Value.CheckProbes
 			row.Runs++
 		}
-		row.RecoveryCycles /= float64(row.Runs)
-		row.Recoveries /= float64(row.Runs)
-		row.CheckProbes /= float64(row.Runs)
+		if row.Runs > 0 {
+			row.RecoveryCycles /= float64(row.Runs)
+			row.Recoveries /= float64(row.Runs)
+			row.CheckProbes /= float64(row.Runs)
+		}
 		rows = append(rows, row)
 	}
 	return rows

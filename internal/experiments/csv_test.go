@@ -39,7 +39,7 @@ func TestFig2CSV(t *testing.T) {
 
 func TestTable1CSV(t *testing.T) {
 	var buf bytes.Buffer
-	if err := Table1CSV(&buf, Table1(nil)); err != nil {
+	if err := Table1CSV(&buf, Table1(Quick(), nil)); err != nil {
 		t.Fatal(err)
 	}
 	recs := parseCSV(t, &buf)

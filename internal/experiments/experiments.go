@@ -8,16 +8,22 @@ package experiments
 import (
 	"fmt"
 	"math/rand"
-	"runtime"
-	"sync"
 
 	"repro/internal/core"
 	"repro/internal/escape"
 	"repro/internal/network"
 	"repro/internal/routing"
+	"repro/internal/sweep"
 	"repro/internal/topology"
 	"repro/internal/traffic"
 )
+
+// CodeVersion salts every cache key of the sweep result cache. Bump it
+// whenever a change alters simulated results (routing, simulator timing,
+// the recovery protocol, seed derivation, ...) so stale cache entries are
+// never wrongly reused; clearing results/cache/ afterwards merely
+// reclaims the disk.
+const CodeVersion = "sb-sim-1"
 
 // Scheme identifies a deadlock-freedom design under comparison.
 type Scheme int
@@ -87,6 +93,11 @@ type Params struct {
 	// description and reported magnitudes) to the stronger all-links
 	// up*/down* routing with adaptive shortest legal paths.
 	TreeBaselineAllLinks bool
+	// Engine selects the sweep execution engine (worker count, result
+	// cache, cancellation, progress). It is execution configuration
+	// only — it never affects simulated results and is excluded from
+	// cache keys. Nil selects a default engine (all cores, no cache).
+	Engine *sweep.Engine
 }
 
 func (p Params) withDefaults() Params {
@@ -196,36 +207,29 @@ func (p Params) SampleTopology(kind topology.FaultKind, faults, i int) *topology
 	return topology.RandomIrregular(p.Width, p.Height, kind, faults, seed)
 }
 
-// parallelFor runs fn(i) for i in [0, n) on all cores and waits.
-// Each index must only touch its own state; results are positional, so
-// the output is deterministic regardless of scheduling.
-func parallelFor(n int, fn func(i int)) {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
+// engine returns the configured execution engine, or a fresh default
+// (all cores, no cache, no cancellation) when none was set.
+func (p Params) engine() *sweep.Engine {
+	if p.Engine != nil {
+		return p.Engine
 	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			fn(i)
-		}
-		return
-	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				fn(i)
-			}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
+	return sweep.New(sweep.Config{})
+}
+
+// cellKey is the cache/seed identity of one simulation cell: the
+// experiment name plus every simulation-affecting Params field; callers
+// append the cell coordinates (pattern, fault kind/count, topology
+// index, ...). Topologies is deliberately absent — it is the sweep's
+// extent, not cell content, so growing the sample reuses every cell
+// already computed.
+func (p Params) cellKey(experiment string) *sweep.Key {
+	p = p.withDefaults()
+	return sweep.NewKey(experiment).
+		Int("w", p.Width).Int("h", p.Height).
+		Int("warmup", p.WarmupCycles).Int("measure", p.MeasureCycles).
+		Int64("tdd", p.TDD).Int64("escape_timeout", p.EscapeTimeout).
+		Int64("base_seed", p.BaseSeed).
+		Bool("spin", p.SpinMode).Bool("tree_all_links", p.TreeBaselineAllLinks)
 }
 
 // mean returns the arithmetic mean of xs (0 when empty).

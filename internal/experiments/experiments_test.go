@@ -114,7 +114,7 @@ func TestFig3Shape(t *testing.T) {
 }
 
 func TestTable1MatchesPaper(t *testing.T) {
-	rows := Table1(nil)
+	rows := Table1(Quick(), nil)
 	if len(rows) != 2 {
 		t.Fatalf("rows = %d", len(rows))
 	}

@@ -13,6 +13,7 @@ import (
 	"repro/internal/reconfig"
 	"repro/internal/routing"
 	"repro/internal/stats"
+	"repro/internal/sweep"
 	"repro/internal/topology"
 )
 
@@ -74,27 +75,26 @@ func FailureTimeline(p Params, reconfigStall int, failures int) []FailureTimelin
 			label = Scheme(k).String()
 		}
 		row := FailureTimelineRow{Label: label, ReconfigStall: stall}
-		type res struct {
-			delivered, lost int64
-			avg, p99        float64
-			intact          bool
-			ok              bool
+		key := func(i int) *sweep.Key {
+			return p.cellKey("failures").Str("scheme", label).
+				Int("stall", stall).Int("events", failures).Int("topo", i)
 		}
-		results := make([]res, p.Topologies)
-		parallelFor(p.Topologies, func(i int) {
-			results[i] = failureRun(p, k, stall, failures, int64(i))
-		})
+		results := sweep.Run(p.engine(), p.Topologies, key,
+			func(i int, seed int64) (failureRes, error) {
+				return failureRun(p, k, stall, failures, seed), nil
+			})
 		var avg, p99 []float64
 		intact := 0
-		for _, r := range results {
-			if !r.ok {
+		for _, res := range results {
+			if !res.OK() || !res.Value.OK {
 				continue
 			}
-			row.Delivered += r.delivered
-			row.Lost += r.lost
-			avg = append(avg, r.avg)
-			p99 = append(p99, r.p99)
-			if r.intact {
+			r := res.Value
+			row.Delivered += r.Delivered
+			row.Lost += r.Lost
+			avg = append(avg, r.Avg)
+			p99 = append(p99, r.P99)
+			if r.Intact {
 				intact++
 			}
 			row.Sampled++
@@ -112,15 +112,19 @@ func FailureTimeline(p Params, reconfigStall int, failures int) []FailureTimelin
 // dishaKind extends the Scheme space for this experiment only.
 const dishaKind = 3
 
+// failureRes is one topology's outcome of a failure timeline (exported
+// fields: it is the sweep cache's entry value).
+type failureRes struct {
+	Delivered, Lost int64
+	Avg, P99        float64
+	Intact          bool
+	OK              bool
+}
+
 // failureRun executes one scheme over one failure timeline.
-func failureRun(p Params, kind, stall, failures int, seed int64) (out struct {
-	delivered, lost int64
-	avg, p99        float64
-	intact          bool
-	ok              bool
-}) {
+func failureRun(p Params, kind, stall, failures int, seed int64) (out failureRes) {
 	topo := topology.NewMesh(p.Width, p.Height)
-	s := network.New(topo, network.Config{}, rand.New(rand.NewSource(seed)))
+	s := network.New(topo, network.Config{}, rand.New(rand.NewSource(sweep.SubSeed(seed, 0))))
 
 	// Scheme runtime state, rebuilt at every failure.
 	var ud *routing.UpDown
@@ -150,7 +154,7 @@ func failureRun(p Params, kind, stall, failures int, seed int64) (out struct {
 		var err error
 		dishaCtl, err = disha.Attach(s, disha.Options{Timeout: p.TDD})
 		if err != nil {
-			out.ok = false
+			out.OK = false
 			return out
 		}
 	}
@@ -159,7 +163,7 @@ func failureRun(p Params, kind, stall, failures int, seed int64) (out struct {
 	var lat stats.LatencyCollector
 	s.OnDeliver = func(pk *network.Packet) { lat.Observe(pk.Latency()) }
 
-	rng := rand.New(rand.NewSource(seed + 500))
+	rng := rand.New(rand.NewSource(sweep.SubSeed(seed, 1)))
 	horizon := p.WarmupCycles + p.MeasureCycles
 	failEvery := horizon / (failures + 1)
 	stallUntil := 0
@@ -208,12 +212,12 @@ func failureRun(p Params, kind, stall, failures int, seed int64) (out struct {
 	for i := 0; i < 20*horizon && s.InFlight()+s.QueuedPackets() > 0; i += 100 {
 		s.Run(100)
 	}
-	out.delivered = s.Stats.Delivered
-	out.lost = s.Stats.Lost
-	out.avg = lat.Mean()
-	out.p99 = lat.P(99)
-	out.intact = dishaCtl == nil || dishaCtl.TokenPathIntact()
-	out.ok = s.Stats.Delivered > 0
+	out.Delivered = s.Stats.Delivered
+	out.Lost = s.Stats.Lost
+	out.Avg = lat.Mean()
+	out.P99 = lat.P(99)
+	out.Intact = dishaCtl == nil || dishaCtl.TokenPathIntact()
+	out.OK = s.Stats.Delivered > 0
 	return out
 }
 

@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"repro/internal/energy"
+	"repro/internal/sweep"
 	"repro/internal/topology"
 )
 
@@ -35,38 +36,40 @@ func Fig10(p Params, gatedRouters []int) []Fig10Row {
 	var rows []Fig10Row
 	for _, k := range gatedRouters {
 		type res struct {
-			b  [3]energy.Breakdown
-			ok bool
+			B [3]energy.Breakdown
 		}
-		results := make([]res, p.Topologies)
-		parallelFor(p.Topologies, func(i int) {
-			topo := p.SampleTopology(topology.RouterFaults, k, i)
-			var r res
-			r.ok = true
-			for _, sch := range Schemes {
-				inst := p.Build(topo.Clone(), sch, int64(i)*53+int64(sch))
-				inj := inst.Injector(inst.Pattern("uniform_random"), LowLoadRate, int64(i)*71+int64(sch))
-				m := measure(p, inst, inj)
-				model := energy.Default32nm()
-				extra := energy.SchemeOverheadBuffers(inst.Sim, sch.EnergyKey())
-				r.b[sch] = model.Compute(inst.Sim, extra, m.Cycles)
-			}
-			results[i] = r
-		})
+		key := func(i int) *sweep.Key {
+			return p.cellKey("fig10").Int("gated", k).Int("topo", i)
+		}
+		results := sweep.Run(p.engine(), p.Topologies, key,
+			func(i int, seed int64) (res, error) {
+				topo := p.SampleTopology(topology.RouterFaults, k, i)
+				var r res
+				for _, sch := range Schemes {
+					inst := p.Build(topo.Clone(), sch, sweep.SubSeed(seed, 2*int(sch)))
+					inj := inst.Injector(inst.Pattern("uniform_random"), LowLoadRate, sweep.SubSeed(seed, 2*int(sch)+1))
+					m := measure(p, inst, inj)
+					model := energy.Default32nm()
+					extra := energy.SchemeOverheadBuffers(inst.Sim, sch.EnergyKey())
+					r.B[sch] = model.Compute(inst.Sim, extra, m.Cycles)
+				}
+				return r, nil
+			})
 		// Average each component, then normalize everything to the tree
 		// total.
 		var avg [3]energy.Breakdown
 		n := 0
-		for _, r := range results {
-			if !r.ok {
+		for _, res := range results {
+			if !res.OK() {
 				continue
 			}
+			r := res.Value
 			n++
 			for _, sch := range Schemes {
-				avg[sch].RouterDynamic += r.b[sch].RouterDynamic
-				avg[sch].LinkDynamic += r.b[sch].LinkDynamic
-				avg[sch].RouterLeakage += r.b[sch].RouterLeakage
-				avg[sch].LinkLeakage += r.b[sch].LinkLeakage
+				avg[sch].RouterDynamic += r.B[sch].RouterDynamic
+				avg[sch].LinkDynamic += r.B[sch].LinkDynamic
+				avg[sch].RouterLeakage += r.B[sch].RouterLeakage
+				avg[sch].LinkLeakage += r.B[sch].LinkLeakage
 			}
 		}
 		if n == 0 {

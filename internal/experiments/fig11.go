@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"repro/internal/network"
+	"repro/internal/sweep"
 	"repro/internal/topology"
 )
 
@@ -43,42 +44,44 @@ func Fig11(p Params, thresholds []int64) []Fig11Row {
 	var rows []Fig11Row
 	for _, tdd := range thresholds {
 		type res struct {
-			probes, recov, lat float64
-			util               [network.NumLinkClasses]float64
-			ok                 bool
+			Probes, Recov, Lat float64
+			Util               [network.NumLinkClasses]float64
 		}
-		results := make([]res, p.Topologies)
-		parallelFor(p.Topologies, func(i int) {
-			topo := p.SampleTopology(topology.RouterFaults, faults, i)
-			pp := p
-			pp.TDD = tdd
-			inst := pp.Build(topo, StaticBubble, int64(i)*61)
-			inj := inst.Injector(inst.Pattern("uniform_random"), Fig11HighLoadRate, int64(i)*79)
-			m := measure(pp, inst, inj)
-			var r res
-			r.ok = true
-			r.probes = float64(m.Stats.ProbesSent)
-			r.recov = float64(m.Stats.DeadlockRecoveries)
-			r.lat = m.AvgLatency
-			util := m.Stats.LinkUtilization(m.Cycles, inst.Sim.AliveDirectedLinkCount())
-			r.util = util
-			results[i] = r
-		})
+		pp := p
+		pp.TDD = tdd
+		key := func(i int) *sweep.Key {
+			return pp.cellKey("fig11").
+				Float("rate", Fig11HighLoadRate).Int("faults", faults).Int("topo", i)
+		}
+		results := sweep.Run(p.engine(), p.Topologies, key,
+			func(i int, seed int64) (res, error) {
+				topo := p.SampleTopology(topology.RouterFaults, faults, i)
+				inst := pp.Build(topo, StaticBubble, sweep.SubSeed(seed, 0))
+				inj := inst.Injector(inst.Pattern("uniform_random"), Fig11HighLoadRate, sweep.SubSeed(seed, 1))
+				m := measure(pp, inst, inj)
+				var r res
+				r.Probes = float64(m.Stats.ProbesSent)
+				r.Recov = float64(m.Stats.DeadlockRecoveries)
+				r.Lat = m.AvgLatency
+				r.Util = m.Stats.LinkUtilization(m.Cycles, inst.Sim.AliveDirectedLinkCount())
+				return r, nil
+			})
 		row := Fig11Row{TDD: tdd}
 		n := 0
-		for _, r := range results {
-			if !r.ok {
+		for _, res := range results {
+			if !res.OK() {
 				continue
 			}
+			r := res.Value
 			n++
-			row.ProbesSent += r.probes
-			row.Recoveries += r.recov
-			row.AvgLatency += r.lat
-			row.FlitUtil += r.util[network.ClassFlit]
-			row.ProbeUtil += r.util[network.ClassProbe]
-			row.DisableUtil += r.util[network.ClassDisable]
-			row.EnableUtil += r.util[network.ClassEnable]
-			row.CheckProbeUtil += r.util[network.ClassCheckProbe]
+			row.ProbesSent += r.Probes
+			row.Recoveries += r.Recov
+			row.AvgLatency += r.Lat
+			row.FlitUtil += r.Util[network.ClassFlit]
+			row.ProbeUtil += r.Util[network.ClassProbe]
+			row.DisableUtil += r.Util[network.ClassDisable]
+			row.EnableUtil += r.Util[network.ClassEnable]
+			row.CheckProbeUtil += r.Util[network.ClassCheckProbe]
 		}
 		if n > 0 {
 			f := float64(n)

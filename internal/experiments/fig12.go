@@ -5,6 +5,7 @@ import (
 	"io"
 	"math/rand"
 
+	"repro/internal/sweep"
 	"repro/internal/topology"
 	"repro/internal/traffic"
 )
@@ -50,36 +51,42 @@ func Fig12(p Params, apps []traffic.AppProfile, faultSteps map[topology.FaultKin
 func fig12Point(p Params, app traffic.AppProfile, kind topology.FaultKind, faults int) Fig12Row {
 	maxCycles := appHorizon(app)
 	type res struct {
-		thr [3]float64
-		ok  bool
+		Thr [3]float64
+		OK  bool
 	}
-	results := make([]res, p.Topologies)
-	parallelFor(p.Topologies, func(i int) {
-		topo := p.SampleTopology(kind, faults, i)
-		if !mcReachable(topo) {
-			return // skipped: the paper only maps apps on usable chips
-		}
-		var r res
-		r.ok = true
-		for _, sch := range Schemes {
-			inst := p.Build(topo.Clone(), sch, int64(i)*67+int64(sch))
-			run := traffic.NewAppRun(inst.Sim, inst.Alg, app, rand.New(rand.NewSource(int64(i)*83+int64(sch))))
-			out := run.Run(inst.Sim, maxCycles)
-			r.thr[sch] = out.Throughput
-		}
-		if r.thr[SpanningTree] == 0 {
-			r.ok = false
-		}
-		results[i] = r
-	})
+	key := func(i int) *sweep.Key {
+		return p.cellKey("fig12").Str("app", app.Name).
+			Str("kind", kind.String()).Int("faults", faults).Int("topo", i)
+	}
+	results := sweep.Run(p.engine(), p.Topologies, key,
+		func(i int, seed int64) (res, error) {
+			var r res
+			topo := p.SampleTopology(kind, faults, i)
+			if !mcReachable(topo) {
+				return r, nil // skipped: the paper only maps apps on usable chips
+			}
+			r.OK = true
+			for _, sch := range Schemes {
+				inst := p.Build(topo.Clone(), sch, sweep.SubSeed(seed, 2*int(sch)))
+				run := traffic.NewAppRun(inst.Sim, inst.Alg, app,
+					rand.New(rand.NewSource(sweep.SubSeed(seed, 2*int(sch)+1))))
+				out := run.Run(inst.Sim, maxCycles)
+				r.Thr[sch] = out.Throughput
+			}
+			if r.Thr[SpanningTree] == 0 {
+				r.OK = false
+			}
+			return r, nil
+		})
 	row := Fig12Row{App: app.Name, Kind: kind, Faults: faults}
 	var norm [3][]float64
-	for _, r := range results {
-		if !r.ok {
+	for _, res := range results {
+		if !res.OK() || !res.Value.OK {
 			continue
 		}
+		r := res.Value
 		for _, sch := range Schemes {
-			norm[sch] = append(norm[sch], safeRatio(r.thr[sch], r.thr[SpanningTree]))
+			norm[sch] = append(norm[sch], safeRatio(r.Thr[sch], r.Thr[SpanningTree]))
 		}
 	}
 	for _, sch := range Schemes {

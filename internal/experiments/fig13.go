@@ -6,6 +6,7 @@ import (
 	"math/rand"
 
 	"repro/internal/energy"
+	"repro/internal/sweep"
 	"repro/internal/topology"
 	"repro/internal/traffic"
 )
@@ -33,43 +34,49 @@ func Fig13(p Params, apps []traffic.AppProfile) []Fig13Row {
 	for _, app := range apps {
 		maxCycles := appHorizon(app)
 		type res struct {
-			runtime [3]float64
-			edp     [3]float64
-			ok      bool
+			Runtime [3]float64
+			EDP     [3]float64
+			OK      bool
 		}
-		results := make([]res, p.Topologies)
-		parallelFor(p.Topologies, func(i int) {
-			topo := p.SampleTopology(topology.LinkFaults, faults, i)
-			if !mcReachable(topo) {
-				return
-			}
-			var r res
-			r.ok = true
-			for _, sch := range Schemes {
-				inst := p.Build(topo.Clone(), sch, int64(i)*73+int64(sch))
-				run := traffic.NewAppRun(inst.Sim, inst.Alg, app, rand.New(rand.NewSource(int64(i)*91+int64(sch))))
-				out := run.Run(inst.Sim, maxCycles)
-				if out.Runtime == 0 {
-					r.ok = false
-					break
+		key := func(i int) *sweep.Key {
+			return p.cellKey("fig13").Str("app", app.Name).
+				Int("faults", faults).Int("topo", i)
+		}
+		results := sweep.Run(p.engine(), p.Topologies, key,
+			func(i int, seed int64) (res, error) {
+				var r res
+				topo := p.SampleTopology(topology.LinkFaults, faults, i)
+				if !mcReachable(topo) {
+					return r, nil
 				}
-				r.runtime[sch] = float64(out.Runtime)
-				model := energy.Default32nm()
-				extra := energy.SchemeOverheadBuffers(inst.Sim, sch.EnergyKey())
-				b := model.Compute(inst.Sim, extra, inst.Sim.Now)
-				r.edp[sch] = b.EDP(float64(out.Runtime))
-			}
-			results[i] = r
-		})
+				r.OK = true
+				for _, sch := range Schemes {
+					inst := p.Build(topo.Clone(), sch, sweep.SubSeed(seed, 2*int(sch)))
+					run := traffic.NewAppRun(inst.Sim, inst.Alg, app,
+						rand.New(rand.NewSource(sweep.SubSeed(seed, 2*int(sch)+1))))
+					out := run.Run(inst.Sim, maxCycles)
+					if out.Runtime == 0 {
+						r.OK = false
+						break
+					}
+					r.Runtime[sch] = float64(out.Runtime)
+					model := energy.Default32nm()
+					extra := energy.SchemeOverheadBuffers(inst.Sim, sch.EnergyKey())
+					b := model.Compute(inst.Sim, extra, inst.Sim.Now)
+					r.EDP[sch] = b.EDP(float64(out.Runtime))
+				}
+				return r, nil
+			})
 		row := Fig13Row{App: app.Name}
 		var rt, edp [3][]float64
-		for _, r := range results {
-			if !r.ok {
+		for _, res := range results {
+			if !res.OK() || !res.Value.OK {
 				continue
 			}
+			r := res.Value
 			for _, sch := range Schemes {
-				rt[sch] = append(rt[sch], safeRatio(r.runtime[sch], r.runtime[SpanningTree]))
-				edp[sch] = append(edp[sch], safeRatio(r.edp[sch], r.edp[SpanningTree]))
+				rt[sch] = append(rt[sch], safeRatio(r.Runtime[sch], r.Runtime[SpanningTree]))
+				edp[sch] = append(edp[sch], safeRatio(r.EDP[sch], r.EDP[SpanningTree]))
 			}
 		}
 		for _, sch := range Schemes {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/sweep"
 	"repro/internal/topology"
 )
 
@@ -35,23 +36,29 @@ func Fig2(p Params, faultSteps map[topology.FaultKind][]int) []Fig2Row {
 			if k > topology.MaxFaults(p.Width, p.Height, kind) {
 				continue
 			}
-			prone := make([]bool, p.Topologies)
-			parallelFor(p.Topologies, func(i int) {
-				topo := p.SampleTopology(kind, k, i)
-				prone[i] = topo.HasTopologyCycle()
-			})
-			n := 0
-			for _, b := range prone {
-				if b {
+			key := func(i int) *sweep.Key {
+				return p.cellKey("fig2").
+					Str("kind", kind.String()).Int("faults", k).Int("topo", i)
+			}
+			prone := sweep.Run(p.engine(), p.Topologies, key,
+				func(i int, seed int64) (bool, error) {
+					return p.SampleTopology(kind, k, i).HasTopologyCycle(), nil
+				})
+			n, sampled := 0, 0
+			for _, r := range prone {
+				if !r.OK() {
+					continue
+				}
+				sampled++
+				if r.Value {
 					n++
 				}
 			}
-			rows = append(rows, Fig2Row{
-				Kind:          kind,
-				Faults:        k,
-				ProneFraction: float64(n) / float64(p.Topologies),
-				Sampled:       p.Topologies,
-			})
+			row := Fig2Row{Kind: kind, Faults: k, Sampled: sampled}
+			if sampled > 0 {
+				row.ProneFraction = float64(n) / float64(sampled)
+			}
+			rows = append(rows, row)
 		}
 	}
 	return rows

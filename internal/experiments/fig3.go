@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"repro/internal/deadlock"
+	"repro/internal/sweep"
 	"repro/internal/topology"
 )
 
@@ -39,37 +40,48 @@ func Fig3(p Params, faultCounts []int, rates []float64) []Fig3Row {
 	}
 	var rows []Fig3Row
 	for _, k := range faultCounts {
-		// onset[i] is the index into rates at which topology i first
-		// deadlocked, or len(rates) if it never did.
-		onset := make([]int, p.Topologies)
-		parallelFor(p.Topologies, func(i int) {
-			onset[i] = len(rates)
-			topo := p.SampleTopology(topology.LinkFaults, k, i)
-			if !topo.HasTopologyCycle() {
-				return // acyclic: can never deadlock
-			}
-			for ri, rate := range rates {
-				if deadlocksAt(p, topo, rate, int64(i)) {
-					onset[i] = ri
-					break
+		key := func(i int) *sweep.Key {
+			return p.cellKey("fig3").
+				Int("faults", k).Floats("rates", rates).Int("topo", i)
+		}
+		// Each job reports the index into rates at which its topology
+		// first deadlocked, or len(rates) if it never did.
+		onset := sweep.Run(p.engine(), p.Topologies, key,
+			func(i int, seed int64) (int, error) {
+				topo := p.SampleTopology(topology.LinkFaults, k, i)
+				if !topo.HasTopologyCycle() {
+					return len(rates), nil // acyclic: can never deadlock
 				}
+				for ri, rate := range rates {
+					if deadlocksAt(p, topo, rate, sweep.SubSeed(seed, ri)) {
+						return ri, nil
+					}
+				}
+				return len(rates), nil
+			})
+		sampled := 0
+		for _, o := range onset {
+			if o.OK() {
+				sampled++
 			}
-		})
+		}
 		cum := make([]float64, len(rates))
 		for ri := range rates {
 			n := 0
 			for _, o := range onset {
-				if o <= ri {
+				if o.OK() && o.Value <= ri {
 					n++
 				}
 			}
-			cum[ri] = float64(n) / float64(p.Topologies)
+			if sampled > 0 {
+				cum[ri] = float64(n) / float64(sampled)
+			}
 		}
 		rows = append(rows, Fig3Row{
 			FaultyLinks:          k,
 			Rates:                rates,
 			CumulativeDeadlocked: cum,
-			Sampled:              p.Topologies,
+			Sampled:              sampled,
 		})
 	}
 	return rows

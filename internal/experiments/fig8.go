@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/sweep"
 	"repro/internal/topology"
 )
 
@@ -56,38 +57,43 @@ func Fig8(p Params, patterns []string, faultSteps map[topology.FaultKind][]int) 
 
 func fig8Point(p Params, pattern string, kind topology.FaultKind, faults int) Fig8Row {
 	type res struct {
-		avg, max [3]float64
-		ok       bool
+		Avg, Max [3]float64
+		OK       bool
 	}
-	results := make([]res, p.Topologies)
-	parallelFor(p.Topologies, func(i int) {
-		topo := p.SampleTopology(kind, faults, i)
-		var r res
-		r.ok = true
-		for _, sch := range Schemes {
-			inst := p.Build(topo.Clone(), sch, int64(i)*31+int64(sch))
-			inj := inst.Injector(inst.Pattern(pattern), LowLoadRate, int64(i)*97+int64(sch))
-			m := measure(p, inst, inj)
-			if m.Delivered == 0 {
-				r.ok = false
-				return
+	key := func(i int) *sweep.Key {
+		return p.cellKey("fig8").Str("pattern", pattern).
+			Str("kind", kind.String()).Int("faults", faults).Int("topo", i)
+	}
+	results := sweep.Run(p.engine(), p.Topologies, key,
+		func(i int, seed int64) (res, error) {
+			topo := p.SampleTopology(kind, faults, i)
+			var r res
+			r.OK = true
+			for _, sch := range Schemes {
+				inst := p.Build(topo.Clone(), sch, sweep.SubSeed(seed, 2*int(sch)))
+				inj := inst.Injector(inst.Pattern(pattern), LowLoadRate, sweep.SubSeed(seed, 2*int(sch)+1))
+				m := measure(p, inst, inj)
+				if m.Delivered == 0 {
+					r.OK = false
+					return r, nil
+				}
+				r.Avg[sch] = m.AvgLatency
+				r.Max[sch] = m.MaxLatency
 			}
-			r.avg[sch] = m.AvgLatency
-			r.max[sch] = m.MaxLatency
-		}
-		results[i] = r
-	})
+			return r, nil
+		})
 	row := Fig8Row{Pattern: pattern, Kind: kind, Faults: faults}
 	var avgN, maxN [3][]float64
 	var treeAbs []float64
-	for _, r := range results {
-		if !r.ok {
+	for _, res := range results {
+		if !res.OK() || !res.Value.OK {
 			continue
 		}
-		treeAbs = append(treeAbs, r.avg[SpanningTree])
+		r := res.Value
+		treeAbs = append(treeAbs, r.Avg[SpanningTree])
 		for _, sch := range Schemes {
-			avgN[sch] = append(avgN[sch], safeRatio(r.avg[sch], r.avg[SpanningTree]))
-			maxN[sch] = append(maxN[sch], safeRatio(r.max[sch], r.max[SpanningTree]))
+			avgN[sch] = append(avgN[sch], safeRatio(r.Avg[sch], r.Avg[SpanningTree]))
+			maxN[sch] = append(maxN[sch], safeRatio(r.Max[sch], r.Max[SpanningTree]))
 		}
 	}
 	for _, sch := range Schemes {

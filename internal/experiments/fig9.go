@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/sweep"
 	"repro/internal/topology"
 )
 
@@ -51,47 +52,53 @@ func Fig9(p Params, faultSteps map[topology.FaultKind][]int) []Fig9Row {
 
 func fig9Point(p Params, kind topology.FaultKind, faults int) Fig9Row {
 	type res struct {
-		thr [3]float64
-		ok  bool
+		Thr [3]float64
+		OK  bool
 	}
-	results := make([]res, p.Topologies)
-	parallelFor(p.Topologies, func(i int) {
-		topo := p.SampleTopology(kind, faults, i)
-		var r res
-		r.ok = true
-		for _, sch := range Schemes {
-			best := 0.0
-			for ri, rate := range SaturationRates {
-				inst := p.Build(topo.Clone(), sch, int64(i)*41+int64(sch)*7+int64(ri)*131)
-				inj := inst.Injector(inst.Pattern("uniform_random"), rate, int64(i)*89+int64(sch)*5+int64(ri)*137)
-				m := measure(p, inst, inj)
-				if m.AcceptedFlits > best {
-					best = m.AcceptedFlits
+	key := func(i int) *sweep.Key {
+		return p.cellKey("fig9").Str("kind", kind.String()).Int("faults", faults).
+			Floats("rates", SaturationRates).Int("topo", i)
+	}
+	results := sweep.Run(p.engine(), p.Topologies, key,
+		func(i int, seed int64) (res, error) {
+			topo := p.SampleTopology(kind, faults, i)
+			var r res
+			r.OK = true
+			for _, sch := range Schemes {
+				best := 0.0
+				for ri, rate := range SaturationRates {
+					stream := int(sch)*2*len(SaturationRates) + 2*ri
+					inst := p.Build(topo.Clone(), sch, sweep.SubSeed(seed, stream))
+					inj := inst.Injector(inst.Pattern("uniform_random"), rate, sweep.SubSeed(seed, stream+1))
+					m := measure(p, inst, inj)
+					if m.AcceptedFlits > best {
+						best = m.AcceptedFlits
+					}
+					// Past the knee: accepted throughput has started falling
+					// away from the offered load; higher rates only collapse
+					// further.
+					if m.AcceptedFlits < 0.6*rate && best > m.AcceptedFlits {
+						break
+					}
 				}
-				// Past the knee: accepted throughput has started falling
-				// away from the offered load; higher rates only collapse
-				// further.
-				if m.AcceptedFlits < 0.6*rate && best > m.AcceptedFlits {
-					break
-				}
+				r.Thr[sch] = best
 			}
-			r.thr[sch] = best
-		}
-		if r.thr[SpanningTree] == 0 {
-			r.ok = false
-		}
-		results[i] = r
-	})
+			if r.Thr[SpanningTree] == 0 {
+				r.OK = false
+			}
+			return r, nil
+		})
 	row := Fig9Row{Kind: kind, Faults: faults}
 	var norm [3][]float64
 	var abs []float64
-	for _, r := range results {
-		if !r.ok {
+	for _, res := range results {
+		if !res.OK() || !res.Value.OK {
 			continue
 		}
-		abs = append(abs, r.thr[SpanningTree])
+		r := res.Value
+		abs = append(abs, r.Thr[SpanningTree])
 		for _, sch := range Schemes {
-			norm[sch] = append(norm[sch], safeRatio(r.thr[sch], r.thr[SpanningTree]))
+			norm[sch] = append(norm[sch], safeRatio(r.Thr[sch], r.Thr[SpanningTree]))
 		}
 	}
 	for _, sch := range Schemes {

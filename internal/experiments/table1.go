@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/geom"
+	"repro/internal/sweep"
 	"repro/internal/topology"
 )
 
@@ -27,22 +28,32 @@ type Table1Row struct {
 }
 
 // Table1 reproduces the quantitative half of Table I for the given mesh
-// sizes (nil selects the paper's 8×8 and 16×16).
-func Table1(sizes [][2]int) []Table1Row {
+// sizes (nil selects the paper's 8×8 and 16×16). p contributes only the
+// sweep engine; the placement analysis has no tunable parameters.
+func Table1(p Params, sizes [][2]int) []Table1Row {
 	if sizes == nil {
 		sizes = [][2]int{{8, 8}, {16, 16}}
 	}
-	var rows []Table1Row
-	for _, sz := range sizes {
-		w, h := sz[0], sz[1]
-		topo := topology.NewMesh(w, h)
-		rows = append(rows, Table1Row{
-			Width: w, Height: h,
-			SBBuffers:        core.PlacementCount(w, h),
-			EscapeBuffers:    w * h * geom.NumPorts,
-			ClosedFormAgrees: core.PlacementCount(w, h) == core.PlacementCountClosedForm(w, h),
-			CoverageVerified: core.VerifyCoverage(topo),
+	key := func(i int) *sweep.Key {
+		return sweep.NewKey("table1").Int("w", sizes[i][0]).Int("h", sizes[i][1])
+	}
+	results := sweep.Run(p.engine(), len(sizes), key,
+		func(i int, seed int64) (Table1Row, error) {
+			w, h := sizes[i][0], sizes[i][1]
+			topo := topology.NewMesh(w, h)
+			return Table1Row{
+				Width: w, Height: h,
+				SBBuffers:        core.PlacementCount(w, h),
+				EscapeBuffers:    w * h * geom.NumPorts,
+				ClosedFormAgrees: core.PlacementCount(w, h) == core.PlacementCountClosedForm(w, h),
+				CoverageVerified: core.VerifyCoverage(topo),
+			}, nil
 		})
+	var rows []Table1Row
+	for _, r := range results {
+		if r.OK() {
+			rows = append(rows, r.Value)
+		}
 	}
 	return rows
 }

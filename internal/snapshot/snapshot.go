@@ -116,16 +116,28 @@ func packetState(s *network.Sim, p *network.Packet, at geom.NodeID, port geom.Di
 	}
 }
 
-// Write serializes the snapshot as indented JSON.
-func Write(w io.Writer, st State) error {
+// EncodeJSON writes any value in the repository's on-disk JSON format
+// (indented, trailing newline) — shared by snapshots and the sweep
+// result cache (internal/sweep).
+func EncodeJSON(w io.Writer, v any) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(st)
+	return enc.Encode(v)
+}
+
+// DecodeJSON parses a value produced by EncodeJSON.
+func DecodeJSON(r io.Reader, v any) error {
+	return json.NewDecoder(r).Decode(v)
+}
+
+// Write serializes the snapshot as indented JSON.
+func Write(w io.Writer, st State) error {
+	return EncodeJSON(w, st)
 }
 
 // Read parses a snapshot produced by Write.
 func Read(r io.Reader) (State, error) {
 	var st State
-	err := json.NewDecoder(r).Decode(&st)
+	err := DecodeJSON(r, &st)
 	return st, err
 }

@@ -1,0 +1,98 @@
+package stats
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Progress tracks completion of a growing population of jobs with
+// wall-clock timing, for long sweeps that want live status and an ETA.
+// It is safe for concurrent use by a worker pool.
+type Progress struct {
+	mu       sync.Mutex
+	start    time.Time
+	total    int
+	done     int
+	cached   int
+	failed   int
+	jobTimes Sample // executed-job wall times, in seconds
+}
+
+// NewProgress starts the clock.
+func NewProgress() *Progress { return &Progress{start: time.Now()} }
+
+// Grow announces n more scheduled jobs.
+func (p *Progress) Grow(n int) {
+	p.mu.Lock()
+	p.total += n
+	p.mu.Unlock()
+}
+
+// ObserveExecuted records one executed job's wall time and outcome.
+func (p *Progress) ObserveExecuted(d time.Duration, ok bool) {
+	p.mu.Lock()
+	p.done++
+	if !ok {
+		p.failed++
+	}
+	p.jobTimes.Add(d.Seconds())
+	p.mu.Unlock()
+}
+
+// ObserveCached records one job satisfied from a result cache.
+func (p *Progress) ObserveCached() {
+	p.mu.Lock()
+	p.done++
+	p.cached++
+	p.mu.Unlock()
+}
+
+// ProgressSnapshot is a point-in-time view of a Progress tracker.
+type ProgressSnapshot struct {
+	Total, Done, Cached, Failed int
+	// Elapsed is wall time since the tracker was created.
+	Elapsed time.Duration
+	// MeanJob and P95Job summarize executed-job wall times.
+	MeanJob, P95Job time.Duration
+	// Rate is completed jobs (executed or cached) per second of elapsed
+	// wall time.
+	Rate float64
+	// ETA estimates the remaining wall time at the current rate
+	// (0 when nothing has completed yet).
+	ETA time.Duration
+}
+
+// Snapshot returns the current cumulative view.
+func (p *Progress) Snapshot() ProgressSnapshot {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s := ProgressSnapshot{
+		Total:   p.total,
+		Done:    p.done,
+		Cached:  p.cached,
+		Failed:  p.failed,
+		Elapsed: time.Since(p.start),
+		MeanJob: time.Duration(p.jobTimes.Mean() * float64(time.Second)),
+		P95Job:  time.Duration(p.jobTimes.Percentile(95) * float64(time.Second)),
+	}
+	if sec := s.Elapsed.Seconds(); sec > 0 && s.Done > 0 {
+		s.Rate = float64(s.Done) / sec
+		if rem := s.Total - s.Done; rem > 0 {
+			s.ETA = time.Duration(float64(rem) / s.Rate * float64(time.Second))
+		}
+	}
+	return s
+}
+
+// String renders one status line, e.g.
+// "sweep 37/120 (31%) 12 cached 0 failed | 8.4 jobs/s, mean 112ms | ETA 9s".
+func (s ProgressSnapshot) String() string {
+	pct := 0.0
+	if s.Total > 0 {
+		pct = 100 * float64(s.Done) / float64(s.Total)
+	}
+	return fmt.Sprintf("sweep %d/%d (%.0f%%) %d cached %d failed | %.1f jobs/s, mean %s | ETA %s",
+		s.Done, s.Total, pct, s.Cached, s.Failed,
+		s.Rate, s.MeanJob.Round(time.Millisecond), s.ETA.Round(time.Second))
+}

@@ -1,0 +1,70 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestProgressCounts(t *testing.T) {
+	p := NewProgress()
+	p.Grow(10)
+	p.ObserveExecuted(100*time.Millisecond, true)
+	p.ObserveExecuted(300*time.Millisecond, false)
+	p.ObserveCached()
+	s := p.Snapshot()
+	if s.Total != 10 || s.Done != 3 || s.Cached != 1 || s.Failed != 1 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	if s.MeanJob != 200*time.Millisecond {
+		t.Fatalf("MeanJob = %v, want 200ms", s.MeanJob)
+	}
+	if s.Rate <= 0 || s.ETA <= 0 {
+		t.Fatalf("rate/ETA not estimated: %+v", s)
+	}
+}
+
+func TestProgressGrowAccumulates(t *testing.T) {
+	p := NewProgress()
+	p.Grow(3)
+	p.Grow(4)
+	if s := p.Snapshot(); s.Total != 7 {
+		t.Fatalf("Total = %d, want 7", s.Total)
+	}
+}
+
+func TestProgressETAZeroWhenDone(t *testing.T) {
+	p := NewProgress()
+	p.Grow(1)
+	p.ObserveExecuted(time.Millisecond, true)
+	if s := p.Snapshot(); s.ETA != 0 {
+		t.Fatalf("ETA = %v on a finished sweep, want 0", s.ETA)
+	}
+}
+
+func TestProgressSnapshotString(t *testing.T) {
+	s := ProgressSnapshot{
+		Total: 120, Done: 37, Cached: 12, Failed: 0,
+		Elapsed: 4 * time.Second,
+		MeanJob: 112 * time.Millisecond,
+		Rate:    8.4,
+		ETA:     9 * time.Second,
+	}
+	got := s.String()
+	for _, want := range []string{"37/120", "(31%)", "12 cached", "0 failed", "8.4 jobs/s", "112ms", "ETA 9s"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("String() = %q, missing %q", got, want)
+		}
+	}
+}
+
+func TestProgressEmptySnapshot(t *testing.T) {
+	s := NewProgress().Snapshot()
+	if s.Rate != 0 || s.ETA != 0 || s.Done != 0 {
+		t.Fatalf("fresh snapshot = %+v", s)
+	}
+	// String must not divide by zero.
+	if out := s.String(); !strings.Contains(out, "0/0") {
+		t.Fatalf("String() = %q", out)
+	}
+}

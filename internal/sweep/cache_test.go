@@ -1,0 +1,217 @@
+package sweep
+
+import (
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+type payload struct {
+	N int
+	F float64
+	S string
+}
+
+func testCache(t *testing.T) *Cache {
+	t.Helper()
+	return &Cache{Dir: t.TempDir(), Salt: "test-v1"}
+}
+
+func TestCacheRoundTrip(t *testing.T) {
+	c := testCache(t)
+	k := NewKey("fig8").Int("topo", 0)
+	in := payload{N: 7, F: 0.123456789012345, S: "x"}
+	if err := c.Put(k, in); err != nil {
+		t.Fatal(err)
+	}
+	var out payload
+	hit, err := c.Get(k, &out)
+	if err != nil || !hit {
+		t.Fatalf("Get = %v, %v, want hit", hit, err)
+	}
+	if out != in {
+		t.Fatalf("round trip: got %+v, want %+v", out, in)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+}
+
+func TestCacheMiss(t *testing.T) {
+	c := testCache(t)
+	var out payload
+	if hit, err := c.Get(NewKey("fig8").Int("topo", 99), &out); err != nil || hit {
+		t.Fatalf("Get on empty cache = %v, %v", hit, err)
+	}
+}
+
+func TestCacheSaltMismatchIsMiss(t *testing.T) {
+	c := testCache(t)
+	k := NewKey("fig8").Int("topo", 0)
+	if err := c.Put(k, payload{N: 1}); err != nil {
+		t.Fatal(err)
+	}
+	// A different salt addresses a different file entirely.
+	c2 := &Cache{Dir: c.Dir, Salt: "test-v2"}
+	var out payload
+	if hit, _ := c2.Get(k, &out); hit {
+		t.Fatal("entry written under v1 must not be visible under v2")
+	}
+}
+
+func TestCacheCorruptEntryIsMiss(t *testing.T) {
+	c := testCache(t)
+	k := NewKey("fig8").Int("topo", 0)
+	if err := c.Put(k, payload{N: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(c.path(k), []byte("{ truncated"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out payload
+	if hit, err := c.Get(k, &out); err != nil || hit {
+		t.Fatalf("corrupt entry: Get = %v, %v, want clean miss", hit, err)
+	}
+	// A rerun overwrites the corrupt file and the entry works again.
+	if err := c.Put(k, payload{N: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if hit, _ := c.Get(k, &out); !hit || out.N != 2 {
+		t.Fatalf("after rewrite: hit=%v out=%+v", hit, out)
+	}
+}
+
+func TestCacheWrongKeyInEnvelopeIsMiss(t *testing.T) {
+	// Simulate a hash collision: the envelope's stored canonical key
+	// disagrees with the requested one, so Get must refuse it.
+	c := testCache(t)
+	k1 := NewKey("fig8").Int("topo", 0)
+	k2 := NewKey("fig8").Int("topo", 1)
+	if err := c.Put(k1, payload{N: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(filepath.Dir(c.path(k2)), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(c.path(k1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(c.path(k2), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out payload
+	if hit, _ := c.Get(k2, &out); hit {
+		t.Fatal("envelope key mismatch must be a miss")
+	}
+}
+
+func TestCacheAtomicWritesLeaveNoTempFiles(t *testing.T) {
+	c := testCache(t)
+	for i := 0; i < 20; i++ {
+		if err := c.Put(NewKey("fig8").Int("topo", i), payload{N: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	filepath.WalkDir(c.Dir, func(p string, d fs.DirEntry, err error) error {
+		if err == nil && d != nil && !d.IsDir() && strings.HasPrefix(d.Name(), ".tmp-") {
+			t.Errorf("leftover temp file %s", p)
+		}
+		return nil
+	})
+	if c.Len() != 20 {
+		t.Fatalf("Len = %d, want 20", c.Len())
+	}
+}
+
+func TestCacheClear(t *testing.T) {
+	c := testCache(t)
+	if err := c.Put(NewKey("x"), payload{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Clear(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("Len after Clear = %d", c.Len())
+	}
+}
+
+func TestEngineCacheSemantics(t *testing.T) {
+	// Writes happen whenever a cache is configured; reads only in resume
+	// mode. A plain rerun therefore recomputes (refreshing entries),
+	// while -resume skips everything already on disk.
+	c := testCache(t)
+
+	cold := New(Config{Workers: 2, Cache: c})
+	Run(cold, 8, testKey, func(i int, seed int64) (int, error) { return i, nil })
+	if st := cold.Stats(); st.Executed != 8 || st.CacheHits != 0 {
+		t.Fatalf("cold run stats = %+v", st)
+	}
+	if c.Len() != 8 {
+		t.Fatalf("cache entries after cold run = %d", c.Len())
+	}
+
+	// Plain rerun (no Resume): recomputes all 8.
+	rerun := New(Config{Workers: 2, Cache: c})
+	Run(rerun, 8, testKey, func(i int, seed int64) (int, error) { return i, nil })
+	if st := rerun.Stats(); st.Executed != 8 || st.CacheHits != 0 {
+		t.Fatalf("plain rerun stats = %+v", st)
+	}
+
+	// Resume run: zero executions, all from cache, values intact.
+	warm := New(Config{Workers: 2, Cache: c, Resume: true})
+	out := Run(warm, 8, testKey, func(i int, seed int64) (int, error) {
+		t.Errorf("job %d executed on a warm resume", i)
+		return i, nil
+	})
+	if st := warm.Stats(); st.Executed != 0 || st.CacheHits != 8 {
+		t.Fatalf("warm run stats = %+v", st)
+	}
+	for i, r := range out {
+		if !r.OK() || !r.Cached || r.Value != i {
+			t.Fatalf("warm out[%d] = %+v", i, r)
+		}
+	}
+}
+
+func TestEngineResumePartialCache(t *testing.T) {
+	c := testCache(t)
+	seeded := New(Config{Workers: 1, Cache: c})
+	Run(seeded, 4, testKey, func(i int, seed int64) (int, error) { return i * 10, nil })
+
+	// A wider resume sweep simulates only the 6 missing cells.
+	resume := New(Config{Workers: 3, Cache: c, Resume: true})
+	out := Run(resume, 10, testKey, func(i int, seed int64) (int, error) { return i * 10, nil })
+	if st := resume.Stats(); st.Executed != 6 || st.CacheHits != 4 {
+		t.Fatalf("partial resume stats = %+v", st)
+	}
+	for i, r := range out {
+		if !r.OK() || r.Value != i*10 {
+			t.Fatalf("out[%d] = %+v", i, r)
+		}
+		if wantCached := i < 4; r.Cached != wantCached {
+			t.Fatalf("out[%d].Cached = %v, want %v", i, r.Cached, wantCached)
+		}
+	}
+}
+
+func TestEngineFailedJobsNotCached(t *testing.T) {
+	c := testCache(t)
+	e := New(Config{Workers: 1, Cache: c})
+	Run(e, 4, testKey, func(i int, seed int64) (int, error) {
+		if i == 1 {
+			panic("bad topology")
+		}
+		return i, nil
+	})
+	if c.Len() != 3 {
+		t.Fatalf("cache holds %d entries, want 3 (failed job must not persist)", c.Len())
+	}
+	var out int
+	if hit, _ := c.Get(testKey(1), &out); hit {
+		t.Fatal("failed job left a cache entry")
+	}
+}

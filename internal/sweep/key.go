@@ -1,0 +1,91 @@
+package sweep
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"strconv"
+	"strings"
+)
+
+// Key is the stable identity of one sweep job: an ordered list of
+// name=value fields covering everything that affects the job's result
+// (experiment name, cell coordinates, and every simulation-affecting
+// parameter). The on-disk cache address and the job's RNG seed both
+// derive from the canonical form, so adding, removing, or renaming a
+// field deliberately re-addresses the cells of the sweeps that use it.
+type Key struct {
+	parts []string
+}
+
+// NewKey starts a key with the experiment name.
+func NewKey(experiment string) *Key {
+	return (&Key{}).Str("experiment", experiment)
+}
+
+// Str appends a string field.
+func (k *Key) Str(name, v string) *Key {
+	k.parts = append(k.parts, name+"="+v)
+	return k
+}
+
+// Int appends an integer field.
+func (k *Key) Int(name string, v int) *Key { return k.Str(name, strconv.Itoa(v)) }
+
+// Int64 appends a 64-bit integer field.
+func (k *Key) Int64(name string, v int64) *Key { return k.Str(name, strconv.FormatInt(v, 10)) }
+
+// Float appends a float field in the shortest round-trippable form.
+func (k *Key) Float(name string, v float64) *Key {
+	return k.Str(name, strconv.FormatFloat(v, 'g', -1, 64))
+}
+
+// Floats appends a comma-joined float-list field (rate grids and the
+// like, where the whole list shapes the job's result).
+func (k *Key) Floats(name string, vs []float64) *Key {
+	ss := make([]string, len(vs))
+	for i, v := range vs {
+		ss[i] = strconv.FormatFloat(v, 'g', -1, 64)
+	}
+	return k.Str(name, strings.Join(ss, ","))
+}
+
+// Bool appends a boolean field.
+func (k *Key) Bool(name string, v bool) *Key { return k.Str(name, strconv.FormatBool(v)) }
+
+// Canonical returns the canonical textual form, "a=1|b=x|...".
+func (k *Key) Canonical() string { return strings.Join(k.parts, "|") }
+
+// Hash returns the hex SHA-256 address of the salted canonical form.
+// The salt is the cache's code-version string: bumping it re-addresses
+// every entry at once.
+func (k *Key) Hash(salt string) string {
+	sum := sha256.Sum256([]byte(salt + "\x00" + k.Canonical()))
+	return hex.EncodeToString(sum[:])
+}
+
+// Seed derives the job's base RNG seed from the canonical form alone —
+// not the salt, because a cache-version bump must never alter simulated
+// results. The hash word passes through a splitmix64 finalizer so that
+// near-identical keys ("topo=1" vs "topo=2") still yield decorrelated
+// seed streams.
+func (k *Key) Seed() int64 {
+	sum := sha256.Sum256([]byte(k.Canonical()))
+	return int64(splitmix64(binary.LittleEndian.Uint64(sum[:8])))
+}
+
+// SubSeed derives the stream-th decorrelated seed from a job seed, for
+// jobs that need several independent RNGs (one per scheme, per offered
+// rate, ...).
+func SubSeed(seed int64, stream int) int64 {
+	return int64(splitmix64(uint64(seed) + uint64(stream)*0x9e3779b97f4a7c15))
+}
+
+// splitmix64 is the SplitMix64 finalizer: a bijective avalanche mix
+// turning structured inputs into independent-looking seeds.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

@@ -1,0 +1,234 @@
+// Package sweep is the reusable sweep/job engine behind the experiment
+// harness (internal/experiments): a bounded worker pool with context
+// cancellation and panic capture, deterministic per-job seed derivation
+// (splitmix-style from the job key), a content-addressed on-disk result
+// cache, and progress/ETA reporting through internal/stats.
+//
+// The contract every sweep relies on: results are positional and every
+// job's seed derives only from its key, so a sweep's output is
+// byte-identical regardless of worker count, scheduling order, or
+// whether cells came from the cache or from live simulation.
+package sweep
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// Config selects how an Engine executes jobs. It is execution
+// configuration only: nothing in it may change a job's computed value.
+type Config struct {
+	// Workers bounds concurrently executing jobs; <= 0 selects
+	// runtime.GOMAXPROCS(0).
+	Workers int
+	// Cache, when non-nil, persists every computed job result.
+	Cache *Cache
+	// Resume additionally reads the cache before executing a job, so an
+	// interrupted or repeated sweep only simulates the missing cells.
+	// Off by default: a plain rerun recomputes (and refreshes) every
+	// entry it touches.
+	Resume bool
+	// Ctx cancels the sweep between jobs; nil means context.Background.
+	// A cancelled engine lets jobs already executing finish (bounded by
+	// one job per worker) and marks the rest with ctx.Err().
+	Ctx context.Context
+	// Progress, when non-nil, is called after every completed job with
+	// the engine's cumulative snapshot. Calls are serialized.
+	Progress func(stats.ProgressSnapshot)
+}
+
+// Engine runs sweeps. One engine may serve many Run calls (cmd/sbsweep
+// shares a single engine across all figures); its counters accumulate.
+type Engine struct {
+	cfg  Config
+	prog *stats.Progress
+
+	mu sync.Mutex
+	st RunStats
+
+	progMu sync.Mutex
+}
+
+// RunStats counts job outcomes over the engine's lifetime.
+type RunStats struct {
+	Jobs           int // scheduled
+	Executed       int // computed by running the job function
+	CacheHits      int // satisfied from the result cache
+	Failed         int // returned an error or panicked
+	Cancelled      int // never started: context cancelled first
+	CacheWriteErrs int // results computed but not persisted
+}
+
+// New builds an engine; the zero Config selects all cores, no cache,
+// and no cancellation.
+func New(cfg Config) *Engine {
+	return &Engine{cfg: cfg, prog: stats.NewProgress()}
+}
+
+// Context returns the engine's cancellation context.
+func (e *Engine) Context() context.Context {
+	if e.cfg.Ctx != nil {
+		return e.cfg.Ctx
+	}
+	return context.Background()
+}
+
+// Stats returns the cumulative counters.
+func (e *Engine) Stats() RunStats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.st
+}
+
+// Progress returns the cumulative progress snapshot (timing included).
+func (e *Engine) Progress() stats.ProgressSnapshot { return e.prog.Snapshot() }
+
+func (e *Engine) workers() int {
+	if e.cfg.Workers > 0 {
+		return e.cfg.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (e *Engine) note(f func(*RunStats)) {
+	e.mu.Lock()
+	f(&e.st)
+	e.mu.Unlock()
+}
+
+func (e *Engine) emitProgress() {
+	if e.cfg.Progress == nil {
+		return
+	}
+	e.progMu.Lock()
+	e.cfg.Progress(e.prog.Snapshot())
+	e.progMu.Unlock()
+}
+
+// Result is one job's outcome.
+type Result[T any] struct {
+	Value T
+	// Err is nil on success; a context error for jobs the cancellation
+	// prevented from starting; a *PanicError for captured panics.
+	Err error
+	// Cached reports that Value came from the result cache.
+	Cached bool
+}
+
+// OK reports whether the job produced a value.
+func (r Result[T]) OK() bool { return r.Err == nil }
+
+// PanicError wraps a panic captured from a job, so one faulty topology
+// run fails that job instead of the process.
+type PanicError struct {
+	Value any
+	Stack string
+}
+
+func (p *PanicError) Error() string { return fmt.Sprintf("job panic: %v", p.Value) }
+
+// Run executes n jobs on e's pool and returns positional results:
+// out[i] is job i's outcome no matter which worker ran it or in what
+// order. key(i) must fully describe job i — it addresses the cache and
+// derives the seed passed to fn. fn must only touch state owned by its
+// own index.
+func Run[T any](e *Engine, n int, key func(i int) *Key, fn func(i int, seed int64) (T, error)) []Result[T] {
+	out := make([]Result[T], n)
+	if n == 0 {
+		return out
+	}
+	e.note(func(st *RunStats) { st.Jobs += n })
+	e.prog.Grow(n)
+	ctx := e.Context()
+	workers := e.workers()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				out[i] = Result[T]{Err: err}
+				e.note(func(st *RunStats) { st.Cancelled++ })
+				continue
+			}
+			out[i] = runOne(e, key(i), i, fn)
+		}
+		return out
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				out[i] = runOne(e, key(i), i, fn)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			out[i] = Result[T]{Err: ctx.Err()}
+			e.note(func(st *RunStats) { st.Cancelled++ })
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	return out
+}
+
+// runOne resolves a single job: cache lookup (in resume mode), then
+// execution with panic capture, then cache write-back.
+func runOne[T any](e *Engine, k *Key, i int, fn func(i int, seed int64) (T, error)) Result[T] {
+	var r Result[T]
+	c := e.cfg.Cache
+	if c != nil && e.cfg.Resume {
+		if hit, err := c.Get(k, &r.Value); err == nil && hit {
+			r.Cached = true
+			e.note(func(st *RunStats) { st.CacheHits++ })
+			e.prog.ObserveCached()
+			e.emitProgress()
+			return r
+		}
+	}
+	if err := e.Context().Err(); err != nil {
+		e.note(func(st *RunStats) { st.Cancelled++ })
+		return Result[T]{Err: err}
+	}
+	start := time.Now()
+	r.Value, r.Err = call(fn, i, k.Seed())
+	elapsed := time.Since(start)
+	err := r.Err
+	e.note(func(st *RunStats) {
+		st.Executed++
+		if err != nil {
+			st.Failed++
+		}
+	})
+	e.prog.ObserveExecuted(elapsed, err == nil)
+	if err == nil && c != nil {
+		if perr := c.Put(k, r.Value); perr != nil {
+			e.note(func(st *RunStats) { st.CacheWriteErrs++ })
+		}
+	}
+	e.emitProgress()
+	return r
+}
+
+// call invokes fn with panic capture.
+func call[T any](fn func(i int, seed int64) (T, error), i int, seed int64) (v T, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = &PanicError{Value: p, Stack: string(debug.Stack())}
+		}
+	}()
+	return fn(i, seed)
+}

@@ -1,0 +1,196 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/stats"
+)
+
+func testKey(i int) *Key {
+	return NewKey("test").Int("topo", i)
+}
+
+func TestRunPositionalDeterminism(t *testing.T) {
+	// The same sweep must yield identical positional results regardless
+	// of worker count: out[i] depends only on key(i), never scheduling.
+	run := func(workers int) []Result[int64] {
+		e := New(Config{Workers: workers})
+		return Run(e, 40, testKey, func(i int, seed int64) (int64, error) {
+			return seed ^ int64(i), nil
+		})
+	}
+	ref := run(1)
+	for _, w := range []int{2, 4, 8} {
+		got := run(w)
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("workers=%d: out[%d] = %+v, want %+v", w, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+func TestRunSeedsDeriveFromKeys(t *testing.T) {
+	e := New(Config{Workers: 1})
+	var seeds []int64
+	Run(e, 3, testKey, func(i int, seed int64) (int, error) {
+		seeds = append(seeds, seed)
+		return 0, nil
+	})
+	for i, s := range seeds {
+		if want := testKey(i).Seed(); s != want {
+			t.Fatalf("job %d seed = %d, want key-derived %d", i, s, want)
+		}
+	}
+	if seeds[0] == seeds[1] || seeds[1] == seeds[2] {
+		t.Fatalf("adjacent job seeds collide: %v", seeds)
+	}
+}
+
+func TestRunPanicCapture(t *testing.T) {
+	e := New(Config{Workers: 4})
+	out := Run(e, 10, testKey, func(i int, seed int64) (int, error) {
+		if i == 3 {
+			panic("boom")
+		}
+		return i, nil
+	})
+	var pe *PanicError
+	if !errors.As(out[3].Err, &pe) {
+		t.Fatalf("out[3].Err = %v, want *PanicError", out[3].Err)
+	}
+	if pe.Value != "boom" || pe.Stack == "" {
+		t.Fatalf("panic not captured: %+v", pe)
+	}
+	for i, r := range out {
+		if i != 3 && (!r.OK() || r.Value != i) {
+			t.Fatalf("job %d affected by sibling panic: %+v", i, r)
+		}
+	}
+	st := e.Stats()
+	if st.Failed != 1 || st.Executed != 10 {
+		t.Fatalf("stats = %+v, want 1 failed of 10 executed", st)
+	}
+}
+
+func TestRunErrorCounting(t *testing.T) {
+	e := New(Config{Workers: 2})
+	out := Run(e, 6, testKey, func(i int, seed int64) (int, error) {
+		if i%2 == 1 {
+			return 0, fmt.Errorf("job %d failed", i)
+		}
+		return i, nil
+	})
+	nOK := 0
+	for _, r := range out {
+		if r.OK() {
+			nOK++
+		}
+	}
+	if nOK != 3 {
+		t.Fatalf("ok results = %d, want 3", nOK)
+	}
+	if st := e.Stats(); st.Failed != 3 || st.Jobs != 6 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestRunCancellation(t *testing.T) {
+	// Cancel mid-sweep: the call must return promptly (bounded by the
+	// jobs already executing), and every unstarted job must carry the
+	// context error rather than a zero value masquerading as a result.
+	ctx, cancel := context.WithCancel(context.Background())
+	e := New(Config{Workers: 2, Ctx: ctx})
+	var started atomic.Int32
+	done := make(chan []Result[int])
+	go func() {
+		done <- Run(e, 100, testKey, func(i int, seed int64) (int, error) {
+			if started.Add(1) == 3 {
+				cancel()
+			}
+			time.Sleep(2 * time.Millisecond)
+			return i, nil
+		})
+	}()
+	var out []Result[int]
+	select {
+	case out = <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled sweep did not return promptly")
+	}
+	st := e.Stats()
+	if st.Cancelled == 0 {
+		t.Fatalf("stats = %+v, want cancelled jobs", st)
+	}
+	if st.Executed >= 100 {
+		t.Fatalf("all %d jobs executed despite cancellation", st.Executed)
+	}
+	nCancelled := 0
+	for _, r := range out {
+		if errors.Is(r.Err, context.Canceled) {
+			nCancelled++
+		}
+	}
+	if nCancelled != st.Cancelled {
+		t.Fatalf("%d results carry ctx error, stats say %d", nCancelled, st.Cancelled)
+	}
+	if st.Executed+st.Cancelled != 100 {
+		t.Fatalf("executed %d + cancelled %d != 100", st.Executed, st.Cancelled)
+	}
+}
+
+func TestRunSerialCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	e := New(Config{Workers: 1, Ctx: ctx})
+	out := Run(e, 10, testKey, func(i int, seed int64) (int, error) {
+		if i == 2 {
+			cancel()
+		}
+		return i, nil
+	})
+	for i := 0; i <= 2; i++ {
+		if !out[i].OK() {
+			t.Fatalf("job %d should have completed: %+v", i, out[i])
+		}
+	}
+	for i := 3; i < 10; i++ {
+		if !errors.Is(out[i].Err, context.Canceled) {
+			t.Fatalf("job %d should be cancelled: %+v", i, out[i])
+		}
+	}
+}
+
+func TestRunZeroJobs(t *testing.T) {
+	e := New(Config{})
+	if out := Run(e, 0, testKey, func(i int, seed int64) (int, error) { return 0, nil }); len(out) != 0 {
+		t.Fatalf("len = %d", len(out))
+	}
+}
+
+func TestEngineAccumulatesAcrossRuns(t *testing.T) {
+	e := New(Config{Workers: 1})
+	Run(e, 3, testKey, func(i int, seed int64) (int, error) { return i, nil })
+	Run(e, 4, testKey, func(i int, seed int64) (int, error) { return i, nil })
+	if st := e.Stats(); st.Jobs != 7 || st.Executed != 7 {
+		t.Fatalf("stats = %+v, want 7 jobs accumulated", st)
+	}
+	if s := e.Progress(); s.Total != 7 || s.Done != 7 {
+		t.Fatalf("progress = %+v", s)
+	}
+}
+
+func TestProgressCallback(t *testing.T) {
+	var calls atomic.Int32
+	e := New(Config{Workers: 4, Progress: func(s stats.ProgressSnapshot) {
+		calls.Add(1)
+	}})
+	Run(e, 12, testKey, func(i int, seed int64) (int, error) { return i, nil })
+	if got := calls.Load(); got != 12 {
+		t.Fatalf("progress callback fired %d times, want 12", got)
+	}
+}
