@@ -33,7 +33,8 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "experiment: 2, 3, t1, 8, 9, 10, 11, 12, 13, scale, failures, ablation, or all")
+	fig := flag.String("fig", "all", "experiment: 2, 3, t1, 8, 9, 10, 11, 12, 13, scale, failures, ablation, bench, or all")
+	benchOut := flag.String("bench-out", "BENCH_sim.json", "output file for -fig bench results")
 	scale := flag.String("scale", "full", "quick or full")
 	topos := flag.Int("topos", 0, "override topologies per point")
 	seed := flag.Int64("seed", 0, "base seed for topology sampling")
@@ -149,6 +150,30 @@ func main() {
 	run("ablation", emit(
 		func() { experiments.PrintAblation(os.Stdout, experiments.Ablation(p)) },
 		func() error { return experiments.AblationCSV(os.Stdout, experiments.Ablation(p)) }))
+	// Simulator-core benchmark: event-driven Step vs refmodel full scan on
+	// identical seeds. Not a sweep — it runs locally and single-threaded so
+	// the timings are comparable — and it double-checks both cores land on
+	// identical Stats.
+	run("bench", func() {
+		rows, err := experiments.SimBench()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sbsweep:", err)
+			os.Exit(1)
+		}
+		experiments.PrintSimBench(os.Stdout, rows)
+		f, err := os.Create(*benchOut)
+		if err == nil {
+			err = experiments.WriteSimBenchJSON(f, rows)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sbsweep:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *benchOut)
+	})
 
 	st := engine.Stats()
 	fmt.Fprintf(os.Stderr, "sweep engine: %d jobs (%d executed, %d cached, %d failed, %d cancelled)\n",

@@ -184,8 +184,10 @@ func TestPrimeRectLoopShape(t *testing.T) {
 	}
 	// All enqueued routes are valid.
 	for id := range s.NIQueue {
-		for _, q := range s.NIQueue[id] {
-			for _, p := range q {
+		for vnet := range s.NIQueue[id] {
+			q := &s.NIQueue[id][vnet]
+			for i := 0; i < q.Len(); i++ {
+				p := q.At(i)
 				if err := routing.Route(p.Route).Validate(topo, p.Src, p.Dst); err != nil {
 					t.Fatal(err)
 				}

@@ -1,0 +1,163 @@
+package experiments
+
+// Micro/meso benchmarks of the simulator core: each scenario is run
+// twice on identical seeds — once through the event-driven Sim.Step and
+// once through the refmodel full scan — timing both and checking they
+// land on identical Stats. Results feed BENCH_sim.json (sbsweep -fig
+// bench, also produced as a CI artifact) and EXPERIMENTS.md.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/network"
+	"repro/internal/network/refmodel"
+	"repro/internal/routing"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// SimBenchResult is one scenario's event-vs-refmodel timing comparison.
+type SimBenchResult struct {
+	Scenario string `json:"scenario"`
+	Cycles   int    `json:"cycles"`
+	// Wall nanoseconds per simulated cycle under each core.
+	EventNsPerCycle float64 `json:"event_ns_per_cycle"`
+	RefNsPerCycle   float64 `json:"refmodel_ns_per_cycle"`
+	// Speedup is refmodel time / event time (>1 means the event core wins).
+	Speedup float64 `json:"speedup"`
+	// Delivered (identical under both cores — verified) sizes the workload.
+	Delivered int64 `json:"delivered"`
+}
+
+// simScenario builds a fresh deterministic simulation and its per-cycle
+// traffic source. Every build() of one scenario must produce the exact
+// same trajectory, so the two cores can be timed on identical work.
+type simScenario struct {
+	name   string
+	cycles int
+	build  func() (*network.Sim, func())
+}
+
+// simBenchScenarios covers the three load regimes the event core must
+// handle: a large mostly-idle mesh (the win case: sleeping routers cost
+// nothing), a saturated mesh (the guard case: everything is awake, so
+// scheduler overhead must stay negligible), and a deadlock-recovery
+// burst on an irregular topology (the correctness-hard case: fences,
+// bubbles and probe storms waking routers out of band).
+func simBenchScenarios() []simScenario {
+	return []simScenario{
+		{
+			name:   "idle_mesh_16x16",
+			cycles: 30000,
+			build: func() (*network.Sim, func()) {
+				topo := topology.NewMesh(16, 16)
+				s := network.New(topo, network.Config{}, rand.New(rand.NewSource(11)))
+				core.Attach(s, core.Options{})
+				inj := traffic.NewInjector(topo.AliveRouters(), routing.NewMinimal(topo),
+					traffic.NewUniformRandom(topo.AliveRouters()), 0.002, rand.New(rand.NewSource(12)))
+				// Trickle traffic for the first half, then a drained tail:
+				// the regime where routers sleep and the full scan pays for
+				// 256 no-op routers every cycle.
+				return s, func() {
+					if s.Now < 15000 {
+						inj.Tick(s)
+					}
+				}
+			},
+		},
+		{
+			name:   "saturation_8x8",
+			cycles: 4000,
+			build: func() (*network.Sim, func()) {
+				topo := topology.NewMesh(8, 8)
+				s := network.New(topo, network.Config{}, rand.New(rand.NewSource(21)))
+				core.Attach(s, core.Options{})
+				inj := traffic.NewInjector(topo.AliveRouters(), routing.NewMinimal(topo),
+					traffic.NewUniformRandom(topo.AliveRouters()), 0.35, rand.New(rand.NewSource(22)))
+				return s, func() { inj.Tick(s) }
+			},
+		},
+		{
+			name:   "recovery_burst_8x8_irregular",
+			cycles: 4000,
+			build: func() (*network.Sim, func()) {
+				topo := topology.RandomIrregular(8, 8, topology.LinkFaults, 18, 42)
+				s := network.New(topo, network.Config{}, rand.New(rand.NewSource(31)))
+				// Hair-trigger detection keeps recovery storms running for
+				// most of the window.
+				core.Attach(s, core.Options{TDD: 24})
+				inj := traffic.NewInjector(topo.AliveRouters(), routing.NewMinimal(topo),
+					traffic.NewUniformRandom(topo.AliveRouters()), 0.12, rand.New(rand.NewSource(32)))
+				return s, func() { inj.Tick(s) }
+			},
+		},
+	}
+}
+
+// runSimScenario executes one scenario under the chosen core and returns
+// its final stats and the stepping wall time. Only the step calls are
+// timed: traffic generation is identical under both cores and would
+// otherwise dilute the comparison.
+func runSimScenario(sc simScenario, useRef bool) (network.Stats, time.Duration) {
+	s, tick := sc.build()
+	step := s.Step
+	if useRef {
+		step = refmodel.New(s).Step
+	}
+	var total time.Duration
+	for c := 0; c < sc.cycles; c++ {
+		tick()
+		t0 := time.Now()
+		step()
+		total += time.Since(t0)
+	}
+	return s.Stats, total
+}
+
+// SimBench runs every benchmark scenario under both cores, verifies they
+// produce identical Stats, and returns the timing comparison. The
+// refmodel pass runs first so the event pass cannot benefit from warmer
+// caches.
+func SimBench() ([]SimBenchResult, error) {
+	var out []SimBenchResult
+	for _, sc := range simBenchScenarios() {
+		refStats, refDur := runSimScenario(sc, true)
+		evStats, evDur := runSimScenario(sc, false)
+		if evStats != refStats {
+			return nil, fmt.Errorf("bench %s: cores diverged\nevent:    %+v\nrefmodel: %+v",
+				sc.name, evStats, refStats)
+		}
+		out = append(out, SimBenchResult{
+			Scenario:        sc.name,
+			Cycles:          sc.cycles,
+			EventNsPerCycle: float64(evDur.Nanoseconds()) / float64(sc.cycles),
+			RefNsPerCycle:   float64(refDur.Nanoseconds()) / float64(sc.cycles),
+			Speedup:         safeRatio(float64(refDur.Nanoseconds()), float64(evDur.Nanoseconds())),
+			Delivered:       evStats.Delivered,
+		})
+	}
+	return out, nil
+}
+
+// WriteSimBenchJSON writes results as indented JSON (the BENCH_sim.json
+// format: a top-level array of SimBenchResult).
+func WriteSimBenchJSON(w io.Writer, rs []SimBenchResult) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rs)
+}
+
+// PrintSimBench renders the comparison as a table.
+func PrintSimBench(w io.Writer, rs []SimBenchResult) {
+	fmt.Fprintf(w, "%-30s %8s %14s %14s %8s %10s\n",
+		"scenario", "cycles", "event ns/cyc", "ref ns/cyc", "speedup", "delivered")
+	for _, r := range rs {
+		fmt.Fprintf(w, "%-30s %8d %14.0f %14.0f %7.2fx %10d\n",
+			r.Scenario, r.Cycles, r.EventNsPerCycle, r.RefNsPerCycle, r.Speedup, r.Delivered)
+	}
+}

@@ -1,0 +1,66 @@
+package experiments
+
+import "testing"
+
+// benchSimScenario runs one named scenario under one core per iteration
+// (compatible with the CI smoke tier's -benchtime=1x).
+func benchSimScenario(b *testing.B, name string, ref bool) {
+	for _, sc := range simBenchScenarios() {
+		if sc.name != name {
+			continue
+		}
+		var cycles int64
+		for i := 0; i < b.N; i++ {
+			stats, _ := runSimScenario(sc, ref)
+			if stats.Delivered == 0 {
+				b.Fatalf("%s delivered nothing", name)
+			}
+			cycles += int64(sc.cycles)
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(cycles), "ns/cycle")
+		return
+	}
+	b.Fatalf("unknown scenario %q", name)
+}
+
+func BenchmarkSimEventIdleMesh(b *testing.B) { benchSimScenario(b, "idle_mesh_16x16", false) }
+func BenchmarkSimRefIdleMesh(b *testing.B)   { benchSimScenario(b, "idle_mesh_16x16", true) }
+func BenchmarkSimEventSaturation(b *testing.B) {
+	benchSimScenario(b, "saturation_8x8", false)
+}
+func BenchmarkSimRefSaturation(b *testing.B) { benchSimScenario(b, "saturation_8x8", true) }
+func BenchmarkSimEventRecoveryBurst(b *testing.B) {
+	benchSimScenario(b, "recovery_burst_8x8_irregular", false)
+}
+func BenchmarkSimRefRecoveryBurst(b *testing.B) {
+	benchSimScenario(b, "recovery_burst_8x8_irregular", true)
+}
+
+// TestSimBenchCoresAgree runs every benchmark scenario under both cores
+// and requires identical Stats (SimBench errors on any divergence). The
+// timing numbers themselves are environment-dependent and are asserted
+// only by inspection (EXPERIMENTS.md / BENCH_sim.json), but a speedup
+// below 1 on the big idle mesh would mean the event core lost its entire
+// reason to exist, so flag it.
+func TestSimBenchCoresAgree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bench scenarios are seconds-long; skipped under -short")
+	}
+	rs, err := SimBench()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 3 {
+		t.Fatalf("expected 3 scenarios, got %d", len(rs))
+	}
+	for _, r := range rs {
+		if r.Delivered == 0 {
+			t.Errorf("%s: delivered nothing — scenario is not exercising the core", r.Scenario)
+		}
+		t.Logf("%s: event %.0f ns/cyc, refmodel %.0f ns/cyc, speedup %.2fx",
+			r.Scenario, r.EventNsPerCycle, r.RefNsPerCycle, r.Speedup)
+	}
+	if rs[0].Speedup < 1 {
+		t.Errorf("event core slower than full scan on the idle mesh (%.2fx)", rs[0].Speedup)
+	}
+}

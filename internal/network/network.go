@@ -1,9 +1,17 @@
-// Package network implements a deterministic, cycle-driven, flit-timed NoC
-// simulator for mesh-derived irregular topologies: 5-port virtual-channel
-// routers with virtual cut-through flow control (packet-sized VCs, as the
-// paper assumes in Section IV-A), credit-accurate buffer reuse, 1-cycle
-// routers and 1-cycle links, multiple virtual networks, and per-class link
-// utilization accounting.
+// Package network implements a deterministic, event-driven, flit-timed
+// NoC simulator for mesh-derived irregular topologies: 5-port
+// virtual-channel routers with virtual cut-through flow control
+// (packet-sized VCs, as the paper assumes in Section IV-A),
+// credit-accurate buffer reuse, 1-cycle routers and 1-cycle links,
+// multiple virtual networks, and per-class link utilization accounting.
+//
+// Step is wakeup-driven: quiescent routers are skipped entirely, and a
+// router is processed only in cycles for which a wake was scheduled (see
+// sched.go for the wake rules and the equivalence invariant). The
+// per-node phase primitives InjectNode, AllocateNode and
+// TransferBubbleNode are exported so the deliberately naive full-scan
+// stepper in internal/network/refmodel can drive the identical movement
+// logic; a differential harness there proves the two cores cycle-exact.
 //
 // The simulator is scheme-agnostic: deadlock-recovery machinery (Static
 // Bubble FSMs in internal/core, escape-VC timeouts in internal/escape)
@@ -71,11 +79,11 @@ type Sim struct {
 	Topo    *topology.Topology
 	Routers []Router
 	// NIQueue[node][vnet] is the source-side injection FIFO.
-	NIQueue [][][]*Packet
+	NIQueue [][]NIRing
 	// Now is the current cycle (events of cycle Now happen during Step).
 	Now int64
 	// Rng drives all stochastic choices (traffic should share it for
-	// reproducibility).
+	// reproducibility). The core itself never draws from it.
 	Rng *rand.Rand
 
 	// PreCycle hooks run at the start of each Step, before injection and
@@ -100,6 +108,13 @@ type Sim struct {
 	// OnDeliver, when non-nil, is called once per delivered packet (at
 	// ejection grant time). Latency collectors hook in here.
 	OnDeliver func(p *Packet)
+	// OnGrant, when non-nil, observes every successful switch-allocation
+	// grant immediately before the packet moves: p leaves router at's
+	// input port `in` (vc is the buffer it occupied — compare against
+	// &Routers[at].Bubble.VC to identify bubble departures) through
+	// output `out`. Invariant checkers (the allocation fuzz test) hook in
+	// here.
+	OnGrant func(p *Packet, vc *VC, at geom.NodeID, in, out geom.Direction)
 
 	Stats Stats
 	// LastProgress is the last cycle any packet moved between buffers or
@@ -110,6 +125,9 @@ type Sim struct {
 	inFlight  int64
 	// saCand is per-output scratch for switch allocation (hot loop).
 	saCand [geom.NumPorts][]int32
+
+	sched  scheduler
+	dueBuf []int32
 }
 
 // New builds a simulator over topo. The topology may be irregular; dead
@@ -124,7 +142,7 @@ func New(topo *topology.Topology, cfg Config, rng *rand.Rand) *Sim {
 		Cfg:     cfg,
 		Topo:    topo,
 		Routers: make([]Router, n),
-		NIQueue: make([][][]*Packet, n),
+		NIQueue: make([][]NIRing, n),
 		Rng:     rng,
 	}
 	slots := cfg.SlotsPerPort()
@@ -134,11 +152,12 @@ func New(topo *topology.Topology, cfg Config, rng *rand.Rand) *Sim {
 		for p := 0; p < geom.NumPorts; p++ {
 			r.In[p] = make([]VC, slots)
 		}
-		s.NIQueue[id] = make([][]*Packet, cfg.NumVnets)
+		s.NIQueue[id] = make([]NIRing, cfg.NumVnets)
 	}
 	for i := range s.saCand {
 		s.saCand[i] = make([]int32, 0, geom.NumPorts*slots+1)
 	}
+	s.sched.init(n)
 	return s
 }
 
@@ -168,9 +187,32 @@ func (s *Sim) NewPacket(src, dst geom.NodeID, vnet, length int, route routing.Ro
 // Enqueue places p into its source NI queue. The caller is responsible
 // for having computed a valid route (or an OutputOverride).
 func (s *Sim) Enqueue(p *Packet) {
-	s.NIQueue[p.Src][p.Vnet] = append(s.NIQueue[p.Src][p.Vnet], p)
+	s.NIQueue[p.Src][p.Vnet].Push(p)
 	s.Stats.Offered++
+	s.sched.wake(p.Src, s.Now)
 }
+
+// Wake schedules router n for processing in the current cycle (or the
+// next one if this cycle's work already started). Step's wake rules
+// cover every mutation the simulator or its documented hooks perform;
+// call Wake after mutating router or VC state through any other channel
+// — e.g. tests that hand-place packets into buffers, or re-enabling a
+// router in the topology.
+func (s *Sim) Wake(n geom.NodeID) { s.sched.wake(n, s.Now) }
+
+// WakeAll schedules every router — the blunt form of Wake for callers
+// that mutated state broadly.
+func (s *Sim) WakeAll() {
+	for id := range s.Routers {
+		s.sched.wake(geom.NodeID(id), s.Now)
+	}
+}
+
+// DetachScheduler permanently disables the event scheduler: every wake
+// becomes a no-op and Sim.Step stops advancing simulation state. Used by
+// the refmodel full-scan stepper, which visits every router every cycle
+// and needs no (and must not accumulate) scheduling state.
+func (s *Sim) DetachScheduler() { s.sched.detached = true }
 
 // Drop records a packet that could not be routed (destination
 // unreachable); the paper's methodology drops such packets under
@@ -230,14 +272,26 @@ func (s *Sim) DeliverOutOfBand(vc *VC, at geom.NodeID, port geom.Direction, deli
 	s.LastProgress = s.Now
 }
 
-// Step advances the simulation by one cycle.
+// Step advances the simulation by one cycle. Hooks run unconditionally
+// (recovery FSM timers depend on it); the per-router phases run only
+// over routers with a wake scheduled for this cycle, in ascending id
+// order — the same order the naive stepper visits them, so the two
+// cores are cycle-exact (proved by the refmodel differential harness).
 func (s *Sim) Step() {
 	for _, f := range s.PreCycle {
 		f(s)
 	}
-	s.inject()
-	s.allocate()
-	s.transferBubbles()
+	due := s.sched.collectDue(s.Now, s.dueBuf[:0])
+	s.dueBuf = due
+	for _, id := range due {
+		s.InjectNode(geom.NodeID(id))
+	}
+	for _, id := range due {
+		s.AllocateNode(geom.NodeID(id))
+	}
+	for _, id := range due {
+		s.TransferBubbleNode(geom.NodeID(id))
+	}
 	for _, f := range s.PostCycle {
 		f(s)
 	}
@@ -258,44 +312,63 @@ func (s *Sim) InFlight() int64 { return s.inFlight }
 // QueuedPackets returns the number of packets waiting in NI queues.
 func (s *Sim) QueuedPackets() int64 {
 	var n int64
-	for _, byVnet := range s.NIQueue {
-		for _, q := range byVnet {
-			n += int64(len(q))
+	for id := range s.NIQueue {
+		for vnet := range s.NIQueue[id] {
+			n += int64(s.NIQueue[id][vnet].Len())
 		}
 	}
 	return n
 }
 
-// inject moves NI-queue heads into free local-port VCs, one packet per
-// node per vnet per cycle.
-func (s *Sim) inject() {
-	for id := range s.NIQueue {
-		node := geom.NodeID(id)
-		if !s.Topo.RouterAlive(node) {
+// InjectNode moves node id's NI-queue heads into free local-port VCs,
+// one packet per vnet per cycle — the injection phase for a single
+// node. Exported as a stepper building block; the event core invokes it
+// for due routers, the refmodel for every router.
+func (s *Sim) InjectNode(id geom.NodeID) {
+	qs := s.NIQueue[id]
+	if !s.Topo.RouterAlive(id) {
+		// A dead router cannot inject, but its queue survives (the
+		// router may be re-enabled): poll while anything is queued,
+		// exactly what the naive core's full scan paid.
+		for vnet := range qs {
+			if qs[vnet].Len() > 0 {
+				s.sched.wake(id, s.Now+1)
+				return
+			}
+		}
+		return
+	}
+	r := &s.Routers[id]
+	pending := false
+	for vnet := range qs {
+		q := &qs[vnet]
+		if q.Len() == 0 {
 			continue
 		}
-		r := &s.Routers[id]
-		for vnet := range s.NIQueue[id] {
-			q := s.NIQueue[id][vnet]
-			if len(q) == 0 {
-				continue
-			}
-			p := q[0]
-			slot := s.findFreeVC(node, geom.Local, p, vnet)
-			if slot < 0 {
-				continue
-			}
-			vc := &r.In[geom.Local][slot]
-			vc.Pkt = p
-			vc.ReadyAt = s.Now + int64(s.Cfg.RouterLatency)
-			p.InjectedAt = s.Now
-			s.NIQueue[id][vnet] = q[1:]
-			s.Stats.Injected++
-			s.Stats.InjectedFlits += int64(p.Len)
-			s.inFlight++
-			r.occupied++
+		p := q.Front()
+		slot := s.findFreeVC(id, geom.Local, p, vnet)
+		if slot < 0 {
+			pending = true // blocked on a free VC: retry next cycle
+			continue
+		}
+		vc := &r.In[geom.Local][slot]
+		vc.Pkt = p
+		vc.ReadyAt = s.Now + int64(s.Cfg.RouterLatency)
+		p.InjectedAt = s.Now
+		q.PopFront()
+		s.Stats.Injected++
+		s.Stats.InjectedFlits += int64(p.Len)
+		s.inFlight++
+		r.occupied++
+		if q.Len() > 0 {
+			pending = true // one injection per vnet per cycle
 		}
 	}
+	if pending {
+		s.sched.wake(id, s.Now+1)
+	}
+	// A freshly injected packet's ReadyAt wake comes from AllocateNode,
+	// which always runs in the same cycle for a due router.
 }
 
 // findFreeVC returns a free VC slot index (within the full slot array) at
@@ -320,17 +393,25 @@ func (s *Sim) findFreeVC(node geom.NodeID, in geom.Direction, p *Packet, vnet in
 
 // OutputOf returns the output port packet p wants at router `at`: the
 // override if installed, else the next hop of its source route, else
-// Local (ejection) once the route is exhausted.
+// Local (ejection) once the route is exhausted. The route-derived answer
+// depends only on (Route, Hop) and is cached on the packet, so repeated
+// allocation attempts don't re-derive it; rewriting Route in place
+// requires InvalidateOutputCache.
 func (s *Sim) OutputOf(p *Packet, at geom.NodeID) geom.Direction {
 	if s.OutputOverride != nil {
 		if d, ok := s.OutputOverride(p, at); ok {
 			return d
 		}
 	}
-	if p.Hop < len(p.Route) {
-		return p.Route[p.Hop]
+	if p.cacheOK && int(p.cacheHop) == p.Hop {
+		return p.cacheOut
 	}
-	return geom.Local
+	d := geom.Local
+	if p.Hop < len(p.Route) {
+		d = p.Route[p.Hop]
+	}
+	p.cacheOut, p.cacheHop, p.cacheOK = d, int32(p.Hop), true
+	return d
 }
 
 // UseLink records one cycle of control-message occupancy on the outgoing

@@ -33,7 +33,18 @@ type Packet struct {
 	CreatedAt   int64
 	InjectedAt  int64
 	DeliveredAt int64
+
+	// Memoized OutputOf answer for the current hop (valid while cacheOK
+	// and cacheHop == Hop; see Sim.OutputOf).
+	cacheOut geom.Direction
+	cacheHop int32
+	cacheOK  bool
 }
+
+// InvalidateOutputCache discards the packet's memoized next-hop output.
+// Required after rewriting Route in place (reconfig's reroutes), since
+// the cache is keyed on Hop alone.
+func (p *Packet) InvalidateOutputCache() { p.cacheOK = false }
 
 func (p *Packet) String() string {
 	return fmt.Sprintf("pkt%d(%v→%v vnet%d len%d hop%d)", p.ID, p.Src, p.Dst, p.Vnet, p.Len, p.Hop)

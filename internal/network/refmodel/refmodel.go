@@ -1,0 +1,66 @@
+// Package refmodel drives a network.Sim with the deliberately simple
+// full-scan stepper that internal/network used before its core became
+// event-driven: every cycle, every node runs the inject, allocate and
+// bubble-transfer phases, whether or not anything could possibly happen
+// there.
+//
+// The stepper exists as the reference half of a differential harness
+// (see diff_test.go): both cores share the per-node movement primitives
+// (Sim.InjectNode, Sim.AllocateNode, Sim.TransferBubbleNode), so any
+// divergence between a refmodel-driven run and a Sim.Step-driven run
+// isolates a bug in the event core's wake scheduling — the only layer
+// that differs.
+//
+// Contract: a Sim handed to New is permanently detached from its event
+// scheduler and must only be advanced through the returned Stepper.
+// Ordering is the historical one — hooks, then per-phase ascending-id
+// scans — which the event core reproduces by draining its due set in
+// ascending id order under the same phase structure.
+package refmodel
+
+import (
+	"repro/internal/geom"
+	"repro/internal/network"
+)
+
+// Stepper advances a detached Sim one cycle at a time by full scans.
+type Stepper struct {
+	S *network.Sim
+}
+
+// New detaches s from its event scheduler and returns a full-scan
+// stepper for it.
+func New(s *network.Sim) *Stepper {
+	s.DetachScheduler()
+	return &Stepper{S: s}
+}
+
+// Step advances the simulation by one cycle, visiting every node in
+// every phase.
+func (st *Stepper) Step() {
+	s := st.S
+	for _, f := range s.PreCycle {
+		f(s)
+	}
+	n := len(s.Routers)
+	for id := 0; id < n; id++ {
+		s.InjectNode(geom.NodeID(id))
+	}
+	for id := 0; id < n; id++ {
+		s.AllocateNode(geom.NodeID(id))
+	}
+	for id := 0; id < n; id++ {
+		s.TransferBubbleNode(geom.NodeID(id))
+	}
+	for _, f := range s.PostCycle {
+		f(s)
+	}
+	s.Now++
+}
+
+// Run advances the simulation by n cycles.
+func (st *Stepper) Run(n int) {
+	for i := 0; i < n; i++ {
+		st.Step()
+	}
+}

@@ -1,0 +1,94 @@
+package network
+
+// NIRing is the source-side injection FIFO: a growable ring buffer of
+// queued packets. It replaces the earlier `q = q[1:]` slice queue, which
+// pinned the whole backing array (and every delivered packet in it) for
+// as long as the queue stayed non-empty. PopFront nils the vacated slot
+// immediately and the buffer is released outright once the queue drains,
+// so a congestion burst cannot retain memory after it clears.
+type NIRing struct {
+	buf  []*Packet
+	head int
+	n    int
+}
+
+// Len returns the number of queued packets.
+func (q *NIRing) Len() int { return q.n }
+
+// Front returns the oldest queued packet without removing it, or nil.
+func (q *NIRing) Front() *Packet {
+	if q.n == 0 {
+		return nil
+	}
+	return q.buf[q.head]
+}
+
+// At returns the i-th queued packet (0 = front). It panics if i is out
+// of range, matching slice semantics.
+func (q *NIRing) At(i int) *Packet {
+	if i < 0 || i >= q.n {
+		panic("network: NIRing index out of range")
+	}
+	return q.buf[(q.head+i)%len(q.buf)]
+}
+
+// Push appends p at the back.
+func (q *NIRing) Push(p *Packet) {
+	if q.n == len(q.buf) {
+		q.grow()
+	}
+	q.buf[(q.head+q.n)%len(q.buf)] = p
+	q.n++
+}
+
+// PopFront removes and returns the oldest packet. The vacated slot is
+// nil'd so the packet is collectable as soon as the simulator drops its
+// own references; an emptied queue releases its buffer entirely.
+func (q *NIRing) PopFront() *Packet {
+	if q.n == 0 {
+		return nil
+	}
+	p := q.buf[q.head]
+	q.buf[q.head] = nil
+	q.head = (q.head + 1) % len(q.buf)
+	q.n--
+	if q.n == 0 {
+		q.buf = nil
+		q.head = 0
+	}
+	return p
+}
+
+// Filter keeps only packets for which keep returns true, preserving
+// order. Dropped slots are nil'd; a fully emptied queue releases its
+// buffer.
+func (q *NIRing) Filter(keep func(*Packet) bool) {
+	w := 0
+	for i := 0; i < q.n; i++ {
+		p := q.buf[(q.head+i)%len(q.buf)]
+		if keep(p) {
+			q.buf[(q.head+w)%len(q.buf)] = p
+			w++
+		}
+	}
+	for i := w; i < q.n; i++ {
+		q.buf[(q.head+i)%len(q.buf)] = nil
+	}
+	q.n = w
+	if q.n == 0 {
+		q.buf = nil
+		q.head = 0
+	}
+}
+
+// Cap exposes the backing-buffer capacity (for the memory-release test).
+func (q *NIRing) Cap() int { return len(q.buf) }
+
+func (q *NIRing) grow() {
+	nb := make([]*Packet, max(8, 2*len(q.buf)))
+	for i := 0; i < q.n; i++ {
+		nb[i] = q.buf[(q.head+i)%len(q.buf)]
+	}
+	q.buf = nb
+	q.head = 0
+}

@@ -1,0 +1,141 @@
+package network
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ringPacket(id int) *Packet { return &Packet{ID: int64(id)} }
+
+func TestRingFIFOOrder(t *testing.T) {
+	var q NIRing
+	for i := 0; i < 100; i++ {
+		q.Push(ringPacket(i))
+	}
+	if q.Len() != 100 {
+		t.Fatalf("Len = %d, want 100", q.Len())
+	}
+	for i := 0; i < 100; i++ {
+		if got := q.Front(); got.ID != int64(i) {
+			t.Fatalf("Front = %d, want %d", got.ID, i)
+		}
+		if got := q.PopFront(); got.ID != int64(i) {
+			t.Fatalf("PopFront = %d, want %d", got.ID, i)
+		}
+	}
+	if q.Len() != 0 {
+		t.Fatalf("Len after drain = %d", q.Len())
+	}
+}
+
+func TestRingInterleavedPushPopWraps(t *testing.T) {
+	// Push/pop in a pattern that forces head to wrap around the buffer
+	// many times without growing it.
+	var q NIRing
+	next, want := 0, 0
+	for i := 0; i < 10; i++ {
+		q.Push(ringPacket(next))
+		next++
+	}
+	capBefore := q.Cap()
+	for round := 0; round < 200; round++ {
+		q.Push(ringPacket(next))
+		next++
+		if got := q.PopFront(); got.ID != int64(want) {
+			t.Fatalf("round %d: PopFront = %d, want %d", round, got.ID, want)
+		}
+		want++
+	}
+	if q.Cap() != capBefore {
+		t.Fatalf("steady-state interleave grew the buffer: %d -> %d", capBefore, q.Cap())
+	}
+	for i := 0; i < q.Len(); i++ {
+		if got := q.At(i).ID; got != int64(want+i) {
+			t.Fatalf("At(%d) = %d, want %d", i, got, want+i)
+		}
+	}
+}
+
+// TestRingReleasesMemory pins the fix for the old `q = q[1:]` NI queue:
+// popped slots must be nil'd (no packet kept reachable behind the head)
+// and a fully drained ring must release its buffer entirely.
+func TestRingReleasesMemory(t *testing.T) {
+	var q NIRing
+	for i := 0; i < 1000; i++ {
+		q.Push(ringPacket(i))
+	}
+	for i := 0; i < 999; i++ {
+		q.PopFront()
+	}
+	// Every slot except the single live one must be nil.
+	live := 0
+	for _, p := range q.buf {
+		if p != nil {
+			live++
+		}
+	}
+	if live != 1 {
+		t.Fatalf("%d non-nil slots retained for 1 live packet", live)
+	}
+	q.PopFront()
+	if q.Cap() != 0 {
+		t.Fatalf("drained ring retains %d-slot buffer", q.Cap())
+	}
+	// And it is reusable afterwards.
+	q.Push(ringPacket(7))
+	if q.Front().ID != 7 {
+		t.Fatal("ring unusable after release")
+	}
+}
+
+func TestRingFilter(t *testing.T) {
+	var q NIRing
+	// Pop a few first so the live region is offset (filter must handle
+	// wrapped layouts).
+	for i := -4; i < 20; i++ {
+		q.Push(ringPacket(i))
+	}
+	for i := 0; i < 4; i++ {
+		q.PopFront()
+	}
+	q.Filter(func(p *Packet) bool { return p.ID%2 == 0 })
+	if q.Len() != 10 {
+		t.Fatalf("Len after filter = %d, want 10", q.Len())
+	}
+	for i := 0; i < q.Len(); i++ {
+		if got := q.At(i).ID; got != int64(2*i) {
+			t.Fatalf("At(%d) = %d, want %d", i, got, 2*i)
+		}
+	}
+	// Dropped and tail slots are nil'd.
+	live := 0
+	for _, p := range q.buf {
+		if p != nil {
+			live++
+		}
+	}
+	if live != q.Len() {
+		t.Fatalf("%d non-nil slots for %d live packets after Filter", live, q.Len())
+	}
+	// Filtering everything away releases the buffer.
+	q.Filter(func(*Packet) bool { return false })
+	if q.Len() != 0 || q.Cap() != 0 {
+		t.Fatalf("empty filter left len=%d cap=%d", q.Len(), q.Cap())
+	}
+}
+
+func TestRingAtPanicsOutOfRange(t *testing.T) {
+	var q NIRing
+	q.Push(ringPacket(0))
+	for _, i := range []int{-1, 1, 5} {
+		i := i
+		t.Run(fmt.Sprint(i), func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("At(%d) on len-1 ring did not panic", i)
+				}
+			}()
+			q.At(i)
+		})
+	}
+}

@@ -1,6 +1,8 @@
 package network
 
 import (
+	"math"
+
 	"repro/internal/geom"
 )
 
@@ -73,117 +75,155 @@ func (r *Router) VCAt(cfg Config, in geom.Direction, vnet, vc int) *VC {
 	return &r.In[in][vnet*cfg.VCsPerVnet+vc]
 }
 
-// allocate performs one cycle of switch allocation over every router:
-// for each output port, at most one waiting packet is granted, chosen
-// round-robin among eligible input VCs, subject to the fence, link
-// bandwidth, and downstream buffer availability (virtual cut-through:
-// the downstream VC must be able to hold the whole packet).
+// AllocateNode performs one cycle of switch allocation at router id —
+// the allocation phase for a single node: for each output port, at most
+// one waiting packet is granted, chosen round-robin among eligible input
+// VCs, subject to the fence, link bandwidth, and downstream buffer
+// availability (virtual cut-through: the downstream VC must be able to
+// hold the whole packet).
 //
-// Implementation: one gather pass per busy router buckets ready heads by
-// desired output (the simulator's hottest loop), then each output
-// arbitrates round-robin within its bucket starting at its saPtr.
-func (s *Sim) allocate() {
+// Implementation: one gather pass buckets ready heads by desired output
+// (the simulator's hottest loop), then each output arbitrates
+// round-robin within its bucket starting at its saPtr. The gather pass
+// doubles as the event core's wake classifier: a head-ready packet left
+// ungranted means the router is blocked on state that may change
+// without a timestamped event (a freed downstream VC, a cleared fence, a
+// hook's veto), so it re-polls next cycle; a router whose packets are
+// all still in flight sleeps until the earliest arrives.
+func (s *Sim) AllocateNode(id geom.NodeID) {
+	r := &s.Routers[id]
+	if r.occupied == 0 {
+		return
+	}
+	if !s.Topo.RouterAlive(id) {
+		// Buffered traffic at a dead router cannot move, but a re-enable
+		// would free it with no event: poll, as the naive scan did.
+		s.sched.wake(id, s.Now+1)
+		return
+	}
 	slots := s.Cfg.SlotsPerPort()
 	total := geom.NumPorts * slots // bubble uses index `total`
-	for id := range s.Routers {
-		r := &s.Routers[id]
-		if r.occupied == 0 || !s.Topo.RouterAlive(r.ID) {
-			continue
-		}
-		var nc [geom.NumPorts]int
-		for i := range s.saCand {
-			s.saCand[i] = s.saCand[i][:0]
-		}
-		for in := 0; in < geom.NumPorts; in++ {
-			vcs := r.In[in]
-			for sl := range vcs {
-				vc := &vcs[sl]
-				if !vc.HeadReady(s.Now) {
-					continue
-				}
-				out := s.OutputOf(vc.Pkt, r.ID)
-				if out == geom.Invalid ||
-					(r.Fence.Active && out == r.Fence.Out && geom.Direction(in) != r.Fence.In) {
-					continue
-				}
-				if s.GrantFilter != nil && !s.GrantFilter(vc.Pkt, r.ID, geom.Direction(in), out) {
-					continue
-				}
-				s.saCand[out] = append(s.saCand[out], int32(in*slots+sl))
-				nc[out]++
+	headReady := 0
+	minFuture := int64(math.MaxInt64)
+	var nc [geom.NumPorts]int
+	for i := range s.saCand {
+		s.saCand[i] = s.saCand[i][:0]
+	}
+	for in := 0; in < geom.NumPorts; in++ {
+		vcs := r.In[in]
+		for sl := range vcs {
+			vc := &vcs[sl]
+			if vc.Pkt == nil {
+				continue
 			}
+			if vc.ReadyAt > s.Now {
+				if vc.ReadyAt < minFuture {
+					minFuture = vc.ReadyAt
+				}
+				continue
+			}
+			headReady++
+			out := s.OutputOf(vc.Pkt, id)
+			if out == geom.Invalid ||
+				(r.Fence.Active && out == r.Fence.Out && geom.Direction(in) != r.Fence.In) {
+				continue
+			}
+			if s.GrantFilter != nil && !s.GrantFilter(vc.Pkt, id, geom.Direction(in), out) {
+				continue
+			}
+			s.saCand[out] = append(s.saCand[out], int32(in*slots+sl))
+			nc[out]++
 		}
-		if r.Bubble.Present && r.Bubble.VC.HeadReady(s.Now) {
-			out := s.OutputOf(r.Bubble.VC.Pkt, r.ID)
+	}
+	if b := &r.Bubble; b.Present && b.VC.Pkt != nil {
+		if b.VC.ReadyAt > s.Now {
+			if b.VC.ReadyAt < minFuture {
+				minFuture = b.VC.ReadyAt
+			}
+		} else {
+			headReady++
+			out := s.OutputOf(b.VC.Pkt, id)
 			if out != geom.Invalid &&
-				!(r.Fence.Active && out == r.Fence.Out && r.Bubble.InPort != r.Fence.In) {
+				!(r.Fence.Active && out == r.Fence.Out && b.InPort != r.Fence.In) {
 				s.saCand[out] = append(s.saCand[out], int32(total))
 				nc[out]++
 			}
 		}
-		for _, out := range geom.AllPorts {
-			n := nc[out]
-			if n == 0 || r.OutFreeAt[out] > s.Now {
-				continue
-			}
-			if out != geom.Local && !s.Topo.HasLink(r.ID, out) {
-				continue
-			}
-			// Rotate to the first candidate at or past the round-robin
-			// pointer (candidates are in ascending index order).
-			cands := s.saCand[out]
-			start := 0
-			for i, ci := range cands {
-				if int(ci) >= r.saPtr[out] {
-					start = i
-					break
-				}
-			}
-			for k := 0; k < n; k++ {
-				ci := cands[(start+k)%n]
-				var vc *VC
-				inPort := geom.Local
-				if int(ci) == total {
-					vc = &r.Bubble.VC
-					inPort = r.Bubble.InPort
-				} else {
-					inPort = geom.Direction(ci / int32(slots))
-					vc = &r.In[inPort][ci%int32(slots)]
-				}
-				if s.tryGrant(r, out, vc, vc.Pkt, inPort) {
-					r.saPtr[out] = (int(ci) + 1) % (total + 1)
-					break
-				}
+	}
+	granted := 0
+	for _, out := range geom.AllPorts {
+		n := nc[out]
+		if n == 0 || r.OutFreeAt[out] > s.Now {
+			continue
+		}
+		if out != geom.Local && !s.Topo.HasLink(id, out) {
+			continue
+		}
+		// Rotate to the first candidate at or past the round-robin
+		// pointer (candidates are in ascending index order).
+		cands := s.saCand[out]
+		start := 0
+		for i, ci := range cands {
+			if int(ci) >= r.saPtr[out] {
+				start = i
+				break
 			}
 		}
+		for k := 0; k < n; k++ {
+			ci := cands[(start+k)%n]
+			var vc *VC
+			inPort := geom.Local
+			if int(ci) == total {
+				vc = &r.Bubble.VC
+				inPort = r.Bubble.InPort
+			} else {
+				inPort = geom.Direction(ci / int32(slots))
+				vc = &r.In[inPort][ci%int32(slots)]
+			}
+			if s.tryGrant(r, out, vc, vc.Pkt, inPort) {
+				r.saPtr[out] = (int(ci) + 1) % (total + 1)
+				granted++
+				break
+			}
+		}
+	}
+	if headReady > granted {
+		s.sched.wake(id, s.Now+1)
+	} else if minFuture < math.MaxInt64 {
+		s.sched.wake(id, minFuture)
 	}
 }
 
-// transferBubbles slides each bubble occupant into a free regular VC of
-// its vnet at the same input port, when one exists (paper footnote 6: a
-// chain packet advancing vacates a VC at the port; the bubble occupant
-// moves there, freeing the bubble for reclaim). Without this path a
-// packet wedged in the bubble would block every later recovery at the
-// router.
-func (s *Sim) transferBubbles() {
-	for id := range s.Routers {
-		b := &s.Routers[id].Bubble
-		if !b.Present || b.VC.Pkt == nil || b.VC.ReadyAt > s.Now {
-			continue
-		}
-		p := b.VC.Pkt
-		slot := s.findFreeVC(geom.NodeID(id), b.InPort, p, p.Vnet)
-		if slot < 0 {
-			continue
-		}
-		vc := &s.Routers[id].In[b.InPort][slot]
-		vc.Pkt = p
-		vc.ReadyAt = s.Now + 1
-		b.VC.Pkt = nil
-		b.VC.FreeAt = s.Now + 1
-		s.Stats.BubbleTransfers++
-		s.LastProgress = s.Now
+// TransferBubbleNode slides router id's bubble occupant into a free
+// regular VC of its vnet at the same input port, when one exists (paper
+// footnote 6: a chain packet advancing vacates a VC at the port; the
+// bubble occupant moves there, freeing the bubble for reclaim). Without
+// this path a packet wedged in the bubble would block every later
+// recovery at the router. While an occupant is present the router
+// re-polls every cycle: the VC it waits for can be freed by any external
+// actor (a neighbor's grant, RemovePacket, a hook).
+func (s *Sim) TransferBubbleNode(id geom.NodeID) {
+	b := &s.Routers[id].Bubble
+	if !b.Present || b.VC.Pkt == nil {
+		return
 	}
+	if b.VC.ReadyAt > s.Now {
+		s.sched.wake(id, b.VC.ReadyAt)
+		return
+	}
+	s.sched.wake(id, s.Now+1)
+	p := b.VC.Pkt
+	slot := s.findFreeVC(id, b.InPort, p, p.Vnet)
+	if slot < 0 {
+		return
+	}
+	vc := &s.Routers[id].In[b.InPort][slot]
+	vc.Pkt = p
+	vc.ReadyAt = s.Now + 1
+	b.VC.Pkt = nil
+	b.VC.FreeAt = s.Now + 1
+	s.Stats.BubbleTransfers++
+	s.LastProgress = s.Now
 }
 
 // tryGrant moves p out of vc through output port out: ejection when out is
@@ -193,6 +233,9 @@ func (s *Sim) transferBubbles() {
 func (s *Sim) tryGrant(r *Router, out geom.Direction, vc *VC, p *Packet, inPort geom.Direction) bool {
 	length := int64(p.Len)
 	if out == geom.Local {
+		if s.OnGrant != nil {
+			s.OnGrant(p, vc, r.ID, inPort, out)
+		}
 		r.grants++
 		vc.Pkt = nil
 		vc.FreeAt = s.Now + length
@@ -223,6 +266,9 @@ func (s *Sim) tryGrant(r *Router, out geom.Direction, vc *VC, p *Packet, inPort 
 	} else {
 		return false
 	}
+	if s.OnGrant != nil {
+		s.OnGrant(p, vc, r.ID, inPort, out)
+	}
 	r.grants++
 	vc.Pkt = nil
 	vc.FreeAt = s.Now + length
@@ -238,6 +284,7 @@ func (s *Sim) tryGrant(r *Router, out geom.Direction, vc *VC, p *Packet, inPort 
 	}
 	nbr.occupied++
 	nbr.occNonLocal++ // arrivals always land on a link-side port
+	s.sched.wake(nb, dst.ReadyAt)
 	s.LastProgress = s.Now
 	return true
 }

@@ -30,6 +30,7 @@ func TestBubbleTransferToFreedVC(t *testing.T) {
 	occupant.Hop = 1
 	r.Bubble.VC.Pkt = occupant
 	r.Bubble.Active = false // transfer works regardless of Active
+	s.Wake(1)               // hand-placed packets: tell the event scheduler
 
 	s.Run(3)
 	if r.Bubble.VC.Pkt == nil {
@@ -66,6 +67,7 @@ func TestBubbleTransferRespectsVnet(t *testing.T) {
 		r.In[geom.West][base+i].Pkt = p
 	}
 	s.Routers[1].OutFreeAt[geom.Local] = 1 << 30
+	s.Wake(1) // hand-placed packets: tell the event scheduler
 	s.Run(5)
 	if r.Bubble.VC.Pkt == nil {
 		t.Fatal("occupant must not transfer into a different vnet's VC")
@@ -142,6 +144,7 @@ func TestSwitchAllocationRoundRobinRotates(t *testing.T) {
 		}
 		wBefore := r.In[geom.West][0].Pkt
 		lBefore := r.In[geom.Local][0].Pkt
+		s.Wake(mid) // hand-placed packets: tell the event scheduler
 		s.Step()
 		if r.In[geom.West][0].Pkt == nil && wBefore != nil {
 			westGrants++
@@ -200,6 +203,7 @@ func TestBubbleHeadReadyParticipatesInSA(t *testing.T) {
 	r.Bubble.VC.Pkt = p
 	r.occupied++
 	r.occNonLocal++
+	s.Wake(0) // hand-placed packet: tell the event scheduler
 	s.Run(20)
 	if p.DeliveredAt < 0 {
 		t.Fatal("bubble occupant should be forwarded and delivered")

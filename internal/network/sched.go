@@ -1,0 +1,184 @@
+package network
+
+import (
+	"math"
+	"math/bits"
+
+	"repro/internal/geom"
+)
+
+// The event scheduler behind Sim.Step. Routers sleep by default; a
+// router is processed in a cycle only if something scheduled a wake for
+// it at that cycle:
+//
+//   - Enqueue wakes the source (non-empty NI queue);
+//   - a grant wakes the downstream router at the packet's ReadyAt;
+//   - InjectNode re-wakes itself while any vnet queue is non-empty;
+//   - AllocateNode re-wakes itself next cycle while any head-ready
+//     packet went ungranted (the "pending hammer": hooks, fences,
+//     GrantFilters and link state may change arbitrarily between cycles,
+//     so a blocked router polls — exactly what the naive core paid for
+//     every router), or at the earliest future ReadyAt otherwise;
+//   - TransferBubbleNode re-wakes itself while the bubble is occupied.
+//
+// The invariant maintained is: if the naive full-scan stepper would
+// change any state at router R during cycle T, then R has a wake at T.
+// Blocked routers therefore cost the same as under the naive core, and
+// quiescent routers cost nothing.
+//
+// Implementation: a power-of-two timing wheel of (cycle, router) entries
+// with an overflow min-heap for far-future wakes. wakeAt[id] holds the
+// earliest scheduled wake per router; later duplicate pushes are
+// suppressed there and stale wheel/heap entries (superseded by an
+// earlier wake) are dropped lazily on drain by checking them against
+// wakeAt.
+type scheduler struct {
+	wheel [][]wakeEntry
+	mask  int64
+	// wakeAt[id] is the earliest pending wake cycle for router id, or
+	// wakeNever.
+	wakeAt []int64
+	// drained is the last cycle whose due set has been collected; wakes
+	// for cycles <= drained clamp to drained+1 (a hook firing mid-cycle
+	// cannot be processed earlier than the next cycle).
+	drained  int64
+	overflow wakeHeap
+	// dueBits is collectDue's scratch bitmap: due routers are marked here
+	// and swept in id order, yielding the naive stepper's ascending
+	// iteration without a sort.
+	dueBits []uint64
+	// detached turns every wake into a no-op: set when the Sim is driven
+	// by the refmodel full-scan stepper instead of the event loop.
+	detached bool
+}
+
+type wakeEntry struct {
+	t  int64
+	id int32
+}
+
+const wakeNever = math.MaxInt64
+
+// wheelSize must exceed RouterLatency+LinkLatency+1 for the common
+// self-wakes to stay on the wheel; anything farther rides the overflow
+// heap. 64 covers every configuration the repo uses with headroom.
+const wheelSize = 64
+
+func (sc *scheduler) init(numNodes int) {
+	sc.wheel = make([][]wakeEntry, wheelSize)
+	sc.mask = wheelSize - 1
+	sc.wakeAt = make([]int64, numNodes)
+	for i := range sc.wakeAt {
+		sc.wakeAt[i] = wakeNever
+	}
+	sc.dueBits = make([]uint64, (numNodes+63)/64)
+	sc.drained = -1
+}
+
+// wake schedules router id to be processed in cycle t (clamped to the
+// next undrained cycle). A wake at or after an already-scheduled one is
+// a no-op: when the router runs it reschedules itself as needed.
+func (sc *scheduler) wake(id geom.NodeID, t int64) {
+	if sc.detached {
+		return
+	}
+	if t <= sc.drained {
+		t = sc.drained + 1
+	}
+	if sc.wakeAt[id] <= t {
+		return
+	}
+	sc.wakeAt[id] = t
+	e := wakeEntry{t, int32(id)}
+	if t-sc.drained <= wheelSize {
+		b := t & sc.mask
+		sc.wheel[b] = append(sc.wheel[b], e)
+	} else {
+		sc.overflow.push(e)
+	}
+}
+
+// collectDue appends to due every router with a wake at cycle now (in
+// ascending id order, matching the naive stepper's iteration order) and
+// marks the cycle drained. Entries whose wake was superseded are
+// discarded; entries for future cycles that alias into a visited bucket
+// are kept.
+func (sc *scheduler) collectDue(now int64, due []int32) []int32 {
+	from := sc.drained + 1
+	sc.drained = now
+	if from < now-wheelSize+1 {
+		from = now - wheelSize + 1 // a Now jump: visit every bucket once
+	}
+	for c := from; c <= now; c++ {
+		b := c & sc.mask
+		bucket := sc.wheel[b]
+		keep := bucket[:0]
+		for _, e := range bucket {
+			switch {
+			case e.t > now:
+				keep = append(keep, e)
+			case sc.wakeAt[e.id] == e.t:
+				sc.dueBits[e.id>>6] |= 1 << (uint(e.id) & 63)
+				sc.wakeAt[e.id] = wakeNever
+			}
+		}
+		sc.wheel[b] = keep
+	}
+	for len(sc.overflow) > 0 && sc.overflow[0].t <= now {
+		e := sc.overflow.pop()
+		if sc.wakeAt[e.id] == e.t {
+			sc.dueBits[e.id>>6] |= 1 << (uint(e.id) & 63)
+			sc.wakeAt[e.id] = wakeNever
+		}
+	}
+	for w, word := range sc.dueBits {
+		for word != 0 {
+			due = append(due, int32(w<<6+bits.TrailingZeros64(word)))
+			word &= word - 1
+		}
+		sc.dueBits[w] = 0
+	}
+	return due
+}
+
+// wakeHeap is a plain min-heap on wake time (container/heap's interface
+// indirection is not worth it for this hot path).
+type wakeHeap []wakeEntry
+
+func (h *wakeHeap) push(e wakeEntry) {
+	*h = append(*h, e)
+	i := len(*h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if (*h)[parent].t <= (*h)[i].t {
+			break
+		}
+		(*h)[parent], (*h)[i] = (*h)[i], (*h)[parent]
+		i = parent
+	}
+}
+
+func (h *wakeHeap) pop() wakeEntry {
+	old := *h
+	top := old[0]
+	n := len(old) - 1
+	old[0] = old[n]
+	*h = old[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && old[l].t < old[smallest].t {
+			smallest = l
+		}
+		if r < n && old[r].t < old[smallest].t {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		old[i], old[smallest] = old[smallest], old[i]
+		i = smallest
+	}
+	return top
+}

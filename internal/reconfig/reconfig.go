@@ -137,8 +137,10 @@ func (m *Manager) TryCompleteGates() []geom.NodeID {
 	})
 	// NI queues also pin routers (their packets have committed routes).
 	for id := range m.sim.NIQueue {
-		for _, q := range m.sim.NIQueue[id] {
-			for _, p := range q {
+		for vnet := range m.sim.NIQueue[id] {
+			q := &m.sim.NIQueue[id][vnet]
+			for i := 0; i < q.Len(); i++ {
+				p := q.At(i)
 				cur := p.Src
 				if m.pendingGate[cur] {
 					busy[cur] = true
@@ -179,6 +181,9 @@ func (m *Manager) Ungate(n geom.NodeID) {
 	m.topo.EnableRouter(n)
 	delete(m.pendingGate, n)
 	m.rebuild()
+	// Re-enabling a router is stateless from the simulator's view; tell
+	// the event scheduler so pending injections resume immediately.
+	m.sim.Wake(n)
 }
 
 // FailLink kills the bidirectional link between n and its neighbor in
@@ -269,6 +274,7 @@ func (m *Manager) repairTraffic() {
 		if nr, ok := m.minimal.Route(b.at, p.Dst, m.sim.Rng); ok {
 			p.Route = nr
 			p.Hop = 0
+			p.InvalidateOutputCache()
 			m.Rerouted++
 		} else {
 			m.discardVC(b.vc, b.at, b.port)
@@ -277,24 +283,22 @@ func (m *Manager) repairTraffic() {
 	// Queued packets: reroute from their source.
 	for id := range m.sim.NIQueue {
 		src := geom.NodeID(id)
-		for vnet, q := range m.sim.NIQueue[id] {
-			kept := q[:0]
-			for _, p := range q {
+		for vnet := range m.sim.NIQueue[id] {
+			m.sim.NIQueue[id][vnet].Filter(func(p *network.Packet) bool {
 				if m.routeValidFrom(p, src) {
-					kept = append(kept, p)
-					continue
+					return true
 				}
 				if nr, ok := m.minimal.Route(src, p.Dst, m.sim.Rng); ok {
 					p.Route = nr
 					p.Hop = 0
+					p.InvalidateOutputCache()
 					m.Rerouted++
-					kept = append(kept, p)
-				} else {
-					m.sim.DiscardQueued(p)
-					m.Dropped++
+					return true
 				}
-			}
-			m.sim.NIQueue[id][vnet] = kept
+				m.sim.DiscardQueued(p)
+				m.Dropped++
+				return false
+			})
 		}
 	}
 }
