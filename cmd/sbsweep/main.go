@@ -17,6 +17,8 @@
 //	sbsweep -fig 8|9|10|11|12|13
 //	sbsweep -fig all -scale quick
 //	sbsweep -fig 9 -resume -progress   # continue an interrupted sweep
+//	sbsweep -fig scale16               # 16x16 sharded-stepper timing sweep
+//	sbsweep -fig 9 -shards 4           # run each simulation sharded
 package main
 
 import (
@@ -33,8 +35,9 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "experiment: 2, 3, t1, 8, 9, 10, 11, 12, 13, scale, failures, ablation, bench, or all")
+	fig := flag.String("fig", "all", "experiment: 2, 3, t1, 8, 9, 10, 11, 12, 13, scale, scale16, failures, ablation, bench, or all")
 	benchOut := flag.String("bench-out", "BENCH_sim.json", "output file for -fig bench results")
+	shards := flag.Int("shards", 1, "per-simulation shard count (1 = sequential core; results are identical for any value)")
 	scale := flag.String("scale", "full", "quick or full")
 	topos := flag.Int("topos", 0, "override topologies per point")
 	seed := flag.Int64("seed", 0, "base seed for topology sampling")
@@ -61,6 +64,7 @@ func main() {
 	if *topos > 0 {
 		p.Topologies = *topos
 	}
+	p.Shards = *shards
 
 	// Ctrl-C cancels between jobs; completed cells stay on disk, so a
 	// -resume rerun picks up where this one stopped.
@@ -147,6 +151,18 @@ func main() {
 			experiments.PrintScale(os.Stdout, experiments.Scale(p, nil))
 			return nil
 		}))
+	// 16x16 sharded-stepper timing sweep: the paper's 256-router scale
+	// point (89 SBs) under a recovery storm, run at shard counts 1/2/4/8
+	// with byte-identical Stats verified across all of them. Like bench
+	// it is not a sweep-engine job — timings must not share the machine.
+	run("scale16", func() {
+		rows, err := experiments.Scale16()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sbsweep:", err)
+			os.Exit(1)
+		}
+		experiments.PrintScale16(os.Stdout, rows)
+	})
 	run("ablation", emit(
 		func() { experiments.PrintAblation(os.Stdout, experiments.Ablation(p)) },
 		func() error { return experiments.AblationCSV(os.Stdout, experiments.Ablation(p)) }))

@@ -29,6 +29,9 @@ type Controller struct {
 // composes fine.
 func Attach(s *network.Sim) *Controller {
 	c := &Controller{sim: s, min: routing.NewMinimal(s.Topo)}
+	// The override probes downstream buffer occupancy, which is only
+	// deterministic under the strictly ordered sequential phases.
+	s.RequireUnsharded()
 	s.OutputOverride = c.output
 	return c
 }

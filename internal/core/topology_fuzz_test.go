@@ -1,0 +1,185 @@
+package core
+
+// Fuzz battery for the irregular-topology sampler and fault injector —
+// the input space every experiment sweep and the differential harness
+// draw from. For arbitrary mesh shapes, fault kinds and counts, the
+// generated topology must satisfy the structural invariants the
+// simulator and the recovery protocol rely on: sane edges (no
+// self-links, no duplicates, canonical orientation, directed symmetry
+// under the undirected fault models), exact fault accounting, graph
+// queries that agree with each other (components partition the alive
+// set, Connected and BFS distances consistent with them — "connected or
+// reported", never silently wrong), determinism in the seed, and the
+// paper's coverage corollary: the Section III placement covers every
+// irregular topology derived from the mesh, checked through
+// VerifyCoverage before AND after a second round of runtime fault
+// injection (the round-trip that reconfiguration performs live).
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/topology"
+)
+
+// checkTopologyInvariants runs the full structural battery on t.
+func checkTopologyInvariants(t *testing.T, topo *topology.Topology) {
+	t.Helper()
+	w, h := topo.Width(), topo.Height()
+
+	// Edge sanity: canonical orientation, in-mesh endpoints, no
+	// self-links, no duplicates.
+	seen := make(map[topology.UndirectedLink]bool)
+	for _, l := range topo.AliveUndirectedLinks() {
+		if l.Dir != geom.North && l.Dir != geom.East {
+			t.Fatalf("link %v: non-canonical direction %v", l, l.Dir)
+		}
+		nb := topo.Neighbor(l.From, l.Dir)
+		if nb == geom.InvalidNode {
+			t.Fatalf("link %v leaves the mesh", l)
+		}
+		if nb == l.From {
+			t.Fatalf("self-link at %v", l.From)
+		}
+		if got := geom.DirectionBetween(topo.Coord(l.From), topo.Coord(nb)); got != l.Dir {
+			t.Fatalf("link %v: endpoints %v,%v are not %v-adjacent", l, l.From, nb, l.Dir)
+		}
+		if seen[l] {
+			t.Fatalf("duplicate link %v", l)
+		}
+		seen[l] = true
+	}
+
+	// Directed-channel consistency: under the undirected fault models a
+	// channel is usable iff its reverse is, and dead routers have no
+	// usable channels in either direction.
+	for id := 0; id < w*h; id++ {
+		n := geom.NodeID(id)
+		for _, d := range geom.LinkDirs {
+			nb := topo.Neighbor(n, d)
+			if nb == geom.InvalidNode {
+				if topo.HasLink(n, d) {
+					t.Fatalf("router %v has a %v link off the mesh edge", n, d)
+				}
+				continue
+			}
+			if topo.HasLink(n, d) != topo.HasLink(nb, d.Opposite()) {
+				t.Fatalf("asymmetric channel %v<->%v (%v)", n, nb, d)
+			}
+			if !topo.RouterAlive(n) && topo.HasLink(n, d) {
+				t.Fatalf("dead router %v still has a usable %v channel", n, d)
+			}
+		}
+	}
+
+	// Graph queries agree: components partition the alive set, and
+	// Connected / BFSDistances match component membership.
+	alive := topo.AliveRouters()
+	comp := make(map[geom.NodeID]int)
+	total := 0
+	for ci, c := range topo.ConnectedComponents() {
+		if len(c) == 0 {
+			t.Fatal("empty connected component")
+		}
+		for _, n := range c {
+			if !topo.RouterAlive(n) {
+				t.Fatalf("dead router %v in component %d", n, ci)
+			}
+			if _, dup := comp[n]; dup {
+				t.Fatalf("router %v in two components", n)
+			}
+			comp[n] = ci
+		}
+		total += len(c)
+	}
+	if total != len(alive) {
+		t.Fatalf("components cover %d routers, %d alive", total, len(alive))
+	}
+	if len(alive) > 0 {
+		src := alive[0]
+		dist := topo.BFSDistances(src)
+		for _, n := range alive {
+			sameComp := comp[n] == comp[src]
+			if reach := dist[n] >= 0; reach != sameComp {
+				t.Fatalf("BFS reach(%v->%v)=%v but same-component=%v", src, n, reach, sameComp)
+			}
+			if topo.Connected(src, n) != sameComp {
+				t.Fatalf("Connected(%v,%v) disagrees with components", src, n)
+			}
+		}
+	}
+
+	// The coverage corollary: the mesh placement covers every irregular
+	// topology derived from it — no buffer-dependency cycle avoids all
+	// static-bubble routers.
+	if !VerifyCoverage(topo) {
+		t.Fatalf("coverage violated on %dx%d irregular topology:\n%v\ncycle: %v",
+			w, h, topo, CoverageCounterexample(topo))
+	}
+}
+
+func FuzzIrregularTopologyInvariants(f *testing.F) {
+	f.Add(int64(1), uint8(8), uint8(8), uint8(18), uint8(0))
+	f.Add(int64(42), uint8(16), uint8(16), uint8(30), uint8(0))
+	f.Add(int64(5), uint8(4), uint8(12), uint8(9), uint8(1))
+	f.Add(int64(-7), uint8(2), uint8(2), uint8(255), uint8(3))
+	f.Fuzz(func(t *testing.T, seed int64, wb, hb, faultByte, modeByte uint8) {
+		w := 2 + int(wb%9)
+		h := 2 + int(hb%9)
+		kind := topology.LinkFaults
+		if modeByte&1 != 0 {
+			kind = topology.RouterFaults
+		}
+		k := int(faultByte) % (topology.MaxFaults(w, h, kind) + 1)
+
+		topo := topology.RandomIrregular(w, h, kind, k, seed)
+
+		// Exact fault accounting.
+		switch kind {
+		case topology.LinkFaults:
+			if topo.AliveRouterCount() != w*h {
+				t.Fatalf("link faults removed a router: %d alive of %d", topo.AliveRouterCount(), w*h)
+			}
+			if got, want := topo.AliveLinkCount(), topology.MaxFaults(w, h, kind)-k; got != want {
+				t.Fatalf("%d links alive after %d faults, want %d", got, k, want)
+			}
+		case topology.RouterFaults:
+			if got, want := topo.AliveRouterCount(), w*h-k; got != want {
+				t.Fatalf("%d routers alive after %d faults, want %d", got, k, want)
+			}
+		}
+
+		checkTopologyInvariants(t, topo)
+
+		// Determinism in the seed: the sampler is the cache key of every
+		// sweep cell, so an unstable draw would poison result caches.
+		again := topology.RandomIrregular(w, h, kind, k, seed)
+		if topo.String() != again.String() {
+			t.Fatal("RandomIrregular is not deterministic in its seed")
+		}
+		for id := 0; id < w*h; id++ {
+			n := geom.NodeID(id)
+			if topo.RouterAlive(n) != again.RouterAlive(n) {
+				t.Fatalf("router %v aliveness differs between identical draws", n)
+			}
+			for _, d := range geom.LinkDirs {
+				if topo.HasLink(n, d) != again.HasLink(n, d) {
+					t.Fatalf("channel %v/%v differs between identical draws", n, d)
+				}
+			}
+		}
+
+		// Round-trip: a second round of runtime fault injection (what
+		// reconfig performs live) must preserve every invariant,
+		// including coverage.
+		rng := rand.New(rand.NewSource(seed ^ 0x5bd1e995))
+		if links := topo.AliveLinkCount(); links > 0 {
+			topology.RandomLinkFaults(topo, rng, rng.Intn(links+1)/2)
+		}
+		if routers := topo.AliveRouterCount(); routers > 1 {
+			topology.RandomRouterFaults(topo, rng, rng.Intn(routers))
+		}
+		checkTopologyInvariants(t, topo)
+	})
+}

@@ -21,10 +21,15 @@ import (
 	"repro/internal/traffic"
 )
 
-// SimBenchResult is one scenario's event-vs-refmodel timing comparison.
+// SimBenchResult is one scenario's event-vs-refmodel timing comparison
+// at one shard count.
 type SimBenchResult struct {
 	Scenario string `json:"scenario"`
-	Cycles   int    `json:"cycles"`
+	// Shards is the event core's shard count for this row (1 = the
+	// plain sequential event core). All shard counts of one scenario
+	// produce — and are verified to produce — identical Stats.
+	Shards int `json:"shards"`
+	Cycles int `json:"cycles"`
 	// Wall nanoseconds per simulated cycle under each core.
 	EventNsPerCycle float64 `json:"event_ns_per_cycle"`
 	RefNsPerCycle   float64 `json:"refmodel_ns_per_cycle"`
@@ -36,11 +41,12 @@ type SimBenchResult struct {
 
 // simScenario builds a fresh deterministic simulation and its per-cycle
 // traffic source. Every build() of one scenario must produce the exact
-// same trajectory, so the two cores can be timed on identical work.
+// same trajectory — for any shard count — so the cores can be timed on
+// identical work.
 type simScenario struct {
 	name   string
 	cycles int
-	build  func() (*network.Sim, func())
+	build  func(shards int) (*network.Sim, func())
 }
 
 // simBenchScenarios covers the three load regimes the event core must
@@ -54,9 +60,9 @@ func simBenchScenarios() []simScenario {
 		{
 			name:   "idle_mesh_16x16",
 			cycles: 30000,
-			build: func() (*network.Sim, func()) {
+			build: func(shards int) (*network.Sim, func()) {
 				topo := topology.NewMesh(16, 16)
-				s := network.New(topo, network.Config{}, rand.New(rand.NewSource(11)))
+				s := network.New(topo, network.Config{Shards: shards}, rand.New(rand.NewSource(11)))
 				core.Attach(s, core.Options{})
 				inj := traffic.NewInjector(topo.AliveRouters(), routing.NewMinimal(topo),
 					traffic.NewUniformRandom(topo.AliveRouters()), 0.002, rand.New(rand.NewSource(12)))
@@ -73,9 +79,9 @@ func simBenchScenarios() []simScenario {
 		{
 			name:   "saturation_8x8",
 			cycles: 4000,
-			build: func() (*network.Sim, func()) {
+			build: func(shards int) (*network.Sim, func()) {
 				topo := topology.NewMesh(8, 8)
-				s := network.New(topo, network.Config{}, rand.New(rand.NewSource(21)))
+				s := network.New(topo, network.Config{Shards: shards}, rand.New(rand.NewSource(21)))
 				core.Attach(s, core.Options{})
 				inj := traffic.NewInjector(topo.AliveRouters(), routing.NewMinimal(topo),
 					traffic.NewUniformRandom(topo.AliveRouters()), 0.35, rand.New(rand.NewSource(22)))
@@ -85,9 +91,9 @@ func simBenchScenarios() []simScenario {
 		{
 			name:   "recovery_burst_8x8_irregular",
 			cycles: 4000,
-			build: func() (*network.Sim, func()) {
+			build: func(shards int) (*network.Sim, func()) {
 				topo := topology.RandomIrregular(8, 8, topology.LinkFaults, 18, 42)
-				s := network.New(topo, network.Config{}, rand.New(rand.NewSource(31)))
+				s := network.New(topo, network.Config{Shards: shards}, rand.New(rand.NewSource(31)))
 				// Hair-trigger detection keeps recovery storms running for
 				// most of the window.
 				core.Attach(s, core.Options{TDD: 24})
@@ -103,8 +109,8 @@ func simBenchScenarios() []simScenario {
 // its final stats and the stepping wall time. Only the step calls are
 // timed: traffic generation is identical under both cores and would
 // otherwise dilute the comparison.
-func runSimScenario(sc simScenario, useRef bool) (network.Stats, time.Duration) {
-	s, tick := sc.build()
+func runSimScenario(sc simScenario, useRef bool, shards int) (network.Stats, time.Duration) {
+	s, tick := sc.build(shards)
 	step := s.Step
 	if useRef {
 		step = refmodel.New(s).Step
@@ -119,27 +125,35 @@ func runSimScenario(sc simScenario, useRef bool) (network.Stats, time.Duration) 
 	return s.Stats, total
 }
 
-// SimBench runs every benchmark scenario under both cores, verifies they
-// produce identical Stats, and returns the timing comparison. The
-// refmodel pass runs first so the event pass cannot benefit from warmer
-// caches.
+// BenchShardCounts are the event-core shard counts BENCH_sim.json is
+// parametrized over.
+var BenchShardCounts = []int{1, 2, 4}
+
+// SimBench runs every benchmark scenario under the refmodel full scan
+// and under the event core at each of BenchShardCounts, verifies every
+// run lands on identical Stats, and returns one timing row per
+// (scenario, shard count). The refmodel pass runs first so the event
+// passes cannot benefit from warmer caches.
 func SimBench() ([]SimBenchResult, error) {
 	var out []SimBenchResult
 	for _, sc := range simBenchScenarios() {
-		refStats, refDur := runSimScenario(sc, true)
-		evStats, evDur := runSimScenario(sc, false)
-		if evStats != refStats {
-			return nil, fmt.Errorf("bench %s: cores diverged\nevent:    %+v\nrefmodel: %+v",
-				sc.name, evStats, refStats)
+		refStats, refDur := runSimScenario(sc, true, 1)
+		for _, shards := range BenchShardCounts {
+			evStats, evDur := runSimScenario(sc, false, shards)
+			if evStats != refStats {
+				return nil, fmt.Errorf("bench %s (shards=%d): cores diverged\nevent:    %+v\nrefmodel: %+v",
+					sc.name, shards, evStats, refStats)
+			}
+			out = append(out, SimBenchResult{
+				Scenario:        sc.name,
+				Shards:          shards,
+				Cycles:          sc.cycles,
+				EventNsPerCycle: float64(evDur.Nanoseconds()) / float64(sc.cycles),
+				RefNsPerCycle:   float64(refDur.Nanoseconds()) / float64(sc.cycles),
+				Speedup:         safeRatio(float64(refDur.Nanoseconds()), float64(evDur.Nanoseconds())),
+				Delivered:       evStats.Delivered,
+			})
 		}
-		out = append(out, SimBenchResult{
-			Scenario:        sc.name,
-			Cycles:          sc.cycles,
-			EventNsPerCycle: float64(evDur.Nanoseconds()) / float64(sc.cycles),
-			RefNsPerCycle:   float64(refDur.Nanoseconds()) / float64(sc.cycles),
-			Speedup:         safeRatio(float64(refDur.Nanoseconds()), float64(evDur.Nanoseconds())),
-			Delivered:       evStats.Delivered,
-		})
 	}
 	return out, nil
 }
@@ -154,10 +168,10 @@ func WriteSimBenchJSON(w io.Writer, rs []SimBenchResult) error {
 
 // PrintSimBench renders the comparison as a table.
 func PrintSimBench(w io.Writer, rs []SimBenchResult) {
-	fmt.Fprintf(w, "%-30s %8s %14s %14s %8s %10s\n",
-		"scenario", "cycles", "event ns/cyc", "ref ns/cyc", "speedup", "delivered")
+	fmt.Fprintf(w, "%-30s %7s %8s %14s %14s %8s %10s\n",
+		"scenario", "shards", "cycles", "event ns/cyc", "ref ns/cyc", "speedup", "delivered")
 	for _, r := range rs {
-		fmt.Fprintf(w, "%-30s %8d %14.0f %14.0f %7.2fx %10d\n",
-			r.Scenario, r.Cycles, r.EventNsPerCycle, r.RefNsPerCycle, r.Speedup, r.Delivered)
+		fmt.Fprintf(w, "%-30s %7d %8d %14.0f %14.0f %7.2fx %10d\n",
+			r.Scenario, r.Shards, r.Cycles, r.EventNsPerCycle, r.RefNsPerCycle, r.Speedup, r.Delivered)
 	}
 }

@@ -11,7 +11,7 @@ func benchSimScenario(b *testing.B, name string, ref bool) {
 		}
 		var cycles int64
 		for i := 0; i < b.N; i++ {
-			stats, _ := runSimScenario(sc, ref)
+			stats, _ := runSimScenario(sc, ref, 1)
 			if stats.Delivered == 0 {
 				b.Fatalf("%s delivered nothing", name)
 			}
@@ -36,8 +36,9 @@ func BenchmarkSimRefRecoveryBurst(b *testing.B) {
 	benchSimScenario(b, "recovery_burst_8x8_irregular", true)
 }
 
-// TestSimBenchCoresAgree runs every benchmark scenario under both cores
-// and requires identical Stats (SimBench errors on any divergence). The
+// TestSimBenchCoresAgree runs every benchmark scenario under the
+// refmodel and the event core at every BenchShardCounts entry, and
+// requires identical Stats (SimBench errors on any divergence). The
 // timing numbers themselves are environment-dependent and are asserted
 // only by inspection (EXPERIMENTS.md / BENCH_sim.json), but a speedup
 // below 1 on the big idle mesh would mean the event core lost its entire
@@ -50,15 +51,17 @@ func TestSimBenchCoresAgree(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rs) != 3 {
-		t.Fatalf("expected 3 scenarios, got %d", len(rs))
+	if want := 3 * len(BenchShardCounts); len(rs) != want {
+		t.Fatalf("expected %d rows (3 scenarios x %d shard counts), got %d",
+			want, len(BenchShardCounts), len(rs))
 	}
 	for _, r := range rs {
 		if r.Delivered == 0 {
-			t.Errorf("%s: delivered nothing — scenario is not exercising the core", r.Scenario)
+			t.Errorf("%s (shards=%d): delivered nothing — scenario is not exercising the core",
+				r.Scenario, r.Shards)
 		}
-		t.Logf("%s: event %.0f ns/cyc, refmodel %.0f ns/cyc, speedup %.2fx",
-			r.Scenario, r.EventNsPerCycle, r.RefNsPerCycle, r.Speedup)
+		t.Logf("%s shards=%d: event %.0f ns/cyc, refmodel %.0f ns/cyc, speedup %.2fx",
+			r.Scenario, r.Shards, r.EventNsPerCycle, r.RefNsPerCycle, r.Speedup)
 	}
 	if rs[0].Speedup < 1 {
 		t.Errorf("event core slower than full scan on the idle mesh (%.2fx)", rs[0].Speedup)

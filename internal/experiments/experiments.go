@@ -98,6 +98,11 @@ type Params struct {
 	// only — it never affects simulated results and is excluded from
 	// cache keys. Nil selects a default engine (all cores, no cache).
 	Engine *sweep.Engine
+	// Shards is the per-simulation shard count (network.Config.Shards).
+	// Like Engine it is execution configuration only: the sharded
+	// stepper is byte-identical to the sequential core, so it never
+	// affects simulated results and is excluded from cache keys.
+	Shards int
 }
 
 func (p Params) withDefaults() Params {
@@ -151,7 +156,7 @@ type Instance struct {
 // mutated afterwards.
 func (p Params) Build(topo *topology.Topology, sch Scheme, seed int64) *Instance {
 	p = p.withDefaults()
-	s := network.New(topo, network.Config{}, rand.New(rand.NewSource(seed)))
+	s := network.New(topo, network.Config{Shards: p.Shards}, rand.New(rand.NewSource(seed)))
 	inst := &Instance{Scheme: sch, Sim: s}
 	switch sch {
 	case SpanningTree:

@@ -1,0 +1,150 @@
+package experiments
+
+// Scale16 regenerates the paper's 16×16 scale point (Table I: 256
+// routers, 89 static bubbles) as a timing experiment for the sharded
+// stepper: one fixed recovery-storm trajectory — an irregular 16×16
+// topology under adversarial link faults with injection heavy enough to
+// keep deadlock recovery active — run once per shard count. Every run
+// must land on byte-identical Stats (the shard determinism contract,
+// DESIGN.md §9); the rows then compare wall-clock per simulated cycle
+// against the sequential Shards=1 core. Results feed the EXPERIMENTS.md
+// scale16 section via sbsweep -fig scale16.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/network"
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+// Scale16Result is the timing of the 16×16 recovery storm at one shard
+// count.
+type Scale16Result struct {
+	Shards     int     `json:"shards"`
+	Cycles     int     `json:"cycles"`
+	NsPerCycle float64 `json:"ns_per_cycle"`
+	// Speedup is Shards=1 step time / this row's step time.
+	Speedup float64 `json:"speedup_vs_1"`
+	// Delivered and Recoveries are identical across all rows — verified.
+	Delivered  int64 `json:"delivered"`
+	Recoveries int64 `json:"deadlock_recoveries"`
+	// SBRouters is the static-bubble placement size at 16×16 (paper
+	// Table I: 89).
+	SBRouters int `json:"sb_routers"`
+	// GoMaxProcs records the host parallelism the wall-clock numbers
+	// were taken under: with GOMAXPROCS=1 the sharded rows can only
+	// show scheduling overhead, never parallel speedup.
+	GoMaxProcs int `json:"gomaxprocs"`
+}
+
+// Scale16ShardCounts are the shard counts the experiment sweeps.
+var Scale16ShardCounts = []int{1, 2, 4, 8}
+
+// scale16Cycles fixes the trajectory length: injection for the first
+// half (at a rate past the irregular topology's saturation point, so
+// deadlock recovery stays active), then a drain tail, under one fixed
+// amount of simulated work.
+const (
+	scale16Cycles    = 8000
+	scale16InjectEnd = 4000
+	scale16Rate      = 0.06
+)
+
+// runScale16 executes the fixed 16×16 trajectory at one shard count and
+// returns the final stats and the stepping wall time. Only Step calls
+// are timed; injection is identical across shard counts by construction
+// (its rng never observes simulator state beyond RouterAlive, which
+// faults fix before cycle 0).
+func runScale16(shards int) (network.Stats, time.Duration) {
+	topo := topology.RandomIrregular(16, 16, topology.LinkFaults, 30, 5)
+	min := routing.NewMinimal(topo)
+	s := network.New(topo, network.Config{Shards: shards}, rand.New(rand.NewSource(1)))
+	core.Attach(s, core.Options{TDD: 34})
+	rng := rand.New(rand.NewSource(2))
+	var total time.Duration
+	for cyc := 0; cyc < scale16Cycles; cyc++ {
+		if cyc < scale16InjectEnd {
+			for n := 0; n < 256; n++ {
+				if !topo.RouterAlive(geom.NodeID(n)) || rng.Float64() >= scale16Rate {
+					continue
+				}
+				dst := geom.NodeID(rng.Intn(256))
+				r, ok := min.Route(geom.NodeID(n), dst, rng)
+				if !ok {
+					s.Drop()
+					continue
+				}
+				ln := 1
+				if rng.Intn(2) == 0 {
+					ln = 5
+				}
+				s.Enqueue(s.NewPacket(geom.NodeID(n), dst, rng.Intn(3), ln, r))
+			}
+		}
+		t0 := time.Now()
+		s.Step()
+		total += time.Since(t0)
+	}
+	return s.Stats, total
+}
+
+// Scale16 runs the 16×16 recovery storm at every Scale16ShardCounts
+// entry, verifies all shard counts produce byte-identical Stats, and
+// returns one timing row per count (Speedup relative to Shards=1).
+func Scale16() ([]Scale16Result, error) {
+	sbRouters := len(core.Placement(16, 16))
+	var out []Scale16Result
+	var base network.Stats
+	var baseNs float64
+	for i, shards := range Scale16ShardCounts {
+		stats, dur := runScale16(shards)
+		ns := float64(dur.Nanoseconds()) / float64(scale16Cycles)
+		if i == 0 {
+			base, baseNs = stats, ns
+		} else if stats != base {
+			return nil, fmt.Errorf("scale16: shards=%d diverged from shards=%d\nshards=%d: %+v\nshards=%d: %+v",
+				shards, Scale16ShardCounts[0], shards, stats, Scale16ShardCounts[0], base)
+		}
+		out = append(out, Scale16Result{
+			Shards:     shards,
+			Cycles:     scale16Cycles,
+			NsPerCycle: ns,
+			Speedup:    safeRatio(baseNs, ns),
+			Delivered:  stats.Delivered,
+			Recoveries: stats.DeadlockRecoveries,
+			SBRouters:  sbRouters,
+			GoMaxProcs: runtime.GOMAXPROCS(0),
+		})
+	}
+	return out, nil
+}
+
+// WriteScale16JSON writes results as indented JSON (a top-level array of
+// Scale16Result).
+func WriteScale16JSON(w io.Writer, rs []Scale16Result) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rs)
+}
+
+// PrintScale16 renders the sweep as a table.
+func PrintScale16(w io.Writer, rs []Scale16Result) {
+	if len(rs) > 0 {
+		fmt.Fprintf(w, "16x16 irregular recovery storm: %d SB routers, %d cycles, GOMAXPROCS=%d\n",
+			rs[0].SBRouters, rs[0].Cycles, rs[0].GoMaxProcs)
+	}
+	fmt.Fprintf(w, "%7s %14s %12s %10s %11s\n",
+		"shards", "ns/cycle", "speedup", "delivered", "recoveries")
+	for _, r := range rs {
+		fmt.Fprintf(w, "%7d %14.0f %11.2fx %10d %11d\n",
+			r.Shards, r.NsPerCycle, r.Speedup, r.Delivered, r.Recoveries)
+	}
+}

@@ -47,6 +47,14 @@ type Config struct {
 	// LinkLatency is the per-hop link traversal delay in cycles.
 	// Default 1.
 	LinkLatency int
+	// Shards is the number of spatial shards (contiguous row bands) the
+	// stepper advances on parallel goroutines. 0 or 1 selects the
+	// sequential core; larger values are clamped to the mesh height. The
+	// sharded stepper is byte-identical to the sequential one — same
+	// Stats, same per-packet delivery cycles, same RNG draws — for any
+	// value (see shard.go for the determinism argument), so Shards is
+	// execution configuration, not a simulation parameter.
+	Shards int
 }
 
 func (c Config) withDefaults() Config {
@@ -123,11 +131,20 @@ type Sim struct {
 
 	nextPktID int64
 	inFlight  int64
-	// saCand is per-output scratch for switch allocation (hot loop).
-	saCand [geom.NumPorts][]int32
+	// seqGather is the switch-allocation scratch of the sequential
+	// stepper (and of the coordinator's plan decoding under the sharded
+	// one); each shard worker owns its own.
+	seqGather allocGather
 
 	sched  scheduler
 	dueBuf []int32
+
+	// nshards is the effective shard count; 1 selects the sequential
+	// Step path. shardOf maps a router id to its owning shard (nil when
+	// unsharded); shards holds the per-shard schedulers and scratch.
+	nshards int
+	shardOf []int8
+	shards  []shardState
 }
 
 // New builds a simulator over topo. The topology may be irregular; dead
@@ -154,10 +171,12 @@ func New(topo *topology.Topology, cfg Config, rng *rand.Rand) *Sim {
 		}
 		s.NIQueue[id] = make([]NIRing, cfg.NumVnets)
 	}
-	for i := range s.saCand {
-		s.saCand[i] = make([]int32, 0, geom.NumPorts*slots+1)
-	}
+	s.seqGather.init(cfg)
 	s.sched.init(n)
+	s.nshards = 1
+	if k := effectiveShards(cfg.Shards, topo.Height()); k > 1 {
+		s.initShards(k)
+	}
 	return s
 }
 
@@ -189,7 +208,21 @@ func (s *Sim) NewPacket(src, dst geom.NodeID, vnet, length int, route routing.Ro
 func (s *Sim) Enqueue(p *Packet) {
 	s.NIQueue[p.Src][p.Vnet].Push(p)
 	s.Stats.Offered++
-	s.sched.wake(p.Src, s.Now)
+	s.wakeNode(p.Src, s.Now)
+}
+
+// wakeNode routes a wake to the scheduler owning router id: the
+// per-shard scheduler under the sharded stepper, the global one
+// otherwise. Inside a parallel phase every caller targets its own
+// shard (injection and gather only self-wake); cross-shard wakes
+// happen only in sequential contexts (the commit pass, Enqueue,
+// hooks), so no scheduler is ever touched concurrently.
+func (s *Sim) wakeNode(id geom.NodeID, t int64) {
+	if s.shardOf != nil {
+		s.shards[s.shardOf[id]].sched.wake(id, t)
+		return
+	}
+	s.sched.wake(id, t)
 }
 
 // Wake schedules router n for processing in the current cycle (or the
@@ -198,13 +231,13 @@ func (s *Sim) Enqueue(p *Packet) {
 // call Wake after mutating router or VC state through any other channel
 // — e.g. tests that hand-place packets into buffers, or re-enabling a
 // router in the topology.
-func (s *Sim) Wake(n geom.NodeID) { s.sched.wake(n, s.Now) }
+func (s *Sim) Wake(n geom.NodeID) { s.wakeNode(n, s.Now) }
 
 // WakeAll schedules every router — the blunt form of Wake for callers
 // that mutated state broadly.
 func (s *Sim) WakeAll() {
 	for id := range s.Routers {
-		s.sched.wake(geom.NodeID(id), s.Now)
+		s.wakeNode(geom.NodeID(id), s.Now)
 	}
 }
 
@@ -212,7 +245,12 @@ func (s *Sim) WakeAll() {
 // becomes a no-op and Sim.Step stops advancing simulation state. Used by
 // the refmodel full-scan stepper, which visits every router every cycle
 // and needs no (and must not accumulate) scheduling state.
-func (s *Sim) DetachScheduler() { s.sched.detached = true }
+func (s *Sim) DetachScheduler() {
+	s.sched.detached = true
+	for k := range s.shards {
+		s.shards[k].sched.detached = true
+	}
+}
 
 // Drop records a packet that could not be routed (destination
 // unreachable); the paper's methodology drops such packets under
@@ -241,6 +279,49 @@ func (s *Sim) RemovePacket(vc *VC, at geom.NodeID, port geom.Direction) {
 // DiscardQueued records the loss of a queued (offered but not injected)
 // packet; the caller removes it from the NI queue.
 func (s *Sim) DiscardQueued(p *Packet) { s.Stats.Lost++ }
+
+// PlacePacket installs p directly into slot `slot` of input port `in` at
+// router id with its head immediately ready — a hook for tests that need
+// a precise hand-built buffer state (e.g. the recovery-FSM transition
+// table's dependence chains) without arranging traffic to produce it.
+// Occupancy and conservation counters are adjusted as if the packet had
+// been offered and injected, and the router is woken.
+func (s *Sim) PlacePacket(id geom.NodeID, in geom.Direction, slot int, p *Packet) {
+	vc := &s.Routers[id].In[in][slot]
+	if vc.Pkt != nil {
+		panic("network: PlacePacket into an occupied VC")
+	}
+	vc.Pkt = p
+	vc.ReadyAt = s.Now
+	s.placeAccount(id, in, p)
+}
+
+// PlaceBubblePacket installs p as the static-bubble occupant of router
+// id, arriving on input port in — PlacePacket's bubble-slot counterpart.
+func (s *Sim) PlaceBubblePacket(id geom.NodeID, in geom.Direction, p *Packet) {
+	b := &s.Routers[id].Bubble
+	if b.VC.Pkt != nil {
+		panic("network: PlaceBubblePacket into an occupied bubble")
+	}
+	b.InPort = in
+	b.VC.Pkt = p
+	b.VC.ReadyAt = s.Now
+	s.placeAccount(id, in, p)
+}
+
+func (s *Sim) placeAccount(id geom.NodeID, in geom.Direction, p *Packet) {
+	r := &s.Routers[id]
+	r.occupied++
+	if in != geom.Local {
+		r.occNonLocal++
+	}
+	s.inFlight++
+	s.Stats.Offered++
+	s.Stats.Injected++
+	s.Stats.InjectedFlits += int64(p.Len)
+	p.InjectedAt = s.Now
+	s.wakeNode(id, s.Now)
+}
 
 // DeliverOutOfBand removes the packet in vc (buffered at router at's
 // input port) and counts it as delivered at the given cycle — modeling a
@@ -277,7 +358,13 @@ func (s *Sim) DeliverOutOfBand(vc *VC, at geom.NodeID, port geom.Direction, deli
 // over routers with a wake scheduled for this cycle, in ascending id
 // order — the same order the naive stepper visits them, so the two
 // cores are cycle-exact (proved by the refmodel differential harness).
+// With Config.Shards > 1 the cycle runs on the sharded stepper
+// (shard.go), which is byte-identical by construction.
 func (s *Sim) Step() {
+	if s.nshards > 1 {
+		s.stepSharded()
+		return
+	}
 	for _, f := range s.PreCycle {
 		f(s)
 	}
@@ -325,6 +412,30 @@ func (s *Sim) QueuedPackets() int64 {
 // node. Exported as a stepper building block; the event core invokes it
 // for due routers, the refmodel for every router.
 func (s *Sim) InjectNode(id geom.NodeID) {
+	var d injectDelta
+	s.injectNode(id, &d)
+	d.apply(s)
+}
+
+// injectDelta accumulates the injection phase's contribution to the
+// shared counters. Injection touches only node-local state (the node's
+// NI queues, its local-port VCs, its occupancy) plus these three
+// counters, so shard workers inject concurrently into private deltas
+// and the coordinator folds the sums in shard order — the totals are
+// identical to the sequential core's, and Stats is only observable at
+// cycle boundaries.
+type injectDelta struct {
+	injected, flits, inFlight int64
+}
+
+func (d *injectDelta) apply(s *Sim) {
+	s.Stats.Injected += d.injected
+	s.Stats.InjectedFlits += d.flits
+	s.inFlight += d.inFlight
+	*d = injectDelta{}
+}
+
+func (s *Sim) injectNode(id geom.NodeID, d *injectDelta) {
 	qs := s.NIQueue[id]
 	if !s.Topo.RouterAlive(id) {
 		// A dead router cannot inject, but its queue survives (the
@@ -332,7 +443,7 @@ func (s *Sim) InjectNode(id geom.NodeID) {
 		// exactly what the naive core's full scan paid.
 		for vnet := range qs {
 			if qs[vnet].Len() > 0 {
-				s.sched.wake(id, s.Now+1)
+				s.wakeNode(id, s.Now+1)
 				return
 			}
 		}
@@ -356,16 +467,16 @@ func (s *Sim) InjectNode(id geom.NodeID) {
 		vc.ReadyAt = s.Now + int64(s.Cfg.RouterLatency)
 		p.InjectedAt = s.Now
 		q.PopFront()
-		s.Stats.Injected++
-		s.Stats.InjectedFlits += int64(p.Len)
-		s.inFlight++
+		d.injected++
+		d.flits += int64(p.Len)
+		d.inFlight++
 		r.occupied++
 		if q.Len() > 0 {
 			pending = true // one injection per vnet per cycle
 		}
 	}
 	if pending {
-		s.sched.wake(id, s.Now+1)
+		s.wakeNode(id, s.Now+1)
 	}
 	// A freshly injected packet's ReadyAt wake comes from AllocateNode,
 	// which always runs in the same cycle for a due router.

@@ -1,13 +1,15 @@
 package refmodel
 
-// The differential harness: every scenario builds TWO identically seeded
-// simulations — topology, fault set, traffic schedule, recovery
-// controller, runtime reconfiguration — and drives one through the
-// event-driven Sim.Step and the other through this package's full-scan
-// Stepper, comparing the complete Stats struct, occupancy, and progress
-// marker after EVERY cycle, plus per-packet delivery times at the end.
-// Both cores share the per-node movement primitives, so any divergence
-// isolates a wake-scheduling bug in the event core.
+// The differential harness: every scenario builds a fleet of
+// identically seeded simulations — topology, fault set, traffic
+// schedule, recovery controller, runtime reconfiguration — and drives
+// one through the event-driven Sim.Step, one through this package's
+// full-scan Stepper, and one per requested shard count through the
+// sharded parallel stepper, comparing the complete Stats struct,
+// occupancy, and progress marker after EVERY cycle, plus per-packet
+// delivery times at the end. All cores share the per-node movement
+// primitives, so any divergence isolates a wake-scheduling bug in the
+// event core or an ordering/raciness bug in the sharded stepper.
 
 import (
 	"fmt"
@@ -23,13 +25,29 @@ import (
 	"repro/internal/topology"
 )
 
+// diffShardCounts are the sharded-core variants every full scenario
+// runs alongside the reference pair. 1 exercises the knob's sequential
+// fallback; the rest exercise real parallel execution (counts above the
+// mesh height clamp, which is itself part of the contract).
+var diffShardCounts = []int{1, 2, 4, 8}
+
+// unit is one core under differential comparison.
+type unit struct {
+	name      string
+	sim       *network.Sim
+	step      func()
+	mgr       *reconfig.Manager
+	delivered map[int64]int64
+}
+
 // runScenario derives a full scenario from seed (topology shape and
 // faults, config, traffic, SB controller, mid-run kills or power-gating),
-// runs it under both cores, and returns an error describing the first
+// runs it under every core, and returns an error describing the first
 // divergence or conservation violation. checkEqual additionally demands
 // cycle-exact equality between the cores (the conservation invariant is
-// always checked, on both).
-func runScenario(seed int64, cycles int, checkEqual bool) error {
+// always checked, on all of them); shardCounts selects the sharded
+// variants riding along with the event/refmodel pair.
+func runScenario(seed int64, cycles int, checkEqual bool, shardCounts []int) error {
 	hrng := rand.New(rand.NewSource(seed))
 	w := 4 + hrng.Intn(5)
 	h := 4 + hrng.Intn(5)
@@ -39,8 +57,6 @@ func runScenario(seed int64, cycles int, checkEqual bool) error {
 	}
 	faults := hrng.Intn(1 + w*h/4)
 	topoSeed := hrng.Int63()
-	ta := topology.RandomIrregular(w, h, kind, faults, topoSeed)
-	tb := topology.RandomIrregular(w, h, kind, faults, topoSeed)
 
 	var cfg network.Config
 	if hrng.Intn(4) == 0 {
@@ -50,47 +66,73 @@ func runScenario(seed int64, cycles int, checkEqual bool) error {
 		cfg.LinkLatency = 1 + hrng.Intn(3)
 	}
 	simSeed := hrng.Int63()
-	sa := network.New(ta, cfg, rand.New(rand.NewSource(simSeed)))
-	sb := network.New(tb, cfg, rand.New(rand.NewSource(simSeed)))
-	ref := New(sb)
 
 	// SB recovery on most scenarios (deadlock storms are the hard case
 	// for wake scheduling); occasionally SPIN mode or no recovery at all
 	// (wedged deadlocks must wedge identically).
-	if hrng.Intn(5) != 0 {
-		opt := core.Options{TDD: int64(16 + hrng.Intn(32))}
-		opt.Spin = hrng.Intn(4) == 0
-		core.Attach(sa, opt)
-		core.Attach(sb, opt)
-	}
+	attachSB := hrng.Intn(5) != 0
+	opt := core.Options{TDD: int64(16 + hrng.Intn(32))}
+	opt.Spin = hrng.Intn(4) == 0
 
-	deliveredA := make(map[int64]int64)
-	deliveredB := make(map[int64]int64)
-	sa.OnDeliver = func(p *network.Packet) { deliveredA[p.ID] = p.DeliveredAt }
-	sb.OnDeliver = func(p *network.Packet) { deliveredB[p.ID] = p.DeliveredAt }
+	units := []*unit{{name: "event"}, {name: "refmodel"}}
+	for _, n := range shardCounts {
+		units = append(units, &unit{name: fmt.Sprintf("shards%d", n)})
+	}
+	for i, u := range units {
+		ucfg := cfg
+		if i >= 2 {
+			ucfg.Shards = shardCounts[i-2]
+		}
+		topo := topology.RandomIrregular(w, h, kind, faults, topoSeed)
+		u.sim = network.New(topo, ucfg, rand.New(rand.NewSource(simSeed)))
+		u.step = u.sim.Step
+		if u.name == "refmodel" {
+			u.step = New(u.sim).Step
+		}
+		if attachSB {
+			core.Attach(u.sim, opt)
+		}
+		u.delivered = make(map[int64]int64)
+		d := u.delivered
+		u.sim.OnDeliver = func(p *network.Packet) { d[p.ID] = p.DeliveredAt }
+	}
+	ev := units[0]
 
 	// Mid-run topology changes go through reconfig managers (mirrored
 	// call for call); static scenarios route over a shared table.
 	kills := hrng.Intn(10) < 3
 	gating := !kills && hrng.Intn(10) < 2
-	var ma, mb *reconfig.Manager
 	var min *routing.Minimal
 	if kills || gating {
-		ma, mb = reconfig.New(sa), reconfig.New(sb)
+		for _, u := range units {
+			u.mgr = reconfig.New(u.sim)
+		}
 	} else {
-		min = routing.NewMinimal(ta)
+		min = routing.NewMinimal(ev.sim.Topo)
 	}
-	route := func(src, dst geom.NodeID) (routing.Route, routing.Route, bool, error) {
-		if ma != nil {
-			rta, oka := ma.Route(src, dst)
-			rtb, okb := mb.Route(src, dst)
-			if oka != okb {
-				return nil, nil, false, fmt.Errorf("route tables diverged for %v->%v", src, dst)
+	// route returns one route per unit (managers may rebuild tables
+	// differently per instance only if the cores diverged — flagged).
+	routeBuf := make([]routing.Route, len(units))
+	route := func(src, dst geom.NodeID) ([]routing.Route, bool, error) {
+		if ev.mgr != nil {
+			ok0 := false
+			for i, u := range units {
+				rt, ok := u.mgr.Route(src, dst)
+				if i == 0 {
+					ok0 = ok
+				} else if ok != ok0 {
+					return nil, false, fmt.Errorf("route tables diverged for %v->%v (%s vs %s)",
+						src, dst, ev.name, u.name)
+				}
+				routeBuf[i] = rt
 			}
-			return rta, rtb, oka, nil
+			return routeBuf, ok0, nil
 		}
 		r, ok := min.Route(src, dst, hrng)
-		return r, r, ok, nil
+		for i := range routeBuf {
+			routeBuf[i] = r
+		}
+		return routeBuf, ok, nil
 	}
 
 	window := cycles * 2 / 3
@@ -114,51 +156,58 @@ func runScenario(seed int64, cycles int, checkEqual bool) error {
 	}
 
 	for cyc := 0; cyc < cycles; cyc++ {
-		for _, ev := range killPlan {
-			if ev.cyc != cyc {
+		for _, evt := range killPlan {
+			if evt.cyc != cyc {
 				continue
 			}
-			if ev.router {
-				alive := sa.Topo.AliveRouters()
+			if evt.router {
+				alive := ev.sim.Topo.AliveRouters()
 				if len(alive) == 0 {
 					continue
 				}
 				n := alive[hrng.Intn(len(alive))]
-				ma.FailRouter(n)
-				mb.FailRouter(n)
+				for _, u := range units {
+					u.mgr.FailRouter(n)
+				}
 			} else {
-				links := sa.Topo.AliveUndirectedLinks()
+				links := ev.sim.Topo.AliveUndirectedLinks()
 				if len(links) == 0 {
 					continue
 				}
 				l := links[hrng.Intn(len(links))]
-				ma.FailLink(l.From, l.Dir)
-				mb.FailLink(l.From, l.Dir)
+				for _, u := range units {
+					u.mgr.FailLink(l.From, l.Dir)
+				}
 			}
 		}
 		if cyc == gateAt {
-			alive := sa.Topo.AliveRouters()
+			alive := ev.sim.Topo.AliveRouters()
 			gateTarget = alive[hrng.Intn(len(alive))]
-			ea := ma.RequestGate(gateTarget)
-			eb := mb.RequestGate(gateTarget)
-			if (ea == nil) != (eb == nil) {
-				return fmt.Errorf("cycle %d: RequestGate(%v) mismatch: %v vs %v", cyc, gateTarget, ea, eb)
+			e0 := ev.mgr.RequestGate(gateTarget)
+			for _, u := range units[1:] {
+				if eu := u.mgr.RequestGate(gateTarget); (eu == nil) != (e0 == nil) {
+					return fmt.Errorf("cycle %d: RequestGate(%v) mismatch: %s %v vs %s %v",
+						cyc, gateTarget, ev.name, e0, u.name, eu)
+				}
 			}
 		}
 		if gating && cyc > gateAt && cyc < ungateAt {
-			ga := ma.TryCompleteGates()
-			gb := mb.TryCompleteGates()
-			if len(ga) != len(gb) {
-				return fmt.Errorf("cycle %d: gate completion mismatch: %v vs %v", cyc, ga, gb)
+			g0 := ev.mgr.TryCompleteGates()
+			for _, u := range units[1:] {
+				if gu := u.mgr.TryCompleteGates(); len(gu) != len(g0) {
+					return fmt.Errorf("cycle %d: gate completion mismatch: %s %v vs %s %v",
+						cyc, ev.name, g0, u.name, gu)
+				}
 			}
 		}
 		if cyc == ungateAt {
-			ma.Ungate(gateTarget)
-			mb.Ungate(gateTarget)
+			for _, u := range units {
+				u.mgr.Ungate(gateTarget)
+			}
 		}
 
 		if cyc < window {
-			alive := sa.Topo.AliveRouters()
+			alive := ev.sim.Topo.AliveRouters()
 			for _, src := range alive {
 				if hrng.Float64() >= rate {
 					continue
@@ -167,70 +216,82 @@ func runScenario(seed int64, cycles int, checkEqual bool) error {
 				if dst == src {
 					continue
 				}
-				rta, rtb, ok, err := route(src, dst)
+				rts, ok, err := route(src, dst)
 				if err != nil {
 					return fmt.Errorf("cycle %d: %w", cyc, err)
 				}
 				if !ok {
-					sa.Drop()
-					sb.Drop()
+					for _, u := range units {
+						u.sim.Drop()
+					}
 					continue
 				}
 				ln := 1
 				if hrng.Intn(2) == 0 {
 					ln = 5
 				}
-				vnet := hrng.Intn(sa.Cfg.NumVnets)
-				sa.Enqueue(sa.NewPacket(src, dst, vnet, ln, rta))
-				sb.Enqueue(sb.NewPacket(src, dst, vnet, ln, rtb))
+				vnet := hrng.Intn(ev.sim.Cfg.NumVnets)
+				for i, u := range units {
+					u.sim.Enqueue(u.sim.NewPacket(src, dst, vnet, ln, rts[i]))
+				}
 			}
 		}
 
-		sa.Step()
-		ref.Step()
+		for _, u := range units {
+			u.step()
+		}
 
-		for i, s := range []*network.Sim{sa, sb} {
-			name := [2]string{"event", "refmodel"}[i]
+		for _, u := range units {
+			s := u.sim
 			if got := s.Stats.Delivered + s.InFlight() + s.QueuedPackets() + s.Stats.Lost; got != s.Stats.Offered {
 				return fmt.Errorf("cycle %d: %s core conservation violated: Delivered+InFlight+Queued+Lost=%d, Offered=%d",
-					cyc, name, got, s.Stats.Offered)
+					cyc, u.name, got, s.Stats.Offered)
 			}
 		}
 		if !checkEqual {
 			continue
 		}
-		if sa.Stats != sb.Stats {
-			return fmt.Errorf("cycle %d: stats diverged\nevent:    %+v\nrefmodel: %+v", cyc, sa.Stats, sb.Stats)
-		}
-		if sa.InFlight() != sb.InFlight() || sa.QueuedPackets() != sb.QueuedPackets() {
-			return fmt.Errorf("cycle %d: occupancy diverged: inflight %d vs %d, queued %d vs %d",
-				cyc, sa.InFlight(), sb.InFlight(), sa.QueuedPackets(), sb.QueuedPackets())
-		}
-		if sa.LastProgress != sb.LastProgress {
-			return fmt.Errorf("cycle %d: LastProgress diverged: %d vs %d", cyc, sa.LastProgress, sb.LastProgress)
+		for _, u := range units[1:] {
+			if u.sim.Stats != ev.sim.Stats {
+				return fmt.Errorf("cycle %d: stats diverged\n%-9s %+v\n%-9s %+v",
+					cyc, ev.name+":", ev.sim.Stats, u.name+":", u.sim.Stats)
+			}
+			if u.sim.InFlight() != ev.sim.InFlight() || u.sim.QueuedPackets() != ev.sim.QueuedPackets() {
+				return fmt.Errorf("cycle %d: occupancy diverged (%s): inflight %d vs %d, queued %d vs %d",
+					cyc, u.name, ev.sim.InFlight(), u.sim.InFlight(), ev.sim.QueuedPackets(), u.sim.QueuedPackets())
+			}
+			if u.sim.LastProgress != ev.sim.LastProgress {
+				return fmt.Errorf("cycle %d: LastProgress diverged (%s): %d vs %d",
+					cyc, u.name, ev.sim.LastProgress, u.sim.LastProgress)
+			}
 		}
 	}
 
 	if checkEqual {
-		if len(deliveredA) != len(deliveredB) {
-			return fmt.Errorf("delivery count diverged: %d vs %d", len(deliveredA), len(deliveredB))
-		}
-		for id, at := range deliveredA {
-			if bt, ok := deliveredB[id]; !ok || bt != at {
-				return fmt.Errorf("packet %d delivery time diverged: event %d, refmodel %d (present %v)", id, at, bt, ok)
+		for _, u := range units[1:] {
+			if len(u.delivered) != len(ev.delivered) {
+				return fmt.Errorf("delivery count diverged (%s): %d vs %d", u.name, len(ev.delivered), len(u.delivered))
+			}
+			for id, at := range ev.delivered {
+				if ut, ok := u.delivered[id]; !ok || ut != at {
+					return fmt.Errorf("packet %d delivery time diverged: event %d, %s %d (present %v)",
+						id, at, u.name, ut, ok)
+				}
 			}
 		}
 	}
 	return nil
 }
 
-// TestDifferentialEventVsRefModel proves the event-driven core
-// cycle-exact against the full-scan reference across 60 seeded
-// irregular-topology scenarios (20 under -short): mixed traffic,
-// deadlock storms with SB (and SPIN) recovery, non-default pipeline
-// latencies, mid-run link/router kills with in-place reroutes, and
-// power-gating drains — comparing full Stats, occupancy and progress
-// after every cycle and per-packet delivery times at the end.
+// TestDifferentialEventVsRefModel proves the event-driven core AND the
+// sharded parallel core cycle-exact against the full-scan reference
+// across 60 seeded irregular-topology scenarios (20 under -short):
+// mixed traffic, deadlock storms with SB (and SPIN) recovery,
+// non-default pipeline latencies, mid-run link/router kills with
+// in-place reroutes, and power-gating drains — comparing full Stats,
+// occupancy and progress after every cycle and per-packet delivery
+// times at the end, three-way: refmodel vs. event core vs. the sharded
+// stepper at shard counts 1, 2, 4 and 8.
 func TestDifferentialEventVsRefModel(t *testing.T) {
 	seeds := 60
 	if testing.Short() {
@@ -240,7 +301,7 @@ func TestDifferentialEventVsRefModel(t *testing.T) {
 		i := i
 		t.Run(fmt.Sprintf("seed%02d", i), func(t *testing.T) {
 			t.Parallel()
-			if err := runScenario(int64(i)+1, 900+100*(i%6), true); err != nil {
+			if err := runScenario(int64(i)+1, 900+100*(i%6), true, diffShardCounts); err != nil {
 				t.Fatal(err)
 			}
 		})
@@ -253,13 +314,14 @@ func TestDifferentialEventVsRefModel(t *testing.T) {
 //
 //	Offered == Delivered + InFlight + QueuedPackets + Lost
 //
-// holds after every cycle under both cores (packets that never enter the
+// holds after every cycle under all cores (packets that never enter the
 // system are counted by DroppedUnreachable separately, per the Stats
 // contract). runScenario checks the invariant each cycle; this test
-// feeds it quick-generated seeds.
+// feeds it quick-generated seeds, with one sharded variant riding
+// along.
 func TestPropPacketConservationBothCores(t *testing.T) {
 	f := func(seed int64) bool {
-		err := runScenario(seed, 600, false)
+		err := runScenario(seed, 600, false, []int{4})
 		if err != nil {
 			t.Log(err)
 		}

@@ -43,7 +43,8 @@ func (q *NIRing) Push(p *Packet) {
 
 // PopFront removes and returns the oldest packet. The vacated slot is
 // nil'd so the packet is collectable as soon as the simulator drops its
-// own references; an emptied queue releases its buffer entirely.
+// own references; an emptied queue keeps a small buffer for
+// allocation-free refill and releases a large one (see release).
 func (q *NIRing) PopFront() *Packet {
 	if q.n == 0 {
 		return nil
@@ -53,15 +54,14 @@ func (q *NIRing) PopFront() *Packet {
 	q.head = (q.head + 1) % len(q.buf)
 	q.n--
 	if q.n == 0 {
-		q.buf = nil
-		q.head = 0
+		q.release()
 	}
 	return p
 }
 
 // Filter keeps only packets for which keep returns true, preserving
-// order. Dropped slots are nil'd; a fully emptied queue releases its
-// buffer.
+// order. Dropped slots are nil'd; a fully emptied queue is treated as a
+// drain (see release).
 func (q *NIRing) Filter(keep func(*Packet) bool) {
 	w := 0
 	for i := 0; i < q.n; i++ {
@@ -76,9 +76,24 @@ func (q *NIRing) Filter(keep func(*Packet) bool) {
 	}
 	q.n = w
 	if q.n == 0 {
-		q.buf = nil
-		q.head = 0
+		q.release()
 	}
+}
+
+// ringRetainCap bounds the buffer kept across a full drain. Steady-state
+// traffic drains NI queues every few cycles, and releasing the buffer
+// each time meant reallocating on every refill; buffers up to this size
+// are kept (slots already nil'd, so no packets are pinned). Anything
+// larger is the tail of a congestion burst and is released outright so
+// the burst cannot retain memory after it clears.
+const ringRetainCap = 64
+
+// release resets a drained queue, keeping a small backing buffer.
+func (q *NIRing) release() {
+	if len(q.buf) > ringRetainCap {
+		q.buf = nil
+	}
+	q.head = 0
 }
 
 // Cap exposes the backing-buffer capacity (for the memory-release test).

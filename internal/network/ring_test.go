@@ -117,10 +117,53 @@ func TestRingFilter(t *testing.T) {
 	if live != q.Len() {
 		t.Fatalf("%d non-nil slots for %d live packets after Filter", live, q.Len())
 	}
-	// Filtering everything away releases the buffer.
+	// Filtering everything away keeps the (small) buffer for refill but
+	// no packets: every slot must be nil.
 	q.Filter(func(*Packet) bool { return false })
-	if q.Len() != 0 || q.Cap() != 0 {
-		t.Fatalf("empty filter left len=%d cap=%d", q.Len(), q.Cap())
+	if q.Len() != 0 {
+		t.Fatalf("empty filter left len=%d", q.Len())
+	}
+	if q.Cap() == 0 || q.Cap() > ringRetainCap {
+		t.Fatalf("empty filter should retain a small buffer, got cap=%d", q.Cap())
+	}
+	for i, p := range q.buf {
+		if p != nil {
+			t.Fatalf("slot %d still holds a packet after filter-all", i)
+		}
+	}
+}
+
+// TestRingDrainRetainsSmallCapacity pins the refill path: a drained
+// ring keeps a small buffer (slots nil'd) so the steady-state
+// fill/drain cycle of an NI queue never reallocates.
+func TestRingDrainRetainsSmallCapacity(t *testing.T) {
+	var q NIRing
+	for i := 0; i < 32; i++ {
+		q.Push(ringPacket(i))
+	}
+	capBefore := q.Cap()
+	for q.Len() > 0 {
+		q.PopFront()
+	}
+	if q.Cap() != capBefore {
+		t.Fatalf("drain changed cap %d -> %d (want retained: %d <= ringRetainCap)",
+			capBefore, q.Cap(), capBefore)
+	}
+	// Refill within the retained capacity must not allocate.
+	ps := make([]*Packet, 32)
+	for i := range ps {
+		ps[i] = ringPacket(i)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		for _, p := range ps {
+			q.Push(p)
+		}
+		for q.Len() > 0 {
+			q.PopFront()
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("drain/refill cycle allocates %.1f times per run, want 0", allocs)
 	}
 }
 

@@ -82,32 +82,78 @@ func (r *Router) VCAt(cfg Config, in geom.Direction, vnet, vc int) *VC {
 // availability (virtual cut-through: the downstream VC must be able to
 // hold the whole packet).
 //
-// Implementation: one gather pass buckets ready heads by desired output
-// (the simulator's hottest loop), then each output arbitrates
-// round-robin within its bucket starting at its saPtr. The gather pass
-// doubles as the event core's wake classifier: a head-ready packet left
-// ungranted means the router is blocked on state that may change
-// without a timestamped event (a freed downstream VC, a cleared fence, a
-// hook's veto), so it re-polls next cycle; a router whose packets are
-// all still in flight sleeps until the earliest arrives.
+// The phase is split in two so the sharded stepper can parallelize it:
+// gatherAllocate reads only state that is stable for the whole
+// allocation phase and produces the candidate buckets; commitAllocate
+// arbitrates and moves packets. The sequential core (and the refmodel
+// full scan) runs both back to back, which is exactly the historical
+// single-pass behaviour.
 func (s *Sim) AllocateNode(id geom.NodeID) {
+	if s.gatherAllocate(id, &s.seqGather) {
+		s.commitAllocate(id, &s.seqGather)
+	}
+}
+
+// allocGather is one router's switch-allocation plan: per-output
+// candidate buckets (ascending candidate index: in*slots+sl, or
+// NumPorts*slots for the bubble) plus the wake classification inputs.
+type allocGather struct {
+	cand      [geom.NumPorts][]int32
+	headReady int
+	minFuture int64
+}
+
+func (g *allocGather) init(cfg Config) {
+	for i := range g.cand {
+		g.cand[i] = make([]int32, 0, geom.NumPorts*cfg.SlotsPerPort()+1)
+	}
+}
+
+// candVC resolves a candidate index to its buffer and input port.
+func (r *Router) candVC(ci int32, slots, total int) (*VC, geom.Direction) {
+	if int(ci) == total {
+		return &r.Bubble.VC, r.Bubble.InPort
+	}
+	inPort := geom.Direction(ci / int32(slots))
+	return &r.In[inPort][ci%int32(slots)], inPort
+}
+
+// gatherAllocate buckets router id's ready heads by desired output and
+// prunes buckets that cannot possibly be granted, returning whether a
+// commit pass is needed. It is the simulator's hottest loop and the
+// parallel half of the allocation phase: everything it reads is stable
+// across the whole phase — the router's own VCs and fence, its
+// OutFreeAt and link state (only written by its own commit and by
+// hooks), and downstream buffer occupancy, which is monotone during
+// allocation (a VC emptied by a grant stays unusable until FreeAt, so
+// "empty now" can only become false). Pruning on that monotone state is
+// therefore conservative: a pruned candidate could never be granted by
+// the sequential core either, and a kept candidate is re-validated at
+// commit time, so the commit's grant decisions are bit-for-bit those of
+// the sequential single pass.
+//
+// The pruning also carries the load: in a deadlock storm most ready
+// heads have no free downstream buffer, and classifying them (plus the
+// re-poll wake — a blocked router polls because fences, hooks and link
+// state may change with no timestamped event) happens entirely in this
+// parallel pass; such routers never reach the sequential commit.
+func (s *Sim) gatherAllocate(id geom.NodeID, g *allocGather) bool {
 	r := &s.Routers[id]
 	if r.occupied == 0 {
-		return
+		return false
 	}
 	if !s.Topo.RouterAlive(id) {
 		// Buffered traffic at a dead router cannot move, but a re-enable
 		// would free it with no event: poll, as the naive scan did.
-		s.sched.wake(id, s.Now+1)
-		return
+		s.wakeNode(id, s.Now+1)
+		return false
 	}
 	slots := s.Cfg.SlotsPerPort()
 	total := geom.NumPorts * slots // bubble uses index `total`
-	headReady := 0
-	minFuture := int64(math.MaxInt64)
-	var nc [geom.NumPorts]int
-	for i := range s.saCand {
-		s.saCand[i] = s.saCand[i][:0]
+	g.headReady = 0
+	g.minFuture = int64(math.MaxInt64)
+	for i := range g.cand {
+		g.cand[i] = g.cand[i][:0]
 	}
 	for in := 0; in < geom.NumPorts; in++ {
 		vcs := r.In[in]
@@ -117,51 +163,102 @@ func (s *Sim) AllocateNode(id geom.NodeID) {
 				continue
 			}
 			if vc.ReadyAt > s.Now {
-				if vc.ReadyAt < minFuture {
-					minFuture = vc.ReadyAt
+				if vc.ReadyAt < g.minFuture {
+					g.minFuture = vc.ReadyAt
 				}
 				continue
 			}
-			headReady++
+			g.headReady++
 			out := s.OutputOf(vc.Pkt, id)
 			if out == geom.Invalid ||
 				(r.Fence.Active && out == r.Fence.Out && geom.Direction(in) != r.Fence.In) {
 				continue
 			}
-			if s.GrantFilter != nil && !s.GrantFilter(vc.Pkt, id, geom.Direction(in), out) {
-				continue
-			}
-			s.saCand[out] = append(s.saCand[out], int32(in*slots+sl))
-			nc[out]++
+			g.cand[out] = append(g.cand[out], int32(in*slots+sl))
 		}
 	}
 	if b := &r.Bubble; b.Present && b.VC.Pkt != nil {
 		if b.VC.ReadyAt > s.Now {
-			if b.VC.ReadyAt < minFuture {
-				minFuture = b.VC.ReadyAt
+			if b.VC.ReadyAt < g.minFuture {
+				g.minFuture = b.VC.ReadyAt
 			}
 		} else {
-			headReady++
+			g.headReady++
 			out := s.OutputOf(b.VC.Pkt, id)
 			if out != geom.Invalid &&
 				!(r.Fence.Active && out == r.Fence.Out && b.InPort != r.Fence.In) {
-				s.saCand[out] = append(s.saCand[out], int32(total))
-				nc[out]++
+				g.cand[out] = append(g.cand[out], int32(total))
 			}
 		}
 	}
-	granted := 0
+	work := false
 	for _, out := range geom.AllPorts {
-		n := nc[out]
-		if n == 0 || r.OutFreeAt[out] > s.Now {
+		cands := g.cand[out]
+		if len(cands) == 0 {
 			continue
 		}
-		if out != geom.Local && !s.Topo.HasLink(id, out) {
+		if r.OutFreeAt[out] > s.Now || (out != geom.Local && !s.Topo.HasLink(id, out)) {
+			g.cand[out] = cands[:0]
+			continue
+		}
+		if out != geom.Local {
+			// Keep only candidates with a downstream buffer free right
+			// now (ejection always has room once the port is idle).
+			nb := s.Topo.Neighbor(id, out)
+			in := out.Opposite()
+			bubbleOK := s.Routers[nb].Bubble.EligibleFor(in, s.Now)
+			keep := cands[:0]
+			for _, ci := range cands {
+				vc, _ := r.candVC(ci, slots, total)
+				if bubbleOK || s.findFreeVC(nb, in, vc.Pkt, vc.Pkt.Vnet) >= 0 {
+					keep = append(keep, ci)
+				}
+			}
+			g.cand[out] = keep
+		}
+		if len(g.cand[out]) > 0 {
+			work = true
+		}
+	}
+	if !work {
+		// Nothing can be granted, so the wake decision needs no commit:
+		// re-poll while a ready head is blocked, else sleep until the
+		// earliest in-flight arrival.
+		if g.headReady > 0 {
+			s.wakeNode(id, s.Now+1)
+		} else if g.minFuture < int64(math.MaxInt64) {
+			s.wakeNode(id, g.minFuture)
+		}
+		return false
+	}
+	return true
+}
+
+// commitAllocate arbitrates router id's gathered candidate buckets and
+// moves the winners — the sequential half of the allocation phase. Under
+// the sharded stepper it runs on the coordinator in ascending global
+// router id, the exact order the sequential core interleaves its
+// per-router passes, so round-robin pointer movement, grant-filter
+// consultation and every Stats mutation replay identically. Candidates
+// another router's earlier commit has since starved are skipped by
+// tryGrant's re-validation; skipping them cannot change the winner
+// because the round-robin scan accepts the first candidate in cyclic
+// index order from saPtr that passes both the grant filter and the
+// downstream space check — the same packet whether or not doomed
+// candidates before it remain in the bucket.
+func (s *Sim) commitAllocate(id geom.NodeID, g *allocGather) {
+	r := &s.Routers[id]
+	slots := s.Cfg.SlotsPerPort()
+	total := geom.NumPorts * slots
+	granted := 0
+	for _, out := range geom.AllPorts {
+		cands := g.cand[out]
+		n := len(cands)
+		if n == 0 {
 			continue
 		}
 		// Rotate to the first candidate at or past the round-robin
 		// pointer (candidates are in ascending index order).
-		cands := s.saCand[out]
 		start := 0
 		for i, ci := range cands {
 			if int(ci) >= r.saPtr[out] {
@@ -171,14 +268,10 @@ func (s *Sim) AllocateNode(id geom.NodeID) {
 		}
 		for k := 0; k < n; k++ {
 			ci := cands[(start+k)%n]
-			var vc *VC
-			inPort := geom.Local
-			if int(ci) == total {
-				vc = &r.Bubble.VC
-				inPort = r.Bubble.InPort
-			} else {
-				inPort = geom.Direction(ci / int32(slots))
-				vc = &r.In[inPort][ci%int32(slots)]
+			vc, inPort := r.candVC(ci, slots, total)
+			if int(ci) != total && s.GrantFilter != nil &&
+				!s.GrantFilter(vc.Pkt, id, inPort, out) {
+				continue
 			}
 			if s.tryGrant(r, out, vc, vc.Pkt, inPort) {
 				r.saPtr[out] = (int(ci) + 1) % (total + 1)
@@ -187,10 +280,10 @@ func (s *Sim) AllocateNode(id geom.NodeID) {
 			}
 		}
 	}
-	if headReady > granted {
-		s.sched.wake(id, s.Now+1)
-	} else if minFuture < math.MaxInt64 {
-		s.sched.wake(id, minFuture)
+	if g.headReady > granted {
+		s.wakeNode(id, s.Now+1)
+	} else if g.minFuture < int64(math.MaxInt64) {
+		s.wakeNode(id, g.minFuture)
 	}
 }
 
@@ -208,10 +301,10 @@ func (s *Sim) TransferBubbleNode(id geom.NodeID) {
 		return
 	}
 	if b.VC.ReadyAt > s.Now {
-		s.sched.wake(id, b.VC.ReadyAt)
+		s.wakeNode(id, b.VC.ReadyAt)
 		return
 	}
-	s.sched.wake(id, s.Now+1)
+	s.wakeNode(id, s.Now+1)
 	p := b.VC.Pkt
 	slot := s.findFreeVC(id, b.InPort, p, p.Vnet)
 	if slot < 0 {
@@ -284,7 +377,7 @@ func (s *Sim) tryGrant(r *Router, out geom.Direction, vc *VC, p *Packet, inPort 
 	}
 	nbr.occupied++
 	nbr.occNonLocal++ // arrivals always land on a link-side port
-	s.sched.wake(nb, dst.ReadyAt)
+	s.wakeNode(nb, dst.ReadyAt)
 	s.LastProgress = s.Now
 	return true
 }

@@ -1,0 +1,240 @@
+package network
+
+// The sharded parallel stepper. The mesh is partitioned into contiguous
+// row bands — one shard per band, each owning its routers' schedulers
+// and scratch — and every cycle runs as:
+//
+//	PreCycle hooks                     (coordinator)
+//	collect due + inject + gather      (parallel, one goroutine per shard)
+//	fold injection deltas              (coordinator, shard order)
+//	commit switch allocation           (coordinator, ascending router id)
+//	bubble transfers                   (coordinator, ascending router id)
+//	PostCycle hooks                    (coordinator)
+//
+// Determinism contract — the sharded stepper is byte-identical to the
+// sequential event core (and hence to the refmodel full scan) for any
+// shard count:
+//
+//   - The epoch is one cycle: shards join a barrier before any
+//     cross-router state moves, so there is no speculative lookahead to
+//     roll back and no dependence on goroutine scheduling.
+//   - The parallel phase touches only node-local state. Injection
+//     writes a node's own local-port VCs; gather writes only its
+//     per-shard plan. Gather's cross-shard *reads* (downstream buffer
+//     occupancy for pruning) see phase-stable or monotone state, so
+//     pruning is conservative and cannot change any grant decision —
+//     the argument lives with gatherAllocate/commitAllocate.
+//   - Boundary exchange is the commit pass itself: all packet movement,
+//     grant filters, Stats and delivery callbacks run sequentially in
+//     ascending global router id — the sequential core's exact order —
+//     regardless of which shard owns the routers involved.
+//   - Each shard's timing-wheel scheduler holds exactly the wakes of
+//     its own routers. During the parallel phase a worker only wakes
+//     itself (inject re-polls, gather's blocked/sleep classification);
+//     cross-shard wakes (a grant waking the downstream router) happen
+//     only in the sequential commit. The per-shard wake streams union
+//     to a superset of the sequential core's that preserves every
+//     earliest-wake, so due sets match cycle for cycle.
+//   - RNG ownership: the simulator core draws nothing from Sim.Rng, and
+//     traffic/hooks run only on the coordinator, so the draw sequence
+//     is untouched by sharding.
+//
+// Shards is therefore execution configuration, like the sweep engine's
+// worker count: it never enters a result cache key.
+
+import (
+	"sync"
+
+	"repro/internal/geom"
+)
+
+// maxShards bounds the shard count; row-band partitions beyond this see
+// no return on any plausible host.
+const maxShards = 64
+
+// effectiveShards clamps a requested shard count to the usable range
+// (at most one shard per mesh row).
+func effectiveShards(requested, height int) int {
+	if requested < 1 {
+		return 1
+	}
+	if requested > height {
+		requested = height
+	}
+	if requested > maxShards {
+		requested = maxShards
+	}
+	return requested
+}
+
+// shardState is one shard's private scheduler and per-cycle scratch.
+// Workers never touch another shard's state, so none of it is locked.
+type shardState struct {
+	sched  scheduler
+	due    []int32
+	gather allocGather
+	inj    injectDelta
+	plan   shardPlan
+}
+
+// shardPlan is the gather output a shard hands to the commit pass:
+// for each router with at least one feasible candidate bucket, its wake
+// classification and the buckets, flattened into one int32 stream
+// (per bucket: a header out|len<<3, then the candidate indices).
+type shardPlan struct {
+	ids     []int32
+	heads   []int32
+	futures []int64
+	boff    []int32 // stream offsets, len(ids)+1
+	stream  []int32
+}
+
+func (p *shardPlan) reset() {
+	p.ids = p.ids[:0]
+	p.heads = p.heads[:0]
+	p.futures = p.futures[:0]
+	p.stream = p.stream[:0]
+	p.boff = append(p.boff[:0], 0)
+}
+
+func (p *shardPlan) add(id int32, g *allocGather) {
+	p.ids = append(p.ids, id)
+	p.heads = append(p.heads, int32(g.headReady))
+	p.futures = append(p.futures, g.minFuture)
+	for _, out := range geom.AllPorts {
+		c := g.cand[out]
+		if len(c) == 0 {
+			continue
+		}
+		p.stream = append(p.stream, int32(out)|int32(len(c))<<3)
+		p.stream = append(p.stream, c...)
+	}
+	p.boff = append(p.boff, int32(len(p.stream)))
+}
+
+// initShards switches the Sim onto the sharded stepper with n > 1
+// shards: contiguous row bands of near-equal height (router ids are
+// row-major, so each band is a contiguous id range and visiting shards
+// in order visits routers in ascending global id).
+func (s *Sim) initShards(n int) {
+	w, h := s.Topo.Width(), s.Topo.Height()
+	s.nshards = n
+	s.shardOf = make([]int8, len(s.Routers))
+	s.shards = make([]shardState, n)
+	for k := 0; k < n; k++ {
+		sh := &s.shards[k]
+		sh.sched.init(len(s.Routers))
+		sh.gather.init(s.Cfg)
+		sh.plan.reset()
+		for y := k * h / n; y < (k+1)*h/n; y++ {
+			for x := 0; x < w; x++ {
+				s.shardOf[y*w+x] = int8(k)
+			}
+		}
+	}
+}
+
+// RequireUnsharded permanently collapses the simulation onto the
+// sequential stepper, migrating pending wakes to the global scheduler.
+// Hooks whose callbacks read other routers' state mid-phase call this
+// at attach time: such reads are deterministic only under the strictly
+// ordered sequential phases (the adaptive routing scheme's
+// downstream-occupancy probe is the one in-tree example). Results are
+// unchanged — the sharded stepper is byte-identical to the sequential
+// one — so this is purely an execution-mode downgrade.
+func (s *Sim) RequireUnsharded() {
+	if s.nshards <= 1 {
+		return
+	}
+	if s.sched.drained < s.Now-1 {
+		s.sched.drained = s.Now - 1
+	}
+	for k := range s.shards {
+		sh := &s.shards[k]
+		for id, t := range sh.sched.wakeAt {
+			if t != wakeNever {
+				s.sched.wake(geom.NodeID(id), t)
+			}
+		}
+	}
+	s.nshards = 1
+	s.shardOf = nil
+	s.shards = nil
+}
+
+// Shards reports the effective shard count the stepper is running with.
+func (s *Sim) Shards() int { return s.nshards }
+
+// stepSharded advances one cycle on the sharded stepper. See the
+// package comment above for the phase structure and the determinism
+// argument.
+func (s *Sim) stepSharded() {
+	for _, f := range s.PreCycle {
+		f(s)
+	}
+	var wg sync.WaitGroup
+	for k := 1; k < s.nshards; k++ {
+		wg.Add(1)
+		go func(sh *shardState) {
+			defer wg.Done()
+			s.shardInjectGather(sh)
+		}(&s.shards[k])
+	}
+	s.shardInjectGather(&s.shards[0])
+	wg.Wait()
+	for k := range s.shards {
+		s.shards[k].inj.apply(s)
+	}
+	for k := range s.shards {
+		s.commitShard(&s.shards[k])
+	}
+	for k := range s.shards {
+		for _, id := range s.shards[k].due {
+			s.TransferBubbleNode(geom.NodeID(id))
+		}
+	}
+	for _, f := range s.PostCycle {
+		f(s)
+	}
+	s.Now++
+}
+
+// shardInjectGather is the parallel phase of one shard: drain the
+// shard's due set for this cycle, inject at every due router
+// (node-local; counter movements go to the shard's private delta), then
+// gather allocation plans for the commit pass.
+func (s *Sim) shardInjectGather(sh *shardState) {
+	sh.due = sh.sched.collectDue(s.Now, sh.due[:0])
+	for _, id := range sh.due {
+		s.injectNode(geom.NodeID(id), &sh.inj)
+	}
+	sh.plan.reset()
+	for _, id := range sh.due {
+		if s.gatherAllocate(geom.NodeID(id), &sh.gather) {
+			sh.plan.add(id, &sh.gather)
+		}
+	}
+}
+
+// commitShard replays one shard's plan through commitAllocate. Plans
+// are decoded into the coordinator's scratch so the commit code is the
+// very same the sequential core runs.
+func (s *Sim) commitShard(sh *shardState) {
+	g := &s.seqGather
+	p := &sh.plan
+	for i, id := range p.ids {
+		for o := range g.cand {
+			g.cand[o] = g.cand[o][:0]
+		}
+		g.headReady = int(p.heads[i])
+		g.minFuture = p.futures[i]
+		seg := p.stream[p.boff[i]:p.boff[i+1]]
+		for len(seg) > 0 {
+			out := geom.Direction(seg[0] & 7)
+			n := int(seg[0] >> 3)
+			g.cand[out] = append(g.cand[out], seg[1:1+n]...)
+			seg = seg[1+n:]
+		}
+		s.commitAllocate(geom.NodeID(id), g)
+	}
+}

@@ -1,0 +1,191 @@
+package network
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+// runShardWorkload drives one seeded random workload on a fresh 8x6
+// mesh sim with the given shard count and returns the final sim. The
+// traffic schedule depends only on the seed, so two runs at different
+// shard counts execute the identical offered load.
+func runShardWorkload(t *testing.T, shards int, seed int64, cycles int) *Sim {
+	t.Helper()
+	topo := topology.RandomIrregular(8, 6, topology.LinkFaults, 8, seed)
+	s := New(topo, Config{Shards: shards}, rand.New(rand.NewSource(seed)))
+	min := routing.NewMinimal(topo)
+	rng := rand.New(rand.NewSource(seed + 1))
+	alive := topo.AliveRouters()
+	for cyc := 0; cyc < cycles; cyc++ {
+		if cyc < cycles*2/3 {
+			for _, src := range alive {
+				if rng.Float64() >= 0.10 {
+					continue
+				}
+				dst := alive[rng.Intn(len(alive))]
+				if dst == src {
+					continue
+				}
+				r, ok := min.Route(src, dst, rng)
+				if !ok {
+					s.Drop()
+					continue
+				}
+				ln := 1 + 4*rng.Intn(2)
+				s.Enqueue(s.NewPacket(src, dst, rng.Intn(s.Cfg.NumVnets), ln, r))
+			}
+		}
+		s.Step()
+	}
+	return s
+}
+
+// TestShardedStepMatchesSequential proves the sharded stepper lands on
+// the sequential core's exact Stats and occupancy over seeded random
+// workloads at several shard counts (the refmodel differential harness
+// does the heavyweight three-way version; this is the fast in-package
+// guard).
+func TestShardedStepMatchesSequential(t *testing.T) {
+	for _, seed := range []int64{3, 17, 40} {
+		want := runShardWorkload(t, 1, seed, 700)
+		for _, n := range []int{2, 3, 6} {
+			got := runShardWorkload(t, n, seed, 700)
+			if got.Stats != want.Stats {
+				t.Fatalf("seed %d shards %d: stats diverged\n got %+v\nwant %+v",
+					seed, n, got.Stats, want.Stats)
+			}
+			if got.InFlight() != want.InFlight() || got.QueuedPackets() != want.QueuedPackets() {
+				t.Fatalf("seed %d shards %d: occupancy diverged", seed, n)
+			}
+		}
+	}
+}
+
+// TestShardPartition checks the row-band partition: every router is
+// owned by exactly one shard, bands are contiguous and ordered, and the
+// requested count clamps to the mesh height.
+func TestShardPartition(t *testing.T) {
+	for _, tc := range []struct{ w, h, req, want int }{
+		{8, 8, 4, 4},
+		{8, 8, 64, 8},
+		{4, 1, 8, 1},
+		{16, 16, 3, 3},
+		{5, 7, 0, 1},
+		{5, 7, -2, 1},
+	} {
+		s := New(topology.NewMesh(tc.w, tc.h), Config{Shards: tc.req}, nil)
+		if s.Shards() != tc.want {
+			t.Fatalf("%dx%d Shards=%d: effective %d, want %d", tc.w, tc.h, tc.req, s.Shards(), tc.want)
+		}
+		if tc.want == 1 {
+			continue
+		}
+		prev := int8(0)
+		for id, k := range s.shardOf {
+			if k < prev {
+				t.Fatalf("%dx%d: shard ids not monotone at router %d", tc.w, tc.h, id)
+			}
+			prev = k
+		}
+		if int(prev) != tc.want-1 {
+			t.Fatalf("%dx%d: highest shard %d, want %d", tc.w, tc.h, prev, tc.want-1)
+		}
+	}
+}
+
+// TestRequireUnshardedMigratesWakes collapses a sharded sim mid-run and
+// checks nothing is lost: queued traffic still delivers, matching a
+// sequential run byte for byte.
+func TestRequireUnshardedMigratesWakes(t *testing.T) {
+	run := func(collapseAt int) *Sim {
+		topo := topology.NewMesh(6, 6)
+		s := New(topo, Config{Shards: 4}, rand.New(rand.NewSource(5)))
+		min := routing.NewMinimal(topo)
+		rng := rand.New(rand.NewSource(6))
+		for cyc := 0; cyc < 400; cyc++ {
+			if cyc == collapseAt {
+				s.RequireUnsharded()
+			}
+			if cyc < 200 {
+				for n := 0; n < 36; n++ {
+					if rng.Float64() >= 0.08 {
+						continue
+					}
+					dst := geom.NodeID(rng.Intn(36))
+					if dst == geom.NodeID(n) {
+						continue
+					}
+					r, ok := min.Route(geom.NodeID(n), dst, rng)
+					if !ok {
+						continue
+					}
+					s.Enqueue(s.NewPacket(geom.NodeID(n), dst, 0, 5, r))
+				}
+			}
+			s.Step()
+		}
+		return s
+	}
+	want := run(0) // collapses before any work: plain sequential run
+	for _, at := range []int{1, 57, 199} {
+		got := run(at)
+		if got.Stats != want.Stats {
+			t.Fatalf("collapse at %d: stats diverged\n got %+v\nwant %+v", at, got.Stats, want.Stats)
+		}
+		if got.Shards() != 1 {
+			t.Fatalf("collapse at %d: still sharded", at)
+		}
+	}
+	if want.Stats.Delivered == 0 {
+		t.Fatal("workload delivered nothing — test is vacuous")
+	}
+}
+
+// TestShardedDeterministicAcrossRuns re-runs the same sharded workload
+// and demands bit-identical outcomes: goroutine scheduling must never
+// leak into results.
+func TestShardedDeterministicAcrossRuns(t *testing.T) {
+	a := runShardWorkload(t, 4, 9, 500)
+	b := runShardWorkload(t, 4, 9, 500)
+	if a.Stats != b.Stats || a.InFlight() != b.InFlight() {
+		t.Fatalf("sharded runs diverged:\n a %+v\n b %+v", a.Stats, b.Stats)
+	}
+}
+
+// BenchmarkShardedStep measures the sharded stepper against the
+// sequential one on a saturated 16x16 mesh (the scale16 experiment does
+// the wall-clock comparison on the full recovery storm).
+func BenchmarkShardedStep(b *testing.B) {
+	for _, n := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", n), func(b *testing.B) {
+			topo := topology.NewMesh(16, 16)
+			s := New(topo, Config{Shards: n}, rand.New(rand.NewSource(1)))
+			min := routing.NewMinimal(topo)
+			rng := rand.New(rand.NewSource(2))
+			alive := topo.AliveRouters()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, src := range alive {
+					if rng.Float64() >= 0.3 {
+						continue
+					}
+					dst := alive[rng.Intn(len(alive))]
+					if dst == src {
+						continue
+					}
+					r, ok := min.Route(src, dst, rng)
+					if !ok {
+						continue
+					}
+					s.Enqueue(s.NewPacket(src, dst, rng.Intn(3), 5, r))
+				}
+				s.Step()
+			}
+		})
+	}
+}
