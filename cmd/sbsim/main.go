@@ -18,6 +18,7 @@ import (
 	"repro/internal/deadlock"
 	"repro/internal/energy"
 	"repro/internal/experiments"
+	"repro/internal/memprof"
 	"repro/internal/network"
 	"repro/internal/snapshot"
 	"repro/internal/topology"
@@ -41,6 +42,8 @@ func main() {
 	vizDump := flag.Bool("viz", false, "render occupancy/fence/bubble maps at end of run")
 	check := flag.Bool("check", false, "run invariant validation at end of run")
 	snapFile := flag.String("snapshot", "", "write a JSON diagnostic snapshot to this file")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the simulation loop to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile (post-GC) after the run to this file")
 	flag.Parse()
 
 	var kind topology.FaultKind
@@ -74,6 +77,18 @@ func main() {
 	inst := p.Build(topo, scheme, *seed)
 	inj := inst.Injector(inst.Pattern(*pattern), *rate, *seed+1000)
 	s := inst.Sim
+
+	// Profiling covers exactly the simulation loop (build and reporting
+	// excluded), so profiles are directly comparable across runs.
+	stopCPU := func() error { return nil }
+	if *cpuProfile != "" {
+		stop, err := memprof.StartCPUProfile(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sbsim:", err)
+			os.Exit(1)
+		}
+		stopCPU = stop
+	}
 	for c := 0; c < *cycles; c++ {
 		inj.Tick(s)
 		s.Step()
@@ -81,6 +96,16 @@ func main() {
 	if *drain {
 		for i := 0; i < 10**cycles && s.InFlight()+s.QueuedPackets() > 0; i += 100 {
 			s.Run(100)
+		}
+	}
+	if err := stopCPU(); err != nil {
+		fmt.Fprintln(os.Stderr, "sbsim:", err)
+		os.Exit(1)
+	}
+	if *memProfile != "" {
+		if err := memprof.WriteHeapProfile(*memProfile); err != nil {
+			fmt.Fprintln(os.Stderr, "sbsim:", err)
+			os.Exit(1)
 		}
 	}
 

@@ -19,6 +19,8 @@
 //	sbsweep -fig 9 -resume -progress   # continue an interrupted sweep
 //	sbsweep -fig scale16               # 16x16 sharded-stepper timing sweep
 //	sbsweep -fig 9 -shards 4           # run each simulation sharded
+//	sbsweep -fig bench -check-zero-alloc           # fail on steady-state allocation
+//	sbsweep -fig bench -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
 import (
@@ -30,6 +32,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/memprof"
 	"repro/internal/stats"
 	"repro/internal/sweep"
 )
@@ -47,8 +50,52 @@ func main() {
 	resume := flag.Bool("resume", false, "reuse cached cells from a previous or interrupted run")
 	progress := flag.Bool("progress", false, "print live progress and ETA to stderr")
 	cacheDir := flag.String("cache-dir", sweep.DefaultCacheDir, "result cache location")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile (post-GC) to this file at exit")
+	checkZeroAlloc := flag.Bool("check-zero-alloc", false, "with -fig bench: fail if a steady-state scenario allocated after warmup")
 	flag.Parse()
 	asCSV := *format == "csv"
+
+	// flushProfiles finalizes -cpuprofile/-memprofile output. It runs via
+	// defer on the normal path and is called explicitly before every
+	// os.Exit after this point (os.Exit skips defers), so CI gets its
+	// profile artifacts even when a run fails a gate. Idempotent.
+	var stopCPU func() error
+	flushProfiles := func() {
+		if stopCPU != nil {
+			if err := stopCPU(); err != nil {
+				fmt.Fprintln(os.Stderr, "sbsweep:", err)
+			}
+			stopCPU = nil
+		}
+		if *memProfile != "" {
+			if err := memprof.WriteHeapProfile(*memProfile); err != nil {
+				fmt.Fprintln(os.Stderr, "sbsweep:", err)
+			}
+			*memProfile = ""
+		}
+	}
+	defer flushProfiles()
+	if *cpuProfile != "" {
+		stop, err := memprof.StartCPUProfile(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sbsweep:", err)
+			os.Exit(1)
+		}
+		stopCPU = stop
+	}
+	fatal := func(err error) {
+		fmt.Fprintln(os.Stderr, "sbsweep:", err)
+		flushProfiles()
+		os.Exit(1)
+	}
+	if *checkZeroAlloc && *cpuProfile != "" {
+		// The CPU profiler's own background allocations land in the
+		// process-wide MemStats windows the gate measures, so the two are
+		// mutually exclusive; run them as separate invocations.
+		fmt.Fprintln(os.Stderr, "sbsweep: -check-zero-alloc cannot run under -cpuprofile (the profiler allocates)")
+		os.Exit(2)
+	}
 
 	var p experiments.Params
 	switch *scale {
@@ -105,8 +152,7 @@ func main() {
 		if asCSV {
 			return func() {
 				if err := csvFn(); err != nil {
-					fmt.Fprintln(os.Stderr, "sbsweep:", err)
-					os.Exit(1)
+					fatal(err)
 				}
 			}
 		}
@@ -158,8 +204,7 @@ func main() {
 	run("scale16", func() {
 		rows, err := experiments.Scale16()
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "sbsweep:", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		experiments.PrintScale16(os.Stdout, rows)
 	})
@@ -173,8 +218,7 @@ func main() {
 	run("bench", func() {
 		rows, err := experiments.SimBench()
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "sbsweep:", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		experiments.PrintSimBench(os.Stdout, rows)
 		f, err := os.Create(*benchOut)
@@ -185,10 +229,17 @@ func main() {
 			}
 		}
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "sbsweep:", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s\n", *benchOut)
+		// The CI regression gate: steady-state scenarios must report a
+		// post-warmup allocation rate of exactly zero.
+		if *checkZeroAlloc {
+			if err := experiments.CheckZeroAlloc(rows); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintln(os.Stderr, "zero-alloc gate: ok")
+		}
 	})
 
 	st := engine.Stats()
@@ -200,6 +251,7 @@ func main() {
 	}
 	if ctx.Err() != nil {
 		fmt.Fprintln(os.Stderr, "sbsweep: interrupted — completed cells are cached; rerun with -resume to continue")
+		flushProfiles()
 		os.Exit(130)
 	}
 }

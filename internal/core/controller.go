@@ -66,6 +66,38 @@ type Controller struct {
 	// from the disable's return (bubble on) to the enable's return
 	// (fences cleared) and the latched path length in hops.
 	recoveryDurations []RecoveryRecord
+
+	// Control messages are pooled like packets (pool.go in network):
+	// probe storms during a recovery burst otherwise allocate a Message
+	// plus a Turns slice per fork per hop. msgPool holds recycled
+	// messages (Turns capacity retained); dueBuf/reqBuf/spinChain/
+	// spinPkts are per-cycle scratch reused across Steps.
+	msgPool   []*Message
+	dueBuf    []*Message
+	reqBuf    []outReq
+	spinChain []spinLink
+	spinPkts  []*network.Packet
+}
+
+// newMsg returns a message from the pool (or a fresh one), with all
+// fields zero and Turns empty but its capacity retained.
+func (c *Controller) newMsg() *Message {
+	n := len(c.msgPool)
+	if n == 0 {
+		return &Message{}
+	}
+	m := c.msgPool[n-1]
+	c.msgPool[n-1] = nil
+	c.msgPool = c.msgPool[:n-1]
+	return m
+}
+
+// freeMsg recycles a message that is no longer referenced: consumed at
+// its destination, dropped (arbitration loss, dead link/router, receive
+// rules), never forwarded. The caller must not retain m or m.Turns.
+func (c *Controller) freeMsg(m *Message) {
+	*m = Message{Turns: m.Turns[:0]}
+	c.msgPool = append(c.msgPool, m)
 }
 
 // RecoveryRecord describes one completed recovery round.
@@ -155,44 +187,47 @@ func (c *Controller) dependenceExists(node geom.NodeID, in geom.Direction, vnet 
 }
 
 // send originates a control message from a static-bubble router out of
-// port `out` with the given remaining turns. Control messages occupy the
-// link for one cycle with priority over flits and arrive at the neighbor
-// after router + link latency.
+// port `out` with the given remaining turns (copied — the caller keeps
+// its buffer). Control messages occupy the link for one cycle with
+// priority over flits and arrive at the neighbor after router + link
+// latency.
 func (c *Controller) send(src geom.NodeID, typ MsgType, vnet int, out geom.Direction, turns []geom.Turn, seq int64) {
 	s := c.sim
 	if !s.Topo.HasLink(src, out) {
 		return // link died; the FSM timeout will clean up
 	}
 	s.UseLink(src, out, typ.linkClass())
-	c.trace(src, "send %v out=%v vnet=%d turns=%d seq=%d", typ, out, vnet, len(turns), seq)
-	c.msgs = append(c.msgs, &Message{
-		Type:    typ,
-		Src:     src,
-		Vnet:    vnet,
-		At:      s.Topo.Neighbor(src, out),
-		Heading: out,
-		Turns:   turns,
-		NextAt:  s.Now + c.hopLatency,
-		Seq:     seq,
-		OutPort: out,
-	})
+	if c.opt.Trace != nil {
+		c.trace(src, "send %v out=%v vnet=%d turns=%d seq=%d", typ, out, vnet, len(turns), seq)
+	}
+	m := c.newMsg()
+	m.Type = typ
+	m.Src = src
+	m.Vnet = vnet
+	m.At = s.Topo.Neighbor(src, out)
+	m.Heading = out
+	m.Turns = append(m.Turns[:0], turns...)
+	m.NextAt = s.Now + c.hopLatency
+	m.Seq = seq
+	m.OutPort = out
+	c.msgs = append(c.msgs, m)
 }
 
 // forward relays m (already updated with its remaining turns) out of
-// router `at` through port `out`.
-func (c *Controller) forward(m *Message, at geom.NodeID, out geom.Direction) {
+// router `at` through port `out`, reporting whether the message is still
+// in flight (false means the link is dead and the caller must recycle m).
+func (c *Controller) forward(m *Message, at geom.NodeID, out geom.Direction) bool {
 	s := c.sim
 	if !s.Topo.HasLink(at, out) {
-		return
+		return false
 	}
 	s.UseLink(at, out, m.Type.linkClass())
 	m.At = s.Topo.Neighbor(at, out)
 	m.Heading = out
 	m.NextAt = s.Now + c.hopLatency
 	c.msgs = append(c.msgs, m)
+	return true
 }
-
-func cloneTurns(t []geom.Turn) []geom.Turn { return append([]geom.Turn(nil), t...) }
 
 // trace emits a protocol event to the Options.Trace hook, if installed.
 func (c *Controller) trace(node geom.NodeID, format string, args ...any) {
@@ -207,7 +242,7 @@ func (c *Controller) trace(node geom.NodeID, format string, args ...any) {
 func (c *Controller) transport() {
 	s := c.sim
 	now := s.Now
-	var due []*Message
+	due := c.dueBuf[:0]
 	keep := c.msgs[:0]
 	for _, m := range c.msgs {
 		if m.NextAt == now {
@@ -217,20 +252,32 @@ func (c *Controller) transport() {
 		}
 	}
 	c.msgs = keep
+	c.dueBuf = due[:0]
 	if len(due) == 0 {
 		return
 	}
-	byRouter := make(map[geom.NodeID][]*Message)
-	var routers []geom.NodeID
-	for _, m := range due {
-		if _, ok := byRouter[m.At]; !ok {
-			routers = append(routers, m.At)
+	// Stable insertion sort by destination router: groups each router's
+	// messages contiguously in ascending router-id order while keeping
+	// their arrival (queue) order within a router — exactly the order the
+	// previous map-partition + sorted-router walk produced, with no
+	// per-cycle map or sort.Slice allocation. Due sets are tiny (a burst
+	// of probe forks), so quadratic worst case is irrelevant.
+	for i := 1; i < len(due); i++ {
+		m := due[i]
+		j := i
+		for j > 0 && due[j-1].At > m.At {
+			due[j] = due[j-1]
+			j--
 		}
-		byRouter[m.At] = append(byRouter[m.At], m)
+		due[j] = m
 	}
-	sort.Slice(routers, func(i, j int) bool { return routers[i] < routers[j] })
-	for _, id := range routers {
-		c.processAt(id, byRouter[id])
+	for lo := 0; lo < len(due); {
+		hi := lo + 1
+		for hi < len(due) && due[hi].At == due[lo].At {
+			hi++
+		}
+		c.processAt(due[lo].At, due[lo:hi])
+		lo = hi
 	}
 }
 
@@ -241,16 +288,25 @@ type outReq struct {
 }
 
 // processAt handles all messages arriving at router id this cycle.
+//
+// Pool accounting: every message in msgs plus every fork created by
+// processOne is recycled exactly once here — forwarded winners go back
+// on c.msgs and stay live; arbitration losers, dead-link winners, and
+// messages consumed by the receive rules (absent from reqs) are freed.
 func (c *Controller) processAt(id geom.NodeID, msgs []*Message) {
 	s := c.sim
 	if !s.Topo.RouterAlive(id) {
-		return // router died with messages in flight: they are lost
+		// Router died with messages in flight: they are lost.
+		for _, m := range msgs {
+			c.freeMsg(m)
+		}
+		return
 	}
 	r := &s.Routers[id]
 	f := c.fsms[id] // nil unless id is a static-bubble router
-	var reqs []outReq
+	reqs := c.reqBuf[:0]
 	for _, m := range msgs {
-		reqs = append(reqs, c.processOne(id, r, f, m)...)
+		reqs = c.processOne(id, r, f, m, reqs)
 	}
 	// Output arbitration: one winner per port, losers dropped.
 	var winners [geom.NumPorts]*Message
@@ -260,17 +316,38 @@ func (c *Controller) processAt(id geom.NodeID, msgs []*Message) {
 			winners[rq.out] = rq.m
 		}
 	}
-	for _, rq := range reqs {
-		if winners[rq.out] != rq.m {
-			c.trace(id, "%v(src=%v turns=%d) lost arbitration at out=%v to %v(src=%v)",
-				rq.m.Type, rq.m.Src, len(rq.m.Turns), rq.out, winners[rq.out].Type, winners[rq.out].Src)
+	if c.opt.Trace != nil {
+		for _, rq := range reqs {
+			if winners[rq.out] != rq.m {
+				c.trace(id, "%v(src=%v turns=%d) lost arbitration at out=%v to %v(src=%v)",
+					rq.m.Type, rq.m.Src, len(rq.m.Turns), rq.out, winners[rq.out].Type, winners[rq.out].Src)
+			}
 		}
 	}
 	for _, out := range geom.LinkDirs {
 		if m := winners[out]; m != nil {
-			c.forward(m, id, out)
+			if !c.forward(m, id, out) {
+				c.freeMsg(m) // link died under the winner
+			}
 		}
 	}
+	for _, rq := range reqs {
+		if winners[rq.out] != rq.m {
+			c.freeMsg(rq.m) // arbitration loser
+		}
+	}
+	// Messages consumed by the receive rules never made it into reqs;
+	// recycle them (pointer scan — both slices are a handful of entries).
+msgLoop:
+	for _, m := range msgs {
+		for _, rq := range reqs {
+			if rq.m == m {
+				continue msgLoop
+			}
+		}
+		c.freeMsg(m)
+	}
+	c.reqBuf = reqs[:0]
 }
 
 // beats reports whether message a wins output arbitration against b at a
@@ -291,9 +368,13 @@ func (c *Controller) beats(a, b *Message, r *network.Router) bool {
 	return a.Src > b.Src
 }
 
-// processOne applies the per-type receive rules and returns forwarding
-// requests (empty when the message is consumed or dropped).
-func (c *Controller) processOne(id geom.NodeID, r *network.Router, f *fsm, m *Message) []outReq {
+// processOne applies the per-type receive rules, appending any forwarding
+// request for m (or probe forks) to reqs and returning it. A message
+// absent from the returned reqs was consumed or dropped; processAt
+// recycles it. Trace calls with arguments are gated on the hook being
+// installed: the variadic boxing otherwise heap-allocates per event even
+// when tracing is off, which would show up in the zero-alloc gates.
+func (c *Controller) processOne(id geom.NodeID, r *network.Router, f *fsm, m *Message, reqs []outReq) []outReq {
 	s := c.sim
 	switch m.Type {
 	case MsgProbe:
@@ -303,10 +384,10 @@ func (c *Controller) processOne(id geom.NodeID, r *network.Router, f *fsm, m *Me
 			// copy is dropped (Section IV-B).
 			if f != nil && f.state == StateDD {
 				c.probeReturned(f, m)
-			} else {
+			} else if c.opt.Trace != nil {
 				c.trace(id, "probe copy dropped at originator (state %v)", c.FSMState(id))
 			}
-			return nil
+			return reqs
 		}
 		if f != nil && m.Src < id && !f.state.inRecovery() && r.Bubble.VC.Pkt == nil {
 			// A static-bubble router drops probes from lower-id SB
@@ -315,52 +396,62 @@ func (c *Controller) processOne(id geom.NodeID, r *network.Router, f *fsm, m *Me
 			// still holding a stale occupant, or committed to another
 			// chain); otherwise a few wedged high-id routers would starve
 			// every cycle they sit on.
-			c.trace(id, "probe(src=%v) dropped: lower-id SB", m.Src)
-			return nil
+			if c.opt.Trace != nil {
+				c.trace(id, "probe(src=%v) dropped: lower-id SB", m.Src)
+			}
+			return reqs
 		}
-		return c.forkProbe(id, r, m)
+		return c.forkProbe(id, r, m, reqs)
 
 	case MsgDisable:
 		if len(m.Turns) == 0 {
 			if f != nil && id == m.Src && f.state == StateDisable && m.Seq == f.seq {
 				c.disableReturned(f, m)
-			} else {
+			} else if c.opt.Trace != nil {
 				c.trace(id, "disable(src=%v) dropped at end (state %v)", m.Src, c.FSMState(id))
 			}
-			return nil
+			return reqs
 		}
 		if f != nil && f.state.inRecovery() {
-			c.trace(id, "foreign disable(src=%v) dropped: in recovery", m.Src)
-			return nil // SB router committed to its own recovery
+			if c.opt.Trace != nil {
+				c.trace(id, "foreign disable(src=%v) dropped: in recovery", m.Src)
+			}
+			return reqs // SB router committed to its own recovery
 		}
 		turn := m.Turns[0]
 		out := turn.Apply(m.Heading)
 		if !out.IsLink() || !c.dependenceExists(id, m.inPort(), m.Vnet, out) {
-			c.trace(id, "disable(src=%v) dropped: dependence gone (in=%v out=%v)", m.Src, m.inPort(), out)
-			return nil // dependence vanished: drop; sender times out
+			if c.opt.Trace != nil {
+				c.trace(id, "disable(src=%v) dropped: dependence gone (in=%v out=%v)", m.Src, m.inPort(), out)
+			}
+			return reqs // dependence vanished: drop; sender times out
 		}
 		if r.Fence.Active {
-			c.trace(id, "disable(src=%v) dropped: fence already active (src=%v)", m.Src, r.Fence.SrcID)
-			return nil // already part of another fenced chain
+			if c.opt.Trace != nil {
+				c.trace(id, "disable(src=%v) dropped: fence already active (src=%v)", m.Src, r.Fence.SrcID)
+			}
+			return reqs // already part of another fenced chain
 		}
 		r.Fence = network.Fence{Active: true, In: m.inPort(), Out: out, SrcID: m.Src}
-		c.trace(id, "fence set in=%v out=%v src=%v", m.inPort(), out, m.Src)
+		if c.opt.Trace != nil {
+			c.trace(id, "fence set in=%v out=%v src=%v", m.inPort(), out, m.Src)
+		}
 		if f != nil {
 			// An SB router accepting a foreign (higher-id) disable parks
 			// its own detection until the enable arrives (Section IV-B).
 			f.state = StateOff
 		}
 		m.Turns = m.Turns[1:]
-		return []outReq{{out, m}}
+		return append(reqs, outReq{out, m})
 
 	case MsgEnable:
 		if len(m.Turns) == 0 {
 			if f != nil && id == m.Src && f.state == StateEnable && m.Seq == f.seq {
 				c.enableReturned(f)
-			} else {
+			} else if c.opt.Trace != nil {
 				c.trace(id, "enable(src=%v) consumed at end (state %v)", m.Src, c.FSMState(id))
 			}
-			return nil
+			return reqs
 		}
 		// Enables are always forwarded, even through a static-bubble
 		// router busy with its own recovery. (The paper drops them there;
@@ -371,11 +462,13 @@ func (c *Controller) processOne(id geom.NodeID, r *network.Router, f *fsm, m *Me
 		turn := m.Turns[0]
 		out := turn.Apply(m.Heading)
 		if !out.IsLink() {
-			return nil
+			return reqs
 		}
 		if r.Fence.Active && r.Fence.SrcID == m.Src {
 			r.Fence = network.Fence{}
-			c.trace(id, "fence cleared by enable(src=%v)", m.Src)
+			if c.opt.Trace != nil {
+				c.trace(id, "fence cleared by enable(src=%v)", m.Src)
+			}
 			if f != nil && f.state == StateOff {
 				// Resume detection now that the foreign chain cleared.
 				if ptr, pid, ok := nextOccupiedVC(r, s.Cfg, vcPtr{port: geom.Local}); ok {
@@ -388,31 +481,31 @@ func (c *Controller) processOne(id geom.NodeID, r *network.Router, f *fsm, m *Me
 		// A mismatched enable is forwarded untouched, not dropped
 		// (Section IV-B).
 		m.Turns = m.Turns[1:]
-		return []outReq{{out, m}}
+		return append(reqs, outReq{out, m})
 
 	case MsgCheckProbe:
 		if len(m.Turns) == 0 {
 			if f != nil && id == m.Src && f.state == StateCheckProbe && m.Seq == f.seq {
 				c.checkProbeReturned(f)
 			}
-			return nil
+			return reqs
 		}
 		// Forwarded only while this router is still part of the fenced
 		// chain and the dependence persists (Section IV-A3).
 		if !(r.Fence.Active && r.Fence.SrcID == m.Src && r.Fence.In == m.inPort()) {
-			return nil
+			return reqs
 		}
 		if !c.dependenceExists(id, r.Fence.In, m.Vnet, r.Fence.Out) {
-			return nil
+			return reqs
 		}
 		out := m.Turns[0].Apply(m.Heading)
 		if out != r.Fence.Out {
-			return nil
+			return reqs
 		}
 		m.Turns = m.Turns[1:]
-		return []outReq{{out, m}}
+		return append(reqs, outReq{out, m})
 	}
-	return nil
+	return reqs
 }
 
 // forkProbe implements the Probe Fork Unit: if every VC of the probe's
@@ -420,7 +513,7 @@ func (c *Controller) processOne(id geom.NodeID, r *network.Router, f *fsm, m *Me
 // (non-ejection) output port those packets are waiting on, appending the
 // corresponding turn; otherwise the chain is broken here and the probe is
 // dropped.
-func (c *Controller) forkProbe(id geom.NodeID, r *network.Router, m *Message) []outReq {
+func (c *Controller) forkProbe(id geom.NodeID, r *network.Router, m *Message, reqs []outReq) []outReq {
 	s := c.sim
 	in := m.inPort()
 	base := m.Vnet * s.Cfg.VCsPerVnet
@@ -428,8 +521,10 @@ func (c *Controller) forkProbe(id geom.NodeID, r *network.Router, m *Message) []
 	for i := 0; i < s.Cfg.VCsPerVnet; i++ {
 		vc := &r.In[in][base+i]
 		if vc.Pkt == nil {
-			c.trace(id, "probe(src=%v in=%v vnet=%d turns=%d) dropped: free VC", m.Src, in, m.Vnet, len(m.Turns))
-			return nil // a free VC means no deadlock through this port
+			if c.opt.Trace != nil {
+				c.trace(id, "probe(src=%v in=%v vnet=%d turns=%d) dropped: free VC", m.Src, in, m.Vnet, len(m.Turns))
+			}
+			return reqs // a free VC means no deadlock through this port
 		}
 		out := s.OutputOf(vc.Pkt, id)
 		if out.IsLink() {
@@ -442,7 +537,6 @@ func (c *Controller) forkProbe(id geom.NodeID, r *network.Router, m *Message) []
 			wanted[out] = true
 		}
 	}
-	var reqs []outReq
 	for _, out := range geom.LinkDirs {
 		if !wanted[out] {
 			continue
@@ -454,15 +548,14 @@ func (c *Controller) forkProbe(id geom.NodeID, r *network.Router, m *Message) []
 		if len(m.Turns) >= c.opt.MaxTurns {
 			continue // turn capacity exhausted: drop (Section IV-B)
 		}
-		fork := &Message{
-			Type:    MsgProbe,
-			Src:     m.Src,
-			Vnet:    m.Vnet,
-			Turns:   append(cloneTurns(m.Turns), turn),
-			Heading: m.Heading,
-			Seq:     m.Seq,
-			OutPort: m.OutPort,
-		}
+		fork := c.newMsg()
+		fork.Type = MsgProbe
+		fork.Src = m.Src
+		fork.Vnet = m.Vnet
+		fork.Turns = append(append(fork.Turns[:0], m.Turns...), turn)
+		fork.Heading = m.Heading
+		fork.Seq = m.Seq
+		fork.OutPort = m.OutPort
 		reqs = append(reqs, outReq{out, fork})
 	}
 	return reqs
@@ -473,14 +566,16 @@ func (c *Controller) forkProbe(id geom.NodeID, r *network.Router, m *Message) []
 func (c *Controller) probeReturned(f *fsm, m *Message) {
 	s := c.sim
 	s.Stats.ProbesReturned++
-	c.trace(f.node, "probe returned: path len %d, sending disable", len(m.Turns)+1)
+	if c.opt.Trace != nil {
+		c.trace(f.node, "probe returned: path len %d, sending disable", len(m.Turns)+1)
+	}
 	f.seq++ // new recovery round
-	f.turnBuf = cloneTurns(m.Turns)
+	f.turnBuf = append(f.turnBuf[:0], m.Turns...)
 	f.tDR = c.hopLatency * f.pathLen()
 	f.probeIn = m.inPort()
 	f.probeOut = m.OutPort
 	f.vnet = m.Vnet
-	c.send(f.node, MsgDisable, f.vnet, f.probeOut, cloneTurns(f.turnBuf), f.seq)
+	c.send(f.node, MsgDisable, f.vnet, f.probeOut, f.turnBuf, f.seq)
 	s.Stats.DisablesSent++
 	f.state = StateDisable
 	f.deadline = s.Now + f.tDR
@@ -513,7 +608,7 @@ func (c *Controller) disableReturned(f *fsm, m *Message) {
 		s.Stats.DeadlockRecoveries++
 		r.Fence = network.Fence{Active: true, In: f.probeIn, Out: f.probeOut, SrcID: f.node}
 		f.recoveryStart = s.Now
-		c.send(f.node, MsgCheckProbe, f.vnet, f.probeOut, cloneTurns(f.turnBuf), f.seq)
+		c.send(f.node, MsgCheckProbe, f.vnet, f.probeOut, f.turnBuf, f.seq)
 		s.Stats.CheckProbesSent++
 		f.state = StateCheckProbe
 		f.deadline = s.Now + f.tDR
@@ -528,7 +623,9 @@ func (c *Controller) disableReturned(f *fsm, m *Message) {
 	f.lastGrants = r.Grants()
 	f.deadline = s.Now + c.sbActiveGuard(f)
 	s.Stats.DeadlockRecoveries++
-	c.trace(f.node, "recovery started: bubble on, fence in=%v out=%v occupant=%v upstream=%v", f.probeIn, f.probeOut, r.Bubble.VC.Pkt, s.Topo.Neighbor(f.node, f.probeIn))
+	if c.opt.Trace != nil {
+		c.trace(f.node, "recovery started: bubble on, fence in=%v out=%v occupant=%v upstream=%v", f.probeIn, f.probeOut, r.Bubble.VC.Pkt, s.Topo.Neighbor(f.node, f.probeIn))
+	}
 }
 
 // sbActiveGuard is the liveness bound on S_SB_ACTIVE: the paper's FSM
@@ -550,7 +647,7 @@ func (c *Controller) checkProbeReturned(f *fsm) {
 	if c.opt.Spin {
 		// The chain persists: rotate it again and keep checking.
 		if c.spinCycle(f) {
-			c.send(f.node, MsgCheckProbe, f.vnet, f.probeOut, cloneTurns(f.turnBuf), f.seq)
+			c.send(f.node, MsgCheckProbe, f.vnet, f.probeOut, f.turnBuf, f.seq)
 			s.Stats.CheckProbesSent++
 			f.deadline = s.Now + f.tDR
 			return
@@ -577,7 +674,7 @@ func (c *Controller) enableReturned(f *fsm) {
 	if r.Fence.Active && r.Fence.SrcID == f.node {
 		r.Fence = network.Fence{}
 	}
-	f.turnBuf = nil
+	f.turnBuf = f.turnBuf[:0] // keep the capacity for the next round
 	if ptr, pid, ok := nextOccupiedVC(r, s.Cfg, f.ptr); ok {
 		f.state = StateDD
 		f.ptr, f.ptrPkt = ptr, pid
@@ -587,27 +684,26 @@ func (c *Controller) enableReturned(f *fsm) {
 	}
 }
 
-// spinCycle performs one synchronized rotation of the latched dependency
-// cycle: walking the turn path from the originator, it selects at every
-// router one packet on the chain (at the path's input port, wanting the
-// path's output) and moves each into the slot its successor vacates. All
-// packets advance one hop in one step; the cycle provides its own
-// buffering. Returns false (no movement) if the chain dissolved since
-// the disable validated it.
-func (c *Controller) spinCycle(f *fsm) bool {
+// spinLink is one router's slot on a latched dependency cycle, as
+// reconstructed by buildSpinChain. Hoisted to package scope so the chain
+// can live in the Controller's reusable scratch slice.
+type spinLink struct {
+	vc   *network.VC
+	node geom.NodeID
+	in   geom.Direction
+}
+
+// buildSpinChain reconstructs the latched cycle's walk into c.spinChain's
+// backing: it starts at the originator going out f.probeOut and enters
+// each subsequent router per the turn buffer, closing back at the
+// originator via f.probeIn. At every router it selects one packet on the
+// chain (at the path's input port, wanting the path's output). ok=false
+// means the chain dissolved since the disable validated it.
+func (c *Controller) buildSpinChain(f *fsm) (chain []spinLink, ok bool) {
 	s := c.sim
-	type link struct {
-		vc   *network.VC
-		node geom.NodeID
-		in   geom.Direction
-	}
-	var chain []link
-	// Reconstruct the walk: it starts at the originator going out
-	// f.probeOut and enters each subsequent router per the turn buffer,
-	// closing back at the originator via f.probeIn.
+	chain = c.spinChain[:0]
 	node := f.node
 	heading := f.probeOut
-	// The originator's chain packet sits at f.probeIn wanting f.probeOut.
 	pick := func(n geom.NodeID, in, out geom.Direction) *network.VC {
 		r := &s.Routers[n]
 		base := f.vnet * s.Cfg.VCsPerVnet
@@ -619,36 +715,54 @@ func (c *Controller) spinCycle(f *fsm) bool {
 		}
 		return nil
 	}
+	// The originator's chain packet sits at f.probeIn wanting f.probeOut.
 	vc := pick(f.node, f.probeIn, f.probeOut)
 	if vc == nil {
-		return false
+		return chain, false
 	}
-	chain = append(chain, link{vc, f.node, f.probeIn})
+	chain = append(chain, spinLink{vc, f.node, f.probeIn})
 	for _, turn := range f.turnBuf {
 		next := s.Topo.Neighbor(node, heading)
 		if next == geom.InvalidNode {
-			return false
+			return chain, false
 		}
 		in := heading.Opposite()
 		out := turn.Apply(heading)
 		vc := pick(next, in, out)
 		if vc == nil {
-			return false
+			return chain, false
 		}
-		chain = append(chain, link{vc, next, in})
+		chain = append(chain, spinLink{vc, next, in})
 		node, heading = next, out
 	}
 	// The walk must close: the final hop re-enters the originator.
 	if s.Topo.Neighbor(node, heading) != f.node || heading.Opposite() != f.probeIn {
+		return chain, false
+	}
+	return chain, true
+}
+
+// spinCycle performs one synchronized rotation of the latched dependency
+// cycle: each selected packet moves into the slot its successor vacates.
+// All packets advance one hop in one step; the cycle provides its own
+// buffering. Returns false (no movement) if the chain dissolved since
+// the disable validated it.
+func (c *Controller) spinCycle(f *fsm) bool {
+	s := c.sim
+	chain, ok := c.buildSpinChain(f)
+	c.spinChain = chain[:0] // keep the (possibly grown) backing
+	if !ok {
 		return false
 	}
 	// Rotate: packet i moves into the slot packet i+1 vacates (its next
-	// hop on its own route). All moves are simultaneous.
+	// hop on its own route). All moves are simultaneous, so snapshot the
+	// occupants first.
 	n := len(chain)
-	pkts := make([]*network.Packet, n)
-	for i, l := range chain {
-		pkts[i] = l.vc.Pkt
+	pkts := c.spinPkts[:0]
+	for _, l := range chain {
+		pkts = append(pkts, l.vc.Pkt)
 	}
+	c.spinPkts = pkts[:0]
 	for i := range chain {
 		dst := chain[(i+1)%n]
 		p := pkts[i]
@@ -669,7 +783,7 @@ func (c *Controller) spinCycle(f *fsm) bool {
 // latched path.
 func (c *Controller) sendEnable(f *fsm) {
 	s := c.sim
-	c.send(f.node, MsgEnable, f.vnet, f.probeOut, cloneTurns(f.turnBuf), f.seq)
+	c.send(f.node, MsgEnable, f.vnet, f.probeOut, f.turnBuf, f.seq)
 	s.Stats.EnablesSent++
 	f.state = StateEnable
 	f.enableRetries = 0
@@ -729,7 +843,9 @@ func (c *Controller) tickFSM(f *fsm) {
 			f.deadline = now + c.opt.TDD
 			return
 		}
-		c.trace(f.node, "tDD expired: probing out=%v for pkt %d", out, vc.Pkt.ID)
+		if c.opt.Trace != nil {
+			c.trace(f.node, "tDD expired: probing out=%v for pkt %d", out, vc.Pkt.ID)
+		}
 		c.send(f.node, MsgProbe, vc.Pkt.Vnet, out, nil, f.seq)
 		s.Stats.ProbesSent++
 		f.probeOut = out
@@ -802,7 +918,7 @@ func (c *Controller) tickFSM(f *fsm) {
 			c.sendEnable(f)
 			return
 		}
-		c.send(f.node, MsgCheckProbe, f.vnet, f.probeOut, cloneTurns(f.turnBuf), f.seq)
+		c.send(f.node, MsgCheckProbe, f.vnet, f.probeOut, f.turnBuf, f.seq)
 		s.Stats.CheckProbesSent++
 		f.state = StateCheckProbe
 		f.deadline = now + f.tDR
@@ -828,7 +944,7 @@ func (c *Controller) tickFSM(f *fsm) {
 				return
 			}
 			// The enable was dropped or lost arbitration: retransmit.
-			c.send(f.node, MsgEnable, f.vnet, f.probeOut, cloneTurns(f.turnBuf), f.seq)
+			c.send(f.node, MsgEnable, f.vnet, f.probeOut, f.turnBuf, f.seq)
 			s.Stats.EnablesSent++
 			f.deadline = now + f.tDR + f.jitter()
 		}

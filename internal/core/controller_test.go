@@ -55,7 +55,7 @@ func TestForkProbeRequiresAllVCsOccupied(t *testing.T) {
 	// Probe heading East into node 1 (input port West), vnet 0.
 	m := &Message{Type: MsgProbe, Src: 5, Vnet: 0, At: 1, Heading: geom.East}
 	// Empty port: dropped.
-	if reqs := c.forkProbe(1, r, m); reqs != nil {
+	if reqs := c.forkProbe(1, r, m, nil); reqs != nil {
 		t.Fatalf("probe at empty port should drop, got %d reqs", len(reqs))
 	}
 	// Fill 3 of 4 vnet-0 VCs: still dropped.
@@ -64,14 +64,14 @@ func TestForkProbeRequiresAllVCsOccupied(t *testing.T) {
 		p.Hop = 1
 		r.In[geom.West][i].Pkt = p
 	}
-	if reqs := c.forkProbe(1, r, m); reqs != nil {
+	if reqs := c.forkProbe(1, r, m, nil); reqs != nil {
 		t.Fatal("probe with a free VC should drop")
 	}
 	// Fill the 4th: forks out of East (all packets want East).
 	p := s.NewPacket(0, 2, 0, 1, routing.Route{geom.East, geom.East})
 	p.Hop = 1
 	r.In[geom.West][3].Pkt = p
-	reqs := c.forkProbe(1, r, m)
+	reqs := c.forkProbe(1, r, m, nil)
 	if len(reqs) != 1 || reqs[0].out != geom.East {
 		t.Fatalf("fork = %+v, want one East fork", reqs)
 	}
@@ -91,7 +91,7 @@ func TestForkProbeEjectionOnlyDrops(t *testing.T) {
 		r.In[geom.West][i].Pkt = p
 	}
 	m := &Message{Type: MsgProbe, Src: 5, Vnet: 0, At: 1, Heading: geom.East}
-	if reqs := c.forkProbe(1, r, m); reqs != nil {
+	if reqs := c.forkProbe(1, r, m, nil); reqs != nil {
 		t.Fatal("ejection-bound packets must not propagate probes")
 	}
 }
@@ -107,7 +107,7 @@ func TestForkProbeTurnCapacity(t *testing.T) {
 	}
 	m := &Message{Type: MsgProbe, Src: 5, Vnet: 0, At: 1, Heading: geom.East,
 		Turns: []geom.Turn{geom.Straight, geom.Straight}}
-	if reqs := c.forkProbe(1, r, m); reqs != nil {
+	if reqs := c.forkProbe(1, r, m, nil); reqs != nil {
 		t.Fatal("probe at turn capacity must drop")
 	}
 }
@@ -124,7 +124,7 @@ func TestForkProbeForksToMultipleOutputs(t *testing.T) {
 		r.In[geom.West][i].Pkt = p
 	}
 	m := &Message{Type: MsgProbe, Src: 8, Vnet: 0, At: center, Heading: geom.East}
-	reqs := c.forkProbe(center, r, m)
+	reqs := c.forkProbe(center, r, m, nil)
 	if len(reqs) != 2 {
 		t.Fatalf("forks = %d, want 2", len(reqs))
 	}
@@ -181,7 +181,7 @@ func TestDisableInstallsAndEnableClearsFence(t *testing.T) {
 
 	dis := &Message{Type: MsgDisable, Src: 7, Vnet: 0, At: node, Heading: geom.East,
 		Turns: []geom.Turn{geom.Straight}, Seq: 1}
-	reqs := c.processOne(node, r, nil, dis)
+	reqs := c.processOne(node, r, nil, dis, nil)
 	if len(reqs) != 1 || reqs[0].out != geom.East {
 		t.Fatalf("disable should forward East, got %+v", reqs)
 	}
@@ -192,14 +192,14 @@ func TestDisableInstallsAndEnableClearsFence(t *testing.T) {
 	// A second disable from a different chain is dropped.
 	dis2 := &Message{Type: MsgDisable, Src: 9, Vnet: 0, At: node, Heading: geom.East,
 		Turns: []geom.Turn{geom.Straight}, Seq: 1}
-	if reqs := c.processOne(node, r, nil, dis2); reqs != nil {
+	if reqs := c.processOne(node, r, nil, dis2, nil); reqs != nil {
 		t.Fatal("second disable must be dropped while fenced")
 	}
 
 	// A mismatched enable forwards but does not clear.
 	enWrong := &Message{Type: MsgEnable, Src: 9, Vnet: 0, At: node, Heading: geom.East,
 		Turns: []geom.Turn{geom.Straight}, Seq: 1}
-	if reqs := c.processOne(node, r, nil, enWrong); len(reqs) != 1 {
+	if reqs := c.processOne(node, r, nil, enWrong, nil); len(reqs) != 1 {
 		t.Fatal("mismatched enable must still be forwarded")
 	}
 	if !r.Fence.Active {
@@ -209,7 +209,7 @@ func TestDisableInstallsAndEnableClearsFence(t *testing.T) {
 	// The matching enable clears and forwards.
 	en := &Message{Type: MsgEnable, Src: 7, Vnet: 0, At: node, Heading: geom.East,
 		Turns: []geom.Turn{geom.Straight}, Seq: 1}
-	if reqs := c.processOne(node, r, nil, en); len(reqs) != 1 {
+	if reqs := c.processOne(node, r, nil, en, nil); len(reqs) != 1 {
 		t.Fatal("matching enable must forward")
 	}
 	if r.Fence.Active {
@@ -223,7 +223,7 @@ func TestDisableDroppedWhenDependenceGone(t *testing.T) {
 	r := &s.Routers[node]
 	dis := &Message{Type: MsgDisable, Src: 7, Vnet: 0, At: node, Heading: geom.East,
 		Turns: []geom.Turn{geom.Straight}, Seq: 1}
-	if reqs := c.processOne(node, r, nil, dis); reqs != nil {
+	if reqs := c.processOne(node, r, nil, dis, nil); reqs != nil {
 		t.Fatal("disable with no matching dependence must drop")
 	}
 	if r.Fence.Active {
@@ -242,21 +242,21 @@ func TestCheckProbeRequiresMatchingFence(t *testing.T) {
 	cp := &Message{Type: MsgCheckProbe, Src: 7, Vnet: 0, At: node, Heading: geom.East,
 		Turns: []geom.Turn{geom.Straight}, Seq: 1}
 	// No fence: dropped.
-	if reqs := c.processOne(node, r, nil, cp); reqs != nil {
+	if reqs := c.processOne(node, r, nil, cp, nil); reqs != nil {
 		t.Fatal("check_probe without fence must drop")
 	}
 	// Fence from another source: dropped.
 	r.Fence = network.Fence{Active: true, In: geom.West, Out: geom.East, SrcID: 9}
 	cp2 := &Message{Type: MsgCheckProbe, Src: 7, Vnet: 0, At: node, Heading: geom.East,
 		Turns: []geom.Turn{geom.Straight}, Seq: 1}
-	if reqs := c.processOne(node, r, nil, cp2); reqs != nil {
+	if reqs := c.processOne(node, r, nil, cp2, nil); reqs != nil {
 		t.Fatal("check_probe with foreign fence must drop")
 	}
 	// Matching fence and live dependence: forwarded along the fence out.
 	r.Fence.SrcID = 7
 	cp3 := &Message{Type: MsgCheckProbe, Src: 7, Vnet: 0, At: node, Heading: geom.East,
 		Turns: []geom.Turn{geom.Straight}, Seq: 1}
-	reqs := c.processOne(node, r, nil, cp3)
+	reqs := c.processOne(node, r, nil, cp3, nil)
 	if len(reqs) != 1 || reqs[0].out != geom.East {
 		t.Fatalf("check_probe should forward East, got %+v", reqs)
 	}
@@ -321,7 +321,7 @@ func TestProbeSeqPreservedThroughForks(t *testing.T) {
 	}
 	m := &Message{Type: MsgProbe, Src: 5, Vnet: 0, At: 1, Heading: geom.East,
 		Seq: 42, OutPort: geom.North}
-	reqs := c.forkProbe(1, r, m)
+	reqs := c.forkProbe(1, r, m, nil)
 	if len(reqs) != 1 || reqs[0].m.Seq != 42 || reqs[0].m.OutPort != geom.North {
 		t.Fatalf("fork lost context: %+v", reqs[0].m)
 	}

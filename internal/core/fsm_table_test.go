@@ -55,7 +55,7 @@ func (h *fsmHarness) tick() { h.c.tickFSM(h.f) }
 
 // deliver pushes one control message through the real receive path at
 // the FSM's router.
-func (h *fsmHarness) deliver(m *Message) { h.c.processOne(h.node, h.r, h.f, m) }
+func (h *fsmHarness) deliver(m *Message) { h.c.processOne(h.node, h.r, h.f, m, nil) }
 
 // stuck places a head-ready single-flit packet into slot `slot` of input
 // port `in` at router id, wanting output `out`.

@@ -11,7 +11,7 @@ func benchSimScenario(b *testing.B, name string, ref bool) {
 		}
 		var cycles int64
 		for i := 0; i < b.N; i++ {
-			stats, _ := runSimScenario(sc, ref, 1)
+			stats, _, _ := runSimScenario(sc, ref, 1)
 			if stats.Delivered == 0 {
 				b.Fatalf("%s delivered nothing", name)
 			}
@@ -29,6 +29,12 @@ func BenchmarkSimEventSaturation(b *testing.B) {
 	benchSimScenario(b, "saturation_8x8", false)
 }
 func BenchmarkSimRefSaturation(b *testing.B) { benchSimScenario(b, "saturation_8x8", true) }
+func BenchmarkSimEventSaturationSteady(b *testing.B) {
+	benchSimScenario(b, "saturation_steady_8x8", false)
+}
+func BenchmarkSimRefSaturationSteady(b *testing.B) {
+	benchSimScenario(b, "saturation_steady_8x8", true)
+}
 func BenchmarkSimEventRecoveryBurst(b *testing.B) {
 	benchSimScenario(b, "recovery_burst_8x8_irregular", false)
 }
@@ -51,8 +57,8 @@ func TestSimBenchCoresAgree(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if want := 3 * len(BenchShardCounts); len(rs) != want {
-		t.Fatalf("expected %d rows (3 scenarios x %d shard counts), got %d",
+	if want := 4 * len(BenchShardCounts); len(rs) != want {
+		t.Fatalf("expected %d rows (4 scenarios x %d shard counts), got %d",
 			want, len(BenchShardCounts), len(rs))
 	}
 	for _, r := range rs {
@@ -60,10 +66,16 @@ func TestSimBenchCoresAgree(t *testing.T) {
 			t.Errorf("%s (shards=%d): delivered nothing — scenario is not exercising the core",
 				r.Scenario, r.Shards)
 		}
-		t.Logf("%s shards=%d: event %.0f ns/cyc, refmodel %.0f ns/cyc, speedup %.2fx",
-			r.Scenario, r.Shards, r.EventNsPerCycle, r.RefNsPerCycle, r.Speedup)
+		t.Logf("%s shards=%d: event %.0f ns/cyc, refmodel %.0f ns/cyc, speedup %.2fx, %.3f allocs/cyc, %.1f B/cyc",
+			r.Scenario, r.Shards, r.EventNsPerCycle, r.RefNsPerCycle, r.Speedup,
+			r.EventAllocsPerCycle, r.EventBytesPerCycle)
 	}
 	if rs[0].Speedup < 1 {
 		t.Errorf("event core slower than full scan on the idle mesh (%.2fx)", rs[0].Speedup)
+	}
+	// The pooled steady-state scenarios must be allocation-free in their
+	// measured windows — the tentpole property of the packet/route arenas.
+	if err := CheckZeroAlloc(rs); err != nil {
+		t.Error(err)
 	}
 }

@@ -1,0 +1,66 @@
+package memprof
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// sink forces the test allocation to escape to the heap.
+var sink []byte
+
+func TestSnapshotDelta(t *testing.T) {
+	base := Take()
+	sink = make([]byte, 1<<16)
+	d := Take().Since(base)
+	if d.Allocs == 0 {
+		t.Fatal("allocation between snapshots not observed")
+	}
+	if d.Bytes < 1<<16 {
+		t.Fatalf("delta bytes = %d, want >= %d", d.Bytes, 1<<16)
+	}
+	s := Take()
+	if z := s.Since(s); z.Allocs != 0 || z.Bytes != 0 {
+		t.Fatalf("self delta = %+v, want zero", z)
+	}
+}
+
+func TestProfileWriters(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	stop, err := StartCPUProfile(cpu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := os.Stat(cpu); err != nil || fi.Size() == 0 {
+		t.Fatalf("cpu profile not written: %v", err)
+	}
+	// A second profile while one is active must fail cleanly.
+	stop2, err := StartCPUProfile(filepath.Join(dir, "cpu2.pprof"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := StartCPUProfile(filepath.Join(dir, "cpu3.pprof")); err == nil {
+		t.Error("nested StartCPUProfile did not fail")
+	}
+	if err := stop2(); err != nil {
+		t.Fatal(err)
+	}
+
+	heap := filepath.Join(dir, "mem.pprof")
+	if err := WriteHeapProfile(heap); err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := os.Stat(heap); err != nil || fi.Size() == 0 {
+		t.Fatalf("heap profile not written: %v", err)
+	}
+	if err := WriteHeapProfile(filepath.Join(dir, "no", "such", "dir.pprof")); err == nil {
+		t.Error("WriteHeapProfile to a missing directory did not fail")
+	}
+	if _, err := StartCPUProfile(filepath.Join(dir, "no", "such", "cpu.pprof")); err == nil {
+		t.Error("StartCPUProfile to a missing directory did not fail")
+	}
+}

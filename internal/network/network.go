@@ -23,6 +23,7 @@ package network
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"repro/internal/geom"
 	"repro/internal/routing"
@@ -131,6 +132,9 @@ type Sim struct {
 
 	nextPktID int64
 	inFlight  int64
+	// pool recycles delivered/lost packets and their route spans (see
+	// pool.go for the ownership rules).
+	pool poolState
 	// seqGather is the switch-allocation scratch of the sequential
 	// stepper (and of the coordinator's plan decoding under the sharded
 	// one); each shard worker owns its own.
@@ -142,9 +146,12 @@ type Sim struct {
 	// nshards is the effective shard count; 1 selects the sequential
 	// Step path. shardOf maps a router id to its owning shard (nil when
 	// unsharded); shards holds the per-shard schedulers and scratch.
+	// shardWG is the per-cycle barrier; it lives on the Sim (not on the
+	// stepper's stack) so the parallel phase does not allocate.
 	nshards int
 	shardOf []int8
 	shards  []shardState
+	shardWG sync.WaitGroup
 }
 
 // New builds a simulator over topo. The topology may be irregular; dead
@@ -181,7 +188,10 @@ func New(topo *topology.Topology, cfg Config, rng *rand.Rand) *Sim {
 }
 
 // NewPacket allocates a packet with a fresh id. length is in flits and
-// must fit the VC depth.
+// must fit the VC depth. Under pooling (the default) the packet may be a
+// recycled one and route is COPIED into the Sim's arena — the caller
+// keeps its buffer; with SetPooling(false) the route slice is stored
+// as-is and ownership transfers to the packet.
 func (s *Sim) NewPacket(src, dst geom.NodeID, vnet, length int, route routing.Route) *Packet {
 	if length < 1 || length > s.Cfg.VCDepth {
 		panic(fmt.Sprintf("network: packet length %d outside [1,%d]", length, s.Cfg.VCDepth))
@@ -190,17 +200,39 @@ func (s *Sim) NewPacket(src, dst geom.NodeID, vnet, length int, route routing.Ro
 		panic(fmt.Sprintf("network: vnet %d outside [0,%d)", vnet, s.Cfg.NumVnets))
 	}
 	s.nextPktID++
-	return &Packet{
-		ID:          s.nextPktID,
-		Src:         src,
-		Dst:         dst,
-		Vnet:        vnet,
-		Len:         length,
-		Route:       route,
-		CreatedAt:   s.Now,
-		InjectedAt:  -1,
-		DeliveredAt: -1,
+	if s.pool.disabled {
+		return &Packet{
+			ID:          s.nextPktID,
+			Src:         src,
+			Dst:         dst,
+			Vnet:        vnet,
+			Len:         length,
+			Route:       route,
+			CreatedAt:   s.Now,
+			InjectedAt:  -1,
+			DeliveredAt: -1,
+		}
 	}
+	var p *Packet
+	if n := len(s.pool.free); n > 0 {
+		p = s.pool.free[n-1]
+		s.pool.free[n-1] = nil
+		s.pool.free = s.pool.free[:n-1]
+		s.pool.stats.PacketReuses++
+		// Reset everything except the recycling identity (gen) and the
+		// arena span, which SetRoute below reuses in place when it fits.
+		*p = Packet{gen: p.gen, Route: p.Route, routeOwned: p.routeOwned}
+	} else {
+		p = new(Packet)
+		s.pool.stats.PacketAllocs++
+	}
+	p.ID = s.nextPktID
+	p.Src, p.Dst = src, dst
+	p.Vnet, p.Len = vnet, length
+	p.CreatedAt = s.Now
+	p.InjectedAt, p.DeliveredAt = -1, -1
+	s.SetRoute(p, route)
+	return p
 }
 
 // Enqueue places p into its source NI queue. The caller is responsible
@@ -262,7 +294,8 @@ func (s *Sim) Drop() { s.Stats.DroppedUnreachable++ }
 // inside). Occupancy and conservation counters are adjusted; the VC is
 // immediately reusable.
 func (s *Sim) RemovePacket(vc *VC, at geom.NodeID, port geom.Direction) {
-	if vc.Pkt == nil {
+	p := vc.Pkt
+	if p == nil {
 		return
 	}
 	vc.Pkt = nil
@@ -274,11 +307,15 @@ func (s *Sim) RemovePacket(vc *VC, at geom.NodeID, port geom.Direction) {
 	}
 	s.inFlight--
 	s.Stats.Lost++
+	s.releasePacket(p)
 }
 
 // DiscardQueued records the loss of a queued (offered but not injected)
-// packet; the caller removes it from the NI queue.
-func (s *Sim) DiscardQueued(p *Packet) { s.Stats.Lost++ }
+// packet and recycles it; the caller removes it from the NI queue first.
+func (s *Sim) DiscardQueued(p *Packet) {
+	s.Stats.Lost++
+	s.releasePacket(p)
+}
 
 // PlacePacket installs p directly into slot `slot` of input port `in` at
 // router id with its head immediately ready — a hook for tests that need
@@ -351,6 +388,7 @@ func (s *Sim) DeliverOutOfBand(vc *VC, at geom.NodeID, port geom.Direction, deli
 		s.OnDeliver(p)
 	}
 	s.LastProgress = s.Now
+	s.releasePacket(p)
 }
 
 // Step advances the simulation by one cycle. Hooks run unconditionally

@@ -1,0 +1,84 @@
+package network_test
+
+// The zero-allocation steady-state gate, as a plain test: after warm-up,
+// an inject→deliver→recycle loop at a below-saturation load must not
+// allocate a single heap object under any of the three cores. The
+// benchmark harness (internal/experiments, BENCH_sim.json) measures the
+// same property with MemStats windows; this is the fast in-tree
+// regression hook using testing.AllocsPerRun.
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/network"
+	"repro/internal/network/refmodel"
+	"repro/internal/routing"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// steadyLoop builds an 8x8 mesh with the static-bubble controller and a
+// below-saturation uniform-random load, runs warmup cycles so every
+// pool, arena, ring and scheduler reaches its steady size, and returns a
+// one-cycle advance function.
+func steadyLoop(shards int, useRef bool) func() {
+	topo := topology.NewMesh(8, 8)
+	s := network.New(topo, network.Config{Shards: shards}, rand.New(rand.NewSource(41)))
+	core.Attach(s, core.Options{})
+	s.PrewarmPool(1024, 16, 32)
+	min := routing.NewMinimal(topo)
+	alive := topo.AliveRouters()
+	for _, dst := range alive {
+		min.Distance(alive[0], dst) // force the lazy BFS tables
+	}
+	inj := traffic.NewInjector(alive, min,
+		traffic.NewUniformRandom(alive), 0.15, rand.New(rand.NewSource(42)))
+	step := s.Step
+	if useRef {
+		step = refmodel.New(s).Step
+	}
+	cycle := func() {
+		inj.Tick(s)
+		step()
+	}
+	for i := 0; i < 3000; i++ {
+		cycle()
+	}
+	return cycle
+}
+
+// TestZeroAllocSteadyState drives ≥10k post-warmup cycles under the
+// sequential event core, the sharded stepper and the refmodel full scan,
+// and requires exactly zero heap allocations from each.
+func TestZeroAllocSteadyState(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long steady-state run")
+	}
+	cases := []struct {
+		name   string
+		shards int
+		useRef bool
+	}{
+		{"event_sequential", 1, false},
+		{"sharded_2", 2, false},
+		{"sharded_4", 4, false},
+		{"refmodel_fullscan", 1, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cycle := steadyLoop(tc.shards, tc.useRef)
+			// AllocsPerRun runs the body once extra as its own warm-up, so
+			// the measured pass covers cycles well past any growth.
+			allocs := testing.AllocsPerRun(1, func() {
+				for i := 0; i < 10000; i++ {
+					cycle()
+				}
+			})
+			if allocs != 0 {
+				t.Errorf("steady state allocated %.0f objects per 10k cycles, want 0", allocs)
+			}
+		})
+	}
+}

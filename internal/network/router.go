@@ -345,6 +345,7 @@ func (s *Sim) tryGrant(r *Router, out geom.Direction, vc *VC, p *Packet, inPort 
 			r.occNonLocal--
 		}
 		s.LastProgress = s.Now
+		s.releasePacket(p)
 		return true
 	}
 	nb := s.Topo.Neighbor(r.ID, out)

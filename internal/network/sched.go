@@ -75,6 +75,26 @@ func (sc *scheduler) init(numNodes int) {
 	sc.drained = -1
 }
 
+// reserve pre-grows every wheel bucket and the overflow heap to hold n
+// entries each, so wake bursts inside a measured window never grow a
+// bucket (Sim.PrewarmPool). Buckets hold at most a few stale entries per
+// router on top of the live ones, so callers pass a small multiple of
+// the router count.
+func (sc *scheduler) reserve(n int) {
+	for i := range sc.wheel {
+		if cap(sc.wheel[i]) < n {
+			nb := make([]wakeEntry, len(sc.wheel[i]), n)
+			copy(nb, sc.wheel[i])
+			sc.wheel[i] = nb
+		}
+	}
+	if cap(sc.overflow) < n {
+		nh := make(wakeHeap, len(sc.overflow), n)
+		copy(nh, sc.overflow)
+		sc.overflow = nh
+	}
+}
+
 // wake schedules router id to be processed in cycle t (clamped to the
 // next undrained cycle). A wake at or after an already-scheduled one is
 // a no-op: when the router runs it reschedules itself as needed.

@@ -43,8 +43,6 @@ package network
 // worker count: it never enters a result cache key.
 
 import (
-	"sync"
-
 	"repro/internal/geom"
 )
 
@@ -75,6 +73,11 @@ type shardState struct {
 	gather allocGather
 	inj    injectDelta
 	plan   shardPlan
+	// worker is the shard's goroutine body, built once at initShards:
+	// spawning a pre-bound func value (`go sh.worker()`) costs no
+	// allocation per cycle, whereas a literal closure with arguments
+	// would heap-allocate its context every Step.
+	worker func()
 }
 
 // shardPlan is the gather output a shard hands to the commit pass:
@@ -95,6 +98,18 @@ func (p *shardPlan) reset() {
 	p.futures = p.futures[:0]
 	p.stream = p.stream[:0]
 	p.boff = append(p.boff[:0], 0)
+}
+
+// reserve pre-grows the plan's slices for a band of n routers whose
+// per-router stream never exceeds perRouter entries (PrewarmPool).
+func (p *shardPlan) reserve(n, perRouter int) {
+	p.ids = reserveInt32(p.ids, n)
+	p.heads = reserveInt32(p.heads, n)
+	p.boff = reserveInt32(p.boff, n+1)
+	p.stream = reserveInt32(p.stream, n*perRouter)
+	if cap(p.futures) < n {
+		p.futures = append(make([]int64, 0, n), p.futures...)
+	}
 }
 
 func (p *shardPlan) add(id int32, g *allocGather) {
@@ -126,6 +141,10 @@ func (s *Sim) initShards(n int) {
 		sh.sched.init(len(s.Routers))
 		sh.gather.init(s.Cfg)
 		sh.plan.reset()
+		sh.worker = func() {
+			s.shardInjectGather(sh)
+			s.shardWG.Done()
+		}
 		for y := k * h / n; y < (k+1)*h/n; y++ {
 			for x := 0; x < w; x++ {
 				s.shardOf[y*w+x] = int8(k)
@@ -172,16 +191,12 @@ func (s *Sim) stepSharded() {
 	for _, f := range s.PreCycle {
 		f(s)
 	}
-	var wg sync.WaitGroup
+	s.shardWG.Add(s.nshards - 1)
 	for k := 1; k < s.nshards; k++ {
-		wg.Add(1)
-		go func(sh *shardState) {
-			defer wg.Done()
-			s.shardInjectGather(sh)
-		}(&s.shards[k])
+		go s.shards[k].worker()
 	}
 	s.shardInjectGather(&s.shards[0])
-	wg.Wait()
+	s.shardWG.Wait()
 	for k := range s.shards {
 		s.shards[k].inj.apply(s)
 	}

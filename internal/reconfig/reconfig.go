@@ -42,6 +42,10 @@ type Manager struct {
 	Dropped int64
 	// Rerouted counts packets whose route was recomputed in place.
 	Rerouted int64
+	// routeBuf is the reroute scratch: repairTraffic builds replacement
+	// routes here and Sim.SetRoute copies them into the packet's arena
+	// span, so repairs don't allocate per packet.
+	routeBuf routing.Route
 }
 
 // New builds a manager over a live simulation.
@@ -271,10 +275,8 @@ func (m *Manager) repairTraffic() {
 	}
 	for _, b := range broken {
 		p := b.vc.Pkt
-		if nr, ok := m.minimal.Route(b.at, p.Dst, m.sim.Rng); ok {
-			p.Route = nr
-			p.Hop = 0
-			p.InvalidateOutputCache()
+		if nr, ok := m.minimal.AppendRoute(m.routeBuf[:0], b.at, p.Dst, m.sim.Rng); ok {
+			m.setRoute(p, nr)
 			m.Rerouted++
 		} else {
 			m.discardVC(b.vc, b.at, b.port)
@@ -288,10 +290,8 @@ func (m *Manager) repairTraffic() {
 				if m.routeValidFrom(p, src) {
 					return true
 				}
-				if nr, ok := m.minimal.Route(src, p.Dst, m.sim.Rng); ok {
-					p.Route = nr
-					p.Hop = 0
-					p.InvalidateOutputCache()
+				if nr, ok := m.minimal.AppendRoute(m.routeBuf[:0], src, p.Dst, m.sim.Rng); ok {
+					m.setRoute(p, nr)
 					m.Rerouted++
 					return true
 				}
@@ -301,6 +301,14 @@ func (m *Manager) repairTraffic() {
 			})
 		}
 	}
+}
+
+// setRoute installs nr (built in m.routeBuf) as p's route. SetRoute
+// copies, so the scratch can be reused for the next repair; the grown
+// capacity is kept.
+func (m *Manager) setRoute(p *network.Packet, nr routing.Route) {
+	m.sim.SetRoute(p, nr)
+	m.routeBuf = nr[:0]
 }
 
 // Algorithm adapts the manager to routing.Algorithm so traffic

@@ -58,14 +58,20 @@ func (m *Minimal) Distance(src, dst geom.NodeID) int {
 // random among the minimal next hops at each step. With a nil rng the
 // first minimal direction in N,E,S,W order is chosen (deterministic).
 func (m *Minimal) Route(src, dst geom.NodeID, rng *rand.Rand) (Route, bool) {
+	return m.AppendRoute(nil, src, dst, rng)
+}
+
+// AppendRoute implements RouteAppender: same sampling as Route, hops
+// appended onto buf.
+func (m *Minimal) AppendRoute(buf Route, src, dst geom.NodeID, rng *rand.Rand) (Route, bool) {
 	if src == dst {
-		return Route{}, m.topo.RouterAlive(src)
+		return buf, m.topo.RouterAlive(src)
 	}
 	dist := m.dist(dst)
 	if !m.topo.RouterAlive(src) || dist[src] < 0 {
-		return nil, false
+		return buf, false
 	}
-	route := make(Route, 0, dist[src])
+	route := buf
 	cur := src
 	for cur != dst {
 		var choices [geom.NumLinkDirs]geom.Direction
@@ -82,7 +88,7 @@ func (m *Minimal) Route(src, dst geom.NodeID, rng *rand.Rand) (Route, bool) {
 		}
 		if n == 0 {
 			// Cannot happen on a consistent distance table.
-			return nil, false
+			return buf, false
 		}
 		pick := choices[0]
 		if rng != nil && n > 1 {
@@ -108,12 +114,17 @@ func NewXY(t *topology.Topology) *XY { return &XY{topo: t} }
 func (x *XY) Name() string { return "xy" }
 
 // Route implements Algorithm. rng is unused (XY is deterministic).
-func (x *XY) Route(src, dst geom.NodeID, _ *rand.Rand) (Route, bool) {
+func (x *XY) Route(src, dst geom.NodeID, rng *rand.Rand) (Route, bool) {
+	return x.AppendRoute(nil, src, dst, rng)
+}
+
+// AppendRoute implements RouteAppender.
+func (x *XY) AppendRoute(buf Route, src, dst geom.NodeID, _ *rand.Rand) (Route, bool) {
 	if !x.topo.RouterAlive(src) || !x.topo.RouterAlive(dst) {
-		return nil, false
+		return buf, false
 	}
-	a, b := x.topo.Coord(src), x.topo.Coord(dst)
-	route := make(Route, 0, geom.ManhattanDistance(a, b))
+	b := x.topo.Coord(dst)
+	route := buf
 	cur := src
 	step := func(d geom.Direction) bool {
 		if !x.topo.HasLink(cur, d) {
@@ -125,22 +136,22 @@ func (x *XY) Route(src, dst geom.NodeID, _ *rand.Rand) (Route, bool) {
 	}
 	for x.topo.Coord(cur).X < b.X {
 		if !step(geom.East) {
-			return nil, false
+			return buf, false
 		}
 	}
 	for x.topo.Coord(cur).X > b.X {
 		if !step(geom.West) {
-			return nil, false
+			return buf, false
 		}
 	}
 	for x.topo.Coord(cur).Y < b.Y {
 		if !step(geom.North) {
-			return nil, false
+			return buf, false
 		}
 	}
 	for x.topo.Coord(cur).Y > b.Y {
 		if !step(geom.South) {
-			return nil, false
+			return buf, false
 		}
 	}
 	return route, true

@@ -84,6 +84,29 @@ type Algorithm interface {
 	Route(src, dst geom.NodeID, rng *rand.Rand) (Route, bool)
 }
 
+// RouteAppender is an optional extension of Algorithm for callers that
+// recycle route storage: AppendRoute writes the hops onto buf (growing it
+// only when cap(buf) is too small) instead of allocating a fresh slice.
+// The returned route must consume the rng exactly as Route would, so that
+// swapping one for the other never perturbs a seeded trajectory.
+type RouteAppender interface {
+	AppendRoute(buf Route, src, dst geom.NodeID, rng *rand.Rand) (Route, bool)
+}
+
+// AppendRoute routes src→dst via a, appending onto buf when a supports
+// RouteAppender and falling back to a.Route plus a copy otherwise. On
+// ok=false buf is returned unchanged.
+func AppendRoute(a Algorithm, buf Route, src, dst geom.NodeID, rng *rand.Rand) (Route, bool) {
+	if ap, ok := a.(RouteAppender); ok {
+		return ap.AppendRoute(buf, src, dst, rng)
+	}
+	r, ok := a.Route(src, dst, rng)
+	if !ok {
+		return buf, false
+	}
+	return append(buf, r...), true
+}
+
 // Deterministic wraps an Algorithm so that route sampling ignores the
 // rng: every source-destination pair always gets the same path, modeling
 // table-based routing (Ariadne and its kin populate per-pair tables once
@@ -96,4 +119,8 @@ func (d deterministic) Name() string { return d.inner.Name() + "_det" }
 
 func (d deterministic) Route(src, dst geom.NodeID, _ *rand.Rand) (Route, bool) {
 	return d.inner.Route(src, dst, nil)
+}
+
+func (d deterministic) AppendRoute(buf Route, src, dst geom.NodeID, _ *rand.Rand) (Route, bool) {
+	return AppendRoute(d.inner, buf, src, dst, nil)
 }

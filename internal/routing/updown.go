@@ -245,14 +245,20 @@ func (u *UpDown) Distance(src, dst geom.NodeID) int {
 // Route implements Algorithm: the shortest legal up*/down* route, sampled
 // uniformly among legal minimal next hops when rng is non-nil.
 func (u *UpDown) Route(src, dst geom.NodeID, rng *rand.Rand) (Route, bool) {
+	return u.AppendRoute(nil, src, dst, rng)
+}
+
+// AppendRoute implements RouteAppender: same sampling as Route, hops
+// appended onto buf.
+func (u *UpDown) AppendRoute(buf Route, src, dst geom.NodeID, rng *rand.Rand) (Route, bool) {
 	if src == dst {
-		return Route{}, u.level[src] >= 0
+		return buf, u.level[src] >= 0
 	}
 	dist := u.dist(dst)
 	if u.level[src] < 0 || dist[2*int(src)+phaseUp] < 0 {
-		return nil, false
+		return buf, false
 	}
-	route := make(Route, 0, dist[2*int(src)+phaseUp])
+	route := buf
 	cur, phase := src, phaseUp
 	for cur != dst {
 		curD := dist[2*int(cur)+phase]
@@ -278,7 +284,7 @@ func (u *UpDown) Route(src, dst geom.NodeID, rng *rand.Rand) (Route, bool) {
 			}
 		}
 		if n == 0 {
-			return nil, false
+			return buf, false
 		}
 		pick := 0
 		if rng != nil && n > 1 {
@@ -374,15 +380,20 @@ func (u *UpDown) DependencyAcyclic() bool {
 // TreeRoute returns the pure spanning-tree path from src to dst (up to
 // the lowest common ancestor, then down), or ok=false across components.
 func (u *UpDown) TreeRoute(src, dst geom.NodeID) (Route, bool) {
+	return u.AppendTreeRoute(nil, src, dst)
+}
+
+// AppendTreeRoute is TreeRoute with the hops appended onto buf.
+func (u *UpDown) AppendTreeRoute(buf Route, src, dst geom.NodeID) (Route, bool) {
 	if u.level[src] < 0 || u.level[dst] < 0 || u.root[src] != u.root[dst] {
-		return nil, false
+		return buf, false
 	}
-	var route Route
+	route := buf
 	cur := src
 	for cur != dst {
 		d := u.TreeNextHop(cur, dst)
 		if !d.IsLink() {
-			return nil, false
+			return buf, false
 		}
 		route = append(route, d)
 		cur = u.topo.Neighbor(cur, d)
@@ -403,4 +414,8 @@ func (t treeAlg) Name() string { return "spanning_tree" }
 
 func (t treeAlg) Route(src, dst geom.NodeID, _ *rand.Rand) (Route, bool) {
 	return t.u.TreeRoute(src, dst)
+}
+
+func (t treeAlg) AppendRoute(buf Route, src, dst geom.NodeID, _ *rand.Rand) (Route, bool) {
+	return t.u.AppendTreeRoute(buf, src, dst)
 }

@@ -82,13 +82,19 @@ type AppRun struct {
 	inj     *Injector
 	phase   int // cycle counter within the burst/idle period
 	// outstanding tracks each node's in-flight requests in closed-loop
-	// mode; nextIssueAt is the earliest cycle a node may issue again
-	// (think time after a completion).
-	outstanding map[geom.NodeID][]*network.Packet
+	// mode by packet id (packets are pool-recycled at delivery, so
+	// holding *Packet across cycles is forbidden); doneAt latches each
+	// tracked request's delivery cycle via an OnDeliver chain, -1 while
+	// in flight. nextIssueAt is the earliest cycle a node may issue
+	// again (think time after a completion).
+	outstanding map[geom.NodeID][]int64
+	doneAt      map[int64]int64
+	hooked      bool
 	nextIssueAt map[geom.NodeID]int64
 	rng         *rand.Rand
 	pattern     Pattern
 	alg         routing.Algorithm
+	routeBuf    routing.Route
 }
 
 // NewAppRun prepares a run of profile p on the alive nodes of s's
@@ -106,11 +112,31 @@ func NewAppRun(s *network.Sim, alg routing.Algorithm, p AppProfile, rng *rand.Ra
 	return &AppRun{
 		Profile:     p,
 		inj:         inj,
-		outstanding: make(map[geom.NodeID][]*network.Packet),
+		outstanding: make(map[geom.NodeID][]int64),
+		doneAt:      make(map[int64]int64),
 		nextIssueAt: make(map[geom.NodeID]int64),
 		rng:         rng,
 		pattern:     pattern,
 		alg:         alg,
+	}
+}
+
+// hookDeliveries chains onto s.OnDeliver to latch the delivery cycle of
+// tracked requests; delivery is the last moment the *Packet may be read
+// (the pool recycles it immediately after the hook returns).
+func (a *AppRun) hookDeliveries(s *network.Sim) {
+	if a.hooked {
+		return
+	}
+	a.hooked = true
+	prev := s.OnDeliver
+	s.OnDeliver = func(p *network.Packet) {
+		if prev != nil {
+			prev(p)
+		}
+		if _, ok := a.doneAt[p.ID]; ok {
+			a.doneAt[p.ID] = p.DeliveredAt
+		}
 	}
 }
 
@@ -119,15 +145,19 @@ func NewAppRun(s *network.Sim, alg routing.Algorithm, p AppProfile, rng *rand.Ra
 // completion has elapsed, so per-request cost ≈ ThinkTime + round trip.
 func (a *AppRun) tickClosedLoop(s *network.Sim, budget int64) int64 {
 	p := a.Profile
+	a.hookDeliveries(s)
 	issued := int64(0)
 	for _, src := range s.Topo.AliveRouters() {
-		// Retire completed requests and start the think timer.
+		// Retire completed requests and start the think timer. A request
+		// retires once its latched delivery cycle has passed — the same
+		// condition the pre-pooling code read off the retained packet.
 		live := a.outstanding[src][:0]
-		for _, q := range a.outstanding[src] {
-			if q.DeliveredAt >= 0 && q.DeliveredAt <= s.Now {
-				a.nextIssueAt[src] = q.DeliveredAt + int64(p.ThinkTime)
+		for _, id := range a.outstanding[src] {
+			if done := a.doneAt[id]; done >= 0 && done <= s.Now {
+				a.nextIssueAt[src] = done + int64(p.ThinkTime)
+				delete(a.doneAt, id)
 			} else {
-				live = append(live, q)
+				live = append(live, id)
 			}
 		}
 		a.outstanding[src] = live
@@ -141,7 +171,7 @@ func (a *AppRun) tickClosedLoop(s *network.Sim, budget int64) int64 {
 		if dst == src {
 			continue
 		}
-		route, ok := a.alg.Route(src, dst, a.rng)
+		route, ok := routing.AppendRoute(a.alg, a.routeBuf[:0], src, dst, a.rng)
 		if !ok {
 			s.Drop()
 			continue
@@ -151,8 +181,14 @@ func (a *AppRun) tickClosedLoop(s *network.Sim, budget int64) int64 {
 			vnet, ln = a.inj.DataVnet, a.inj.DataLen
 		}
 		pkt := s.NewPacket(src, dst, vnet, ln, route)
+		if s.PoolingEnabled() {
+			a.routeBuf = route[:0]
+		} else {
+			a.routeBuf = nil
+		}
 		s.Enqueue(pkt)
-		a.outstanding[src] = append(a.outstanding[src], pkt)
+		a.doneAt[pkt.ID] = -1
+		a.outstanding[src] = append(a.outstanding[src], pkt.ID)
 		issued++
 	}
 	return issued

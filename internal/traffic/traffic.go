@@ -100,6 +100,9 @@ type Injector struct {
 	router  routing.Algorithm
 	pattern Pattern
 	rng     *rand.Rand
+	// routeBuf is the scratch the per-packet route is appended into
+	// (recycled when the target sim copies routes into its arena).
+	routeBuf routing.Route
 
 	// RateFlits is the offered load in flits/node/cycle.
 	RateFlits float64
@@ -146,7 +149,11 @@ func (in *Injector) Tick(s *network.Sim) {
 		if dst == src {
 			continue
 		}
-		route, ok := in.router.Route(src, dst, in.rng)
+		// Routes are built in a reusable scratch buffer: NewPacket copies
+		// them into the sim's arena under pooling, so injection allocates
+		// nothing in steady state. Without pooling NewPacket keeps the
+		// slice, so ownership transfers and the scratch must be dropped.
+		route, ok := routing.AppendRoute(in.router, in.routeBuf[:0], src, dst, in.rng)
 		if !ok {
 			s.Drop()
 			continue
@@ -156,6 +163,11 @@ func (in *Injector) Tick(s *network.Sim) {
 			vnet, ln = in.DataVnet, in.DataLen
 		}
 		s.Enqueue(s.NewPacket(src, dst, vnet, ln, route))
+		if s.PoolingEnabled() {
+			in.routeBuf = route[:0]
+		} else {
+			in.routeBuf = nil
+		}
 	}
 }
 
