@@ -1,0 +1,126 @@
+// Command benchdiff compares two BENCH_sim.json files (sbsweep -fig
+// bench output) and fails when a gated scenario's event core got more
+// than -threshold slower. CI runs it with the old file downloaded from
+// the main branch's most recent bench artifact, so a PR cannot silently
+// regress steady-state simulation throughput.
+//
+// Per scenario it compares the minimum event ns/cycle across shard
+// counts (the minimum damps scheduler and machine noise far better than
+// any single row). Scenarios present on only one side are reported but
+// never fail the gate — adding or retiring a scenario is not a
+// regression.
+//
+// Usage:
+//
+//	benchdiff old.json new.json
+//	benchdiff -threshold 0.10 -all old.json new.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	threshold := flag.Float64("threshold", 0.10, "maximum allowed fractional slowdown of event ns/cycle in gated scenarios")
+	gateAll := flag.Bool("all", false, "gate every scenario, not just the default gated set")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold 0.10] [-all] OLD.json NEW.json")
+		os.Exit(2)
+	}
+	oldRows, err := readBench(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	newRows, err := readBench(flag.Arg(1))
+	if err != nil {
+		fatal(err)
+	}
+
+	oldNs, newNs := minByScenario(oldRows), minByScenario(newRows)
+	names := make([]string, 0, len(newNs))
+	for name := range newNs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	fmt.Printf("%-30s %14s %14s %8s %6s\n", "scenario", "old ns/cyc", "new ns/cyc", "delta", "gated")
+	failed := false
+	for _, name := range names {
+		old, ok := oldNs[name]
+		if !ok {
+			fmt.Printf("%-30s %14s %14.0f %8s %6s\n", name, "-", newNs[name], "new", "-")
+			continue
+		}
+		delta := newNs[name]/old - 1
+		gated := *gateAll || gatedScenarios[name]
+		mark := "no"
+		if gated {
+			mark = "yes"
+		}
+		verdict := ""
+		if gated && delta > *threshold {
+			verdict = "  REGRESSION"
+			failed = true
+		}
+		fmt.Printf("%-30s %14.0f %14.0f %+7.1f%% %6s%s\n", name, old, newNs[name], delta*100, mark, verdict)
+	}
+	for name := range oldNs {
+		if _, ok := newNs[name]; !ok {
+			fmt.Printf("%-30s %14.0f %14s %8s %6s\n", name, oldNs[name], "-", "gone", "-")
+		}
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "benchdiff: event core slower by more than %.0f%% in a gated scenario\n", *threshold*100)
+		os.Exit(1)
+	}
+}
+
+// gatedScenarios are the scenarios whose throughput the gate protects:
+// the steady-state regimes whose timing is reproducible enough for a
+// threshold comparison. The past-saturation and recovery-storm scenarios
+// are reported but ungated (their queues grow unboundedly, so their
+// timings swing with allocator behavior).
+var gatedScenarios = map[string]bool{
+	"idle_mesh_16x16":            true,
+	"saturation_steady_8x8":      true,
+	"route_heavy_adaptive_16x16": true,
+}
+
+// minByScenario reduces rows to each scenario's fastest event time
+// across shard counts.
+func minByScenario(rows []experiments.SimBenchResult) map[string]float64 {
+	min := make(map[string]float64)
+	for _, r := range rows {
+		if cur, ok := min[r.Scenario]; !ok || r.EventNsPerCycle < cur {
+			min[r.Scenario] = r.EventNsPerCycle
+		}
+	}
+	return min
+}
+
+func readBench(path string) ([]experiments.SimBenchResult, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rows []experiments.SimBenchResult
+	if err := json.Unmarshal(data, &rows); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark rows", path)
+	}
+	return rows, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	os.Exit(1)
+}

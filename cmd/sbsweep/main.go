@@ -20,6 +20,7 @@
 //	sbsweep -fig scale16               # 16x16 sharded-stepper timing sweep
 //	sbsweep -fig 9 -shards 4           # run each simulation sharded
 //	sbsweep -fig bench -check-zero-alloc           # fail on steady-state allocation
+//	sbsweep -fig 9 -route-cache-stats  # report compiled routing-table cache efficiency
 //	sbsweep -fig bench -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
@@ -33,6 +34,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/memprof"
+	"repro/internal/routing"
 	"repro/internal/stats"
 	"repro/internal/sweep"
 )
@@ -53,6 +55,7 @@ func main() {
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile (post-GC) to this file at exit")
 	checkZeroAlloc := flag.Bool("check-zero-alloc", false, "with -fig bench: fail if a steady-state scenario allocated after warmup")
+	routeCacheStats := flag.Bool("route-cache-stats", false, "print compiled routing-table cache counters (compiles, hit rate, bytes held) to stderr at exit")
 	flag.Parse()
 	asCSV := *format == "csv"
 
@@ -245,6 +248,9 @@ func main() {
 	st := engine.Stats()
 	fmt.Fprintf(os.Stderr, "sweep engine: %d jobs (%d executed, %d cached, %d failed, %d cancelled)\n",
 		st.Jobs, st.Executed, st.CacheHits, st.Failed, st.Cancelled)
+	if *routeCacheStats {
+		fmt.Fprintln(os.Stderr, routing.CacheStats())
+	}
 	if st.CacheWriteErrs > 0 {
 		fmt.Fprintf(os.Stderr, "sbsweep: warning: %d results could not be written to %s — a -resume rerun will resimulate them\n",
 			st.CacheWriteErrs, *cacheDir)

@@ -26,9 +26,10 @@ type Controller struct {
 // Attach installs adaptive minimal routing on s. It takes over the
 // simulator's OutputOverride; schemes that also need an override (the
 // escape-VC baseline) are incompatible with it by design — Static Bubble
-// composes fine.
+// composes fine. The routing tables come from the shared compiled-table
+// cache, so s.Topo must not be mutated after Attach.
 func Attach(s *network.Sim) *Controller {
-	c := &Controller{sim: s, min: routing.NewMinimal(s.Topo)}
+	c := &Controller{sim: s, min: routing.MinimalFor(s.Topo)}
 	// The override probes downstream buffer occupancy, which is only
 	// deterministic under the strictly ordered sequential phases.
 	s.RequireUnsharded()
@@ -42,13 +43,15 @@ func (c *Controller) Reachable(src, dst geom.NodeID) bool {
 	return c.min.Reachable(src, dst)
 }
 
-// output picks the next hop for p at router `at`.
+// output picks the next hop for p at router `at`. The minimal candidate
+// set is one compiled mask load; only the congestion probe touches live
+// simulator state.
 func (c *Controller) output(p *network.Packet, at geom.NodeID) (geom.Direction, bool) {
 	if at == p.Dst {
 		return geom.Local, true
 	}
-	cur := c.min.Distance(at, p.Dst)
-	if cur < 0 {
+	m := c.min.NextHopMask(at, p.Dst)
+	if m == 0 {
 		// Destination unreachable from here (runtime fault after
 		// injection): park the packet (an Invalid want is never granted);
 		// the reconfig layer is responsible for repair. Returning
@@ -58,15 +61,15 @@ func (c *Controller) output(p *network.Packet, at geom.NodeID) (geom.Direction, 
 	}
 	best := geom.Invalid
 	bestFree := -1
-	for _, d := range geom.LinkDirs {
-		if !c.sim.Topo.HasLink(at, d) {
+	// Mask bits enumerate in N,E,S,W order — the same candidate order as
+	// the graph walk this replaced, so the first-strictly-greater
+	// tie-break picks identical directions.
+	for i := 0; i < geom.NumLinkDirs; i++ {
+		if m&(1<<uint(i)) == 0 {
 			continue
 		}
-		nb := c.sim.Topo.Neighbor(at, d)
-		if c.min.Distance(nb, p.Dst) != cur-1 {
-			continue
-		}
-		free := c.freeVCs(nb, d.Opposite(), p.Vnet)
+		d := geom.Direction(i)
+		free := c.freeVCs(c.min.NeighborOf(at, d), d.Opposite(), p.Vnet)
 		if free > bestFree {
 			best, bestFree = d, free
 		}

@@ -13,6 +13,7 @@ import (
 	"math/rand"
 	"time"
 
+	"repro/internal/adaptive"
 	"repro/internal/core"
 	"repro/internal/memprof"
 	"repro/internal/network"
@@ -39,6 +40,12 @@ type SimBenchResult struct {
 	// Wall nanoseconds per simulated cycle under each core.
 	EventNsPerCycle float64 `json:"event_ns_per_cycle"`
 	RefNsPerCycle   float64 `json:"refmodel_ns_per_cycle"`
+	// Build nanoseconds for each run's scenario construction before
+	// cycle 0: topology sampling plus routing-table compilation (or a
+	// compiled-table cache hit — the refmodel run goes first, so event
+	// rows of cached scenarios show the hit cost, not the compile).
+	EventBuildNs int64 `json:"event_build_ns"`
+	RefBuildNs   int64 `json:"refmodel_build_ns"`
 	// Speedup is refmodel time / event time (>1 means the event core wins).
 	Speedup float64 `json:"speedup"`
 	// Post-warmup heap allocation rate of the event core (objects and
@@ -79,9 +86,7 @@ func simBenchScenarios() []simScenario {
 				s := network.New(topo, network.Config{Shards: shards}, rand.New(rand.NewSource(11)))
 				core.Attach(s, core.Options{})
 				s.PrewarmPool(512, 32, 16)
-				min := routing.NewMinimal(topo)
-				prewarmMinimal(min, topo)
-				inj := traffic.NewInjector(topo.AliveRouters(), min,
+				inj := traffic.NewInjector(topo.AliveRouters(), routing.MinimalFor(topo),
 					traffic.NewUniformRandom(topo.AliveRouters()), 0.002, rand.New(rand.NewSource(12)))
 				// Trickle traffic for the first half, then a drained tail:
 				// the regime where routers sleep and the full scan pays for
@@ -101,7 +106,7 @@ func simBenchScenarios() []simScenario {
 				topo := topology.NewMesh(8, 8)
 				s := network.New(topo, network.Config{Shards: shards}, rand.New(rand.NewSource(21)))
 				core.Attach(s, core.Options{})
-				inj := traffic.NewInjector(topo.AliveRouters(), routing.NewMinimal(topo),
+				inj := traffic.NewInjector(topo.AliveRouters(), routing.MinimalFor(topo),
 					traffic.NewUniformRandom(topo.AliveRouters()), 0.35, rand.New(rand.NewSource(22)))
 				return s, func() { inj.Tick(s) }
 			},
@@ -123,9 +128,7 @@ func simBenchScenarios() []simScenario {
 				s := network.New(topo, network.Config{Shards: shards}, rand.New(rand.NewSource(41)))
 				core.Attach(s, core.Options{})
 				s.PrewarmPool(1024, 16, 32)
-				min := routing.NewMinimal(topo)
-				prewarmMinimal(min, topo)
-				inj := traffic.NewInjector(topo.AliveRouters(), min,
+				inj := traffic.NewInjector(topo.AliveRouters(), routing.MinimalFor(topo),
 					traffic.NewUniformRandom(topo.AliveRouters()), 0.15, rand.New(rand.NewSource(42)))
 				return s, func() { inj.Tick(s) }
 			},
@@ -140,22 +143,44 @@ func simBenchScenarios() []simScenario {
 				// Hair-trigger detection keeps recovery storms running for
 				// most of the window.
 				core.Attach(s, core.Options{TDD: 24})
-				inj := traffic.NewInjector(topo.AliveRouters(), routing.NewMinimal(topo),
+				inj := traffic.NewInjector(topo.AliveRouters(), routing.MinimalFor(topo),
 					traffic.NewUniformRandom(topo.AliveRouters()), 0.12, rand.New(rand.NewSource(32)))
 				return s, func() { inj.Tick(s) }
 			},
 		},
-	}
-}
-
-// prewarmMinimal forces every alive destination's lazy BFS distance
-// table so the measured allocation window never sees a first-use table
-// build. Distance draws no randomness, so the traffic trajectory is
-// untouched.
-func prewarmMinimal(m *routing.Minimal, topo *topology.Topology) {
-	alive := topo.AliveRouters()
-	for _, dst := range alive {
-		m.Distance(alive[0], dst)
+		{
+			// Per-hop adaptive routing on a heavily faulted 16×16: every
+			// traversal consults the routing tables at every router, so
+			// this scenario is bound by routing-table lookups rather than
+			// switch traversal — the regime the compiled flat tables (and
+			// their cross-run cache) exist for. adaptive.Attach requires
+			// the unsharded stepper, so all shard counts of this row time
+			// the same sequential core (verified-identical Stats as ever).
+			name:   "route_heavy_adaptive_16x16",
+			cycles: 4000,
+			warmup: 1000,
+			build: func(shards int) (*network.Sim, func()) {
+				topo := topology.RandomIrregular(16, 16, topology.LinkFaults, 40, 7)
+				s := network.New(topo, network.Config{Shards: shards}, rand.New(rand.NewSource(51)))
+				core.Attach(s, core.Options{})
+				c := adaptive.Attach(s)
+				s.PrewarmPool(2048, 32, 32)
+				alive := topo.AliveRouters()
+				rng := rand.New(rand.NewSource(52))
+				return s, func() {
+					for _, src := range alive {
+						if rng.Float64() >= 0.05 {
+							continue
+						}
+						dst := alive[rng.Intn(len(alive))]
+						if dst == src || !c.Reachable(src, dst) {
+							continue
+						}
+						s.Enqueue(c.NewPacket(src, dst, 0, 5))
+					}
+				}
+			},
+		},
 	}
 }
 
@@ -166,8 +191,10 @@ func prewarmMinimal(m *routing.Minimal, topo *topology.Topology) {
 // The allocation window covers everything after the warmup cycle —
 // injection included, since a zero-alloc steady state that excluded
 // traffic generation would be meaningless.
-func runSimScenario(sc simScenario, useRef bool, shards int) (network.Stats, time.Duration, memprof.Delta) {
+func runSimScenario(sc simScenario, useRef bool, shards int) (network.Stats, time.Duration, time.Duration, memprof.Delta) {
+	b0 := time.Now()
 	s, tick := sc.build(shards)
+	buildDur := time.Since(b0)
 	step := s.Step
 	if useRef {
 		step = refmodel.New(s).Step
@@ -183,7 +210,7 @@ func runSimScenario(sc simScenario, useRef bool, shards int) (network.Stats, tim
 		step()
 		total += time.Since(t0)
 	}
-	return s.Stats, total, memprof.Take().Since(base)
+	return s.Stats, total, buildDur, memprof.Take().Since(base)
 }
 
 // BenchShardCounts are the event-core shard counts BENCH_sim.json is
@@ -198,10 +225,10 @@ var BenchShardCounts = []int{1, 2, 4}
 func SimBench() ([]SimBenchResult, error) {
 	var out []SimBenchResult
 	for _, sc := range simBenchScenarios() {
-		refStats, refDur, _ := runSimScenario(sc, true, 1)
+		refStats, refDur, refBuild, _ := runSimScenario(sc, true, 1)
 		measured := float64(sc.cycles - sc.warmup)
 		for _, shards := range BenchShardCounts {
-			evStats, evDur, evAlloc := runSimScenario(sc, false, shards)
+			evStats, evDur, evBuild, evAlloc := runSimScenario(sc, false, shards)
 			if evStats != refStats {
 				return nil, fmt.Errorf("bench %s (shards=%d): cores diverged\nevent:    %+v\nrefmodel: %+v",
 					sc.name, shards, evStats, refStats)
@@ -213,6 +240,8 @@ func SimBench() ([]SimBenchResult, error) {
 				Warmup:              sc.warmup,
 				EventNsPerCycle:     float64(evDur.Nanoseconds()) / float64(sc.cycles),
 				RefNsPerCycle:       float64(refDur.Nanoseconds()) / float64(sc.cycles),
+				EventBuildNs:        evBuild.Nanoseconds(),
+				RefBuildNs:          refBuild.Nanoseconds(),
 				Speedup:             safeRatio(float64(refDur.Nanoseconds()), float64(evDur.Nanoseconds())),
 				EventAllocsPerCycle: float64(evAlloc.Allocs) / measured,
 				EventBytesPerCycle:  float64(evAlloc.Bytes) / measured,
@@ -264,11 +293,11 @@ func WriteSimBenchJSON(w io.Writer, rs []SimBenchResult) error {
 
 // PrintSimBench renders the comparison as a table.
 func PrintSimBench(w io.Writer, rs []SimBenchResult) {
-	fmt.Fprintf(w, "%-30s %7s %8s %14s %14s %8s %12s %12s %10s\n",
-		"scenario", "shards", "cycles", "event ns/cyc", "ref ns/cyc", "speedup", "allocs/cyc", "bytes/cyc", "delivered")
+	fmt.Fprintf(w, "%-30s %7s %8s %14s %14s %8s %11s %12s %12s %10s\n",
+		"scenario", "shards", "cycles", "event ns/cyc", "ref ns/cyc", "speedup", "build us", "allocs/cyc", "bytes/cyc", "delivered")
 	for _, r := range rs {
-		fmt.Fprintf(w, "%-30s %7d %8d %14.0f %14.0f %7.2fx %12.3f %12.1f %10d\n",
+		fmt.Fprintf(w, "%-30s %7d %8d %14.0f %14.0f %7.2fx %11.0f %12.3f %12.1f %10d\n",
 			r.Scenario, r.Shards, r.Cycles, r.EventNsPerCycle, r.RefNsPerCycle, r.Speedup,
-			r.EventAllocsPerCycle, r.EventBytesPerCycle, r.Delivered)
+			float64(r.EventBuildNs)/1e3, r.EventAllocsPerCycle, r.EventBytesPerCycle, r.Delivered)
 	}
 }

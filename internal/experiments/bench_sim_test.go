@@ -11,7 +11,7 @@ func benchSimScenario(b *testing.B, name string, ref bool) {
 		}
 		var cycles int64
 		for i := 0; i < b.N; i++ {
-			stats, _, _ := runSimScenario(sc, ref, 1)
+			stats, _, _, _ := runSimScenario(sc, ref, 1)
 			if stats.Delivered == 0 {
 				b.Fatalf("%s delivered nothing", name)
 			}
@@ -41,6 +41,12 @@ func BenchmarkSimEventRecoveryBurst(b *testing.B) {
 func BenchmarkSimRefRecoveryBurst(b *testing.B) {
 	benchSimScenario(b, "recovery_burst_8x8_irregular", true)
 }
+func BenchmarkSimEventRouteHeavyAdaptive(b *testing.B) {
+	benchSimScenario(b, "route_heavy_adaptive_16x16", false)
+}
+func BenchmarkSimRefRouteHeavyAdaptive(b *testing.B) {
+	benchSimScenario(b, "route_heavy_adaptive_16x16", true)
+}
 
 // TestSimBenchCoresAgree runs every benchmark scenario under the
 // refmodel and the event core at every BenchShardCounts entry, and
@@ -57,9 +63,9 @@ func TestSimBenchCoresAgree(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if want := 4 * len(BenchShardCounts); len(rs) != want {
-		t.Fatalf("expected %d rows (4 scenarios x %d shard counts), got %d",
-			want, len(BenchShardCounts), len(rs))
+	if want := len(simBenchScenarios()) * len(BenchShardCounts); len(rs) != want {
+		t.Fatalf("expected %d rows (%d scenarios x %d shard counts), got %d",
+			want, len(simBenchScenarios()), len(BenchShardCounts), len(rs))
 	}
 	for _, r := range rs {
 		if r.Delivered == 0 {

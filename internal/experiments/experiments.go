@@ -153,7 +153,10 @@ type Instance struct {
 }
 
 // Build constructs a scheme instance over topo. The topology must not be
-// mutated afterwards.
+// mutated afterwards: routing tables come from the process-wide compiled
+// cache (routing.MinimalFor/UpDownFor), so every (seed, rate, shard
+// count) point over one topology content — including Clone()s, which
+// fingerprint identically — shares a single compile.
 func (p Params) Build(topo *topology.Topology, sch Scheme, seed int64) *Instance {
 	p = p.withDefaults()
 	s := network.New(topo, network.Config{Shards: p.Shards}, rand.New(rand.NewSource(seed)))
@@ -163,7 +166,7 @@ func (p Params) Build(topo *topology.Topology, sch Scheme, seed int64) *Instance
 		// Baseline 1 uses Ariadne's topology-agnostic root election; the
 		// escape scheme's tree (below) is the optimized Router
 		// Parking-style one.
-		inst.UpDown = routing.NewUpDownRooted(topo, routing.RootLowestID)
+		inst.UpDown = routing.UpDownFor(topo, routing.RootLowestID)
 		if p.TreeBaselineAllLinks {
 			// Stronger variant: adaptive shortest legal up*/down* paths
 			// over all surviving links.
@@ -174,11 +177,11 @@ func (p Params) Build(topo *topology.Topology, sch Scheme, seed int64) *Instance
 			inst.Alg = inst.UpDown.TreeAlgorithm()
 		}
 	case EscapeVC:
-		inst.UpDown = routing.NewUpDown(topo)
-		inst.Alg = routing.NewMinimal(topo)
+		inst.UpDown = routing.UpDownFor(topo, routing.RootMedian)
+		inst.Alg = routing.MinimalFor(topo)
 		escape.Attach(s, inst.UpDown, escape.Options{Timeout: p.EscapeTimeout})
 	case StaticBubble:
-		inst.Alg = routing.NewMinimal(topo)
+		inst.Alg = routing.MinimalFor(topo)
 		inst.SB = core.Attach(s, core.Options{TDD: p.TDD, Spin: p.SpinMode})
 	}
 	return inst

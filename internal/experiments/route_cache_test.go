@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+// TestSweepSharesCompiledTables is the ISSUE's cross-sweep acceptance
+// property: building every scheme over 100 seeds of one topology — each
+// on its own Clone(), as the figure sweeps do — must compile exactly one
+// routing table per (topology content, algorithm) pair and serve the
+// rest from the cache.
+func TestSweepSharesCompiledTables(t *testing.T) {
+	routing.ResetTableCache()
+	defer routing.ResetTableCache()
+
+	p := Quick()
+	base := p.SampleTopology(topology.LinkFaults, 16, 0)
+	const seeds = 100
+	for seed := 0; seed < seeds; seed++ {
+		for _, sch := range Schemes {
+			inst := p.Build(base.Clone(), sch, int64(seed))
+			if inst.Alg == nil {
+				t.Fatalf("scheme %v built no algorithm", sch)
+			}
+		}
+	}
+	s := routing.CacheStats()
+	// Distinct artifacts: "minimal" (EscapeVC + StaticBubble share it),
+	// "updown/lowest_id" (SpanningTree), "updown/median" (EscapeVC).
+	if s.Compiles != 3 {
+		t.Fatalf("%d seeds x %d schemes compiled %d tables, want 3 (%s)",
+			seeds, len(Schemes), s.Compiles, s)
+	}
+	// Requests: 1 per SpanningTree + 2 per EscapeVC + 1 per StaticBubble.
+	wantHits := int64(seeds*4 - 3)
+	if s.Hits != wantHits || s.Entries != 3 {
+		t.Fatalf("stats %+v, want %d hits / 3 entries", s, wantHits)
+	}
+}

@@ -65,7 +65,7 @@ const (
 // faults fix before cycle 0).
 func runScale16(shards int) (network.Stats, time.Duration) {
 	topo := topology.RandomIrregular(16, 16, topology.LinkFaults, 30, 5)
-	min := routing.NewMinimal(topo)
+	min := routing.MinimalFor(topo)
 	s := network.New(topo, network.Config{Shards: shards}, rand.New(rand.NewSource(1)))
 	core.Attach(s, core.Options{TDD: 34})
 	rng := rand.New(rand.NewSource(2))

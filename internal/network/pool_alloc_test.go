@@ -28,11 +28,10 @@ func steadyLoop(shards int, useRef bool) func() {
 	s := network.New(topo, network.Config{Shards: shards}, rand.New(rand.NewSource(41)))
 	core.Attach(s, core.Options{})
 	s.PrewarmPool(1024, 16, 32)
+	// Routing tables are fully compiled at construction, so nothing
+	// route-related can allocate inside the measured window.
 	min := routing.NewMinimal(topo)
 	alive := topo.AliveRouters()
-	for _, dst := range alive {
-		min.Distance(alive[0], dst) // force the lazy BFS tables
-	}
 	inj := traffic.NewInjector(alive, min,
 		traffic.NewUniformRandom(alive), 0.15, rand.New(rand.NewSource(42)))
 	step := s.Step

@@ -72,12 +72,14 @@ func (m *Manager) Route(src, dst geom.NodeID) (routing.Route, bool) {
 	if len(m.pendingGate) == 0 || !m.routeTouches(r, src, m.pendingGate) {
 		return r, ok
 	}
-	// Recompute on a view that excludes pending-gate routers.
+	// Recompute on a view that excludes pending-gate routers. One-shot:
+	// a single reverse BFS for this dst instead of compiling all-pairs
+	// tables for a throwaway view (identical rng draws and route).
 	view := m.topo.Clone()
 	for n := range m.pendingGate {
 		view.DisableRouter(n)
 	}
-	return routing.NewMinimal(view).Route(src, dst, m.sim.Rng)
+	return routing.AppendRouteOneShot(view, nil, src, dst, m.sim.Rng)
 }
 
 // routeTouches reports whether route r from src visits any node in set

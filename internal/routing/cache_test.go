@@ -1,0 +1,114 @@
+package routing
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/topology"
+)
+
+// TestCacheSharesAcrossClones: fingerprint-equal topologies (clones,
+// identically resampled irregulars) must share one compiled instance per
+// algorithm, and distinct algorithms or contents must not collide.
+func TestCacheSharesAcrossClones(t *testing.T) {
+	ResetTableCache()
+	defer ResetTableCache()
+
+	topo := topology.RandomIrregular(8, 8, topology.LinkFaults, 12, 4)
+	m1 := MinimalFor(topo)
+	m2 := MinimalFor(topo.Clone())
+	m3 := MinimalFor(topology.RandomIrregular(8, 8, topology.LinkFaults, 12, 4))
+	if m1 != m2 || m1 != m3 {
+		t.Fatal("fingerprint-equal topologies did not share one compiled Minimal")
+	}
+	if s := CacheStats(); s.Compiles != 1 || s.Hits != 2 {
+		t.Fatalf("after 3 MinimalFor: %+v, want 1 compile / 2 hits", s)
+	}
+
+	// Different algorithm and different root policy are distinct entries.
+	u1 := UpDownFor(topo, RootMedian)
+	u2 := UpDownFor(topo.Clone(), RootLowestID)
+	if u1 == u2 {
+		t.Fatal("different root policies shared an entry")
+	}
+	// Mutated content must recompile.
+	mut := topo.Clone()
+	mut.DisableLink(mut.AliveRouters()[0], pickAliveDir(mut))
+	if MinimalFor(mut) == m1 {
+		t.Fatal("mutated topology hit the original entry")
+	}
+	s := CacheStats()
+	if s.Compiles != 4 || s.Entries != 4 {
+		t.Fatalf("final stats %+v, want 4 compiles / 4 entries", s)
+	}
+	if s.Bytes <= 0 {
+		t.Fatalf("cache reports %d bytes held", s.Bytes)
+	}
+	if str := s.String(); !strings.Contains(str, "4 compiles") || !strings.Contains(str, "entries") {
+		t.Fatalf("unexpected stats rendering %q", str)
+	}
+}
+
+// pickAliveDir returns a direction with a usable link from the first
+// alive router (the sampled topology always keeps one).
+func pickAliveDir(t *topology.Topology) geom.Direction {
+	n := t.AliveRouters()[0]
+	for _, dir := range geom.LinkDirs {
+		if t.HasLink(n, dir) {
+			return dir
+		}
+	}
+	panic("no usable link at first alive router")
+}
+
+// TestCacheSingleflight: many goroutines requesting the same key while
+// no entry exists must trigger exactly one compile and all receive the
+// same instance.
+func TestCacheSingleflight(t *testing.T) {
+	ResetTableCache()
+	defer ResetTableCache()
+
+	topo := topology.RandomIrregular(8, 8, topology.LinkFaults, 10, 9)
+	const workers = 16
+	got := make([]*Minimal, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got[i] = MinimalFor(topo.Clone())
+		}(w)
+	}
+	wg.Wait()
+	for i := 1; i < workers; i++ {
+		if got[i] != got[0] {
+			t.Fatal("singleflight returned distinct instances")
+		}
+	}
+	s := CacheStats()
+	if s.Compiles != 1 || s.Hits != workers-1 || s.Entries != 1 {
+		t.Fatalf("stats %+v, want 1 compile / %d hits / 1 entry", s, workers-1)
+	}
+}
+
+// TestResetTableCache: reset zeroes counters and forgets entries, so the
+// next request recompiles (prior references stay usable).
+func TestResetTableCache(t *testing.T) {
+	ResetTableCache()
+	topo := topology.NewMesh(4, 4)
+	m1 := MinimalFor(topo)
+	ResetTableCache()
+	if s := CacheStats(); s != (TableCacheStats{}) {
+		t.Fatalf("stats after reset: %+v", s)
+	}
+	m2 := MinimalFor(topo)
+	if m1 == m2 {
+		t.Fatal("reset did not drop the entry")
+	}
+	if m1.Distance(0, 5) != m2.Distance(0, 5) {
+		t.Fatal("pre-reset instance no longer usable")
+	}
+	ResetTableCache()
+}

@@ -12,46 +12,61 @@ import (
 // next hops at every node. This is the unrestricted, deadlock-prone
 // routing that Static Bubble and the regular VCs of the escape-VC scheme
 // use (paper Section II-D).
+//
+// A Minimal is compiled at construction: all-pairs distances and
+// per-(node,dst) next-hop candidate masks over a flat snapshot of the
+// topology (see table.go). Instances are immutable afterwards and safe
+// for concurrent use from any number of goroutines.
 type Minimal struct {
-	topo *topology.Topology
-	// distTo[dst][n] is the directed-hop distance from n to dst.
-	distTo map[geom.NodeID][]int
+	g   *topology.FlatGraph
+	tab *minTables
 }
 
-// NewMinimal builds a minimal router over t. Distance tables are computed
-// lazily per destination and cached; the topology must not change after
-// construction.
+// NewMinimal compiles a minimal router over t's current state. Later
+// mutations of t are not seen; rebuild (reconfig does) or use MinimalFor
+// to share compiled tables across identical topologies.
 func NewMinimal(t *topology.Topology) *Minimal {
-	return &Minimal{topo: t, distTo: make(map[geom.NodeID][]int)}
+	g := t.Flatten()
+	return &Minimal{g: g, tab: compileMinimal(g)}
 }
 
 // Name implements Algorithm.
 func (m *Minimal) Name() string { return "minimal" }
 
-func (m *Minimal) dist(dst geom.NodeID) []int {
-	if d, ok := m.distTo[dst]; ok {
-		return d
-	}
-	d := m.topo.ReverseBFSDistances(dst)
-	m.distTo[dst] = d
-	return d
-}
+// tableBytes returns the compiled-table footprint for cache accounting.
+func (m *Minimal) tableBytes() int64 { return m.g.Bytes() + m.tab.bytes() }
 
 // Reachable reports whether dst can be reached from src.
 func (m *Minimal) Reachable(src, dst geom.NodeID) bool {
-	if !m.topo.RouterAlive(src) || !m.topo.RouterAlive(dst) {
-		return false
-	}
-	return m.dist(dst)[src] >= 0
+	return m.Distance(src, dst) >= 0
 }
 
 // Distance returns the shortest directed-hop distance from src to dst, or
 // -1 if unreachable.
 func (m *Minimal) Distance(src, dst geom.NodeID) int {
-	if !m.topo.RouterAlive(src) {
+	n := m.tab.n
+	if src < 0 || dst < 0 || int(src) >= n || int(dst) >= n {
 		return -1
 	}
-	return m.dist(dst)[src]
+	return int(m.tab.dist[int(dst)*n+int(src)])
+}
+
+// NextHopMask returns the compiled candidate mask for (src, dst): bit i
+// set means geom.LinkDirs[i] is a minimal next hop. Zero when src == dst,
+// either node is out of range, or dst is unreachable from src. The
+// adaptive controller scores exactly this candidate set per hop.
+func (m *Minimal) NextHopMask(src, dst geom.NodeID) uint8 {
+	n := m.tab.n
+	if src < 0 || dst < 0 || int(src) >= n || int(dst) >= n {
+		return 0
+	}
+	return m.tab.mask[int(dst)*n+int(src)]
+}
+
+// NeighborOf returns the node reached over the usable channel src→d at
+// compile time, or InvalidNode (flat-snapshot Neighbor/HasLink).
+func (m *Minimal) NeighborOf(src geom.NodeID, d geom.Direction) geom.NodeID {
+	return m.g.NeighborOf(src, d)
 }
 
 // Route implements Algorithm: it samples one shortest path uniformly at
@@ -62,40 +77,65 @@ func (m *Minimal) Route(src, dst geom.NodeID, rng *rand.Rand) (Route, bool) {
 }
 
 // AppendRoute implements RouteAppender: same sampling as Route, hops
-// appended onto buf.
+// appended onto buf. The whole walk is table loads: one candidate-mask
+// byte and one next-hop word per hop.
 func (m *Minimal) AppendRoute(buf Route, src, dst geom.NodeID, rng *rand.Rand) (Route, bool) {
 	if src == dst {
-		return buf, m.topo.RouterAlive(src)
+		return buf, int(src) < m.tab.n && src >= 0 && m.g.Alive[src]
 	}
-	dist := m.dist(dst)
-	if !m.topo.RouterAlive(src) || dist[src] < 0 {
+	n := m.tab.n
+	if src < 0 || dst < 0 || int(src) >= n || int(dst) >= n {
+		return buf, false
+	}
+	base := int(dst) * n
+	if !m.g.Alive[src] || m.tab.dist[base+int(src)] < 0 {
+		return buf, false
+	}
+	route := buf
+	cur := int(src)
+	for cur != int(dst) {
+		d := pickDir(m.tab.mask[base+cur], rng)
+		if d == geom.Invalid {
+			// Cannot happen on a consistent distance table.
+			return buf, false
+		}
+		route = append(route, d)
+		cur = int(m.g.Next[geom.NumLinkDirs*cur+int(d)])
+	}
+	return route, true
+}
+
+// AppendRouteOneShot computes a single minimal route over t without
+// compiling all-pairs tables: one reverse BFS for dst, then the same
+// candidate walk (identical rng draws and picks as a compiled Minimal).
+// For one-off queries on throwaway topology views — reconfig's
+// pending-gate detours — where a full compile would be wasted.
+func AppendRouteOneShot(t *topology.Topology, buf Route, src, dst geom.NodeID, rng *rand.Rand) (Route, bool) {
+	if src == dst {
+		return buf, t.RouterAlive(src)
+	}
+	dist := t.ReverseBFSDistances(dst)
+	if !t.RouterAlive(src) || dist[src] < 0 {
 		return buf, false
 	}
 	route := buf
 	cur := src
 	for cur != dst {
-		var choices [geom.NumLinkDirs]geom.Direction
-		n := 0
-		for _, d := range geom.LinkDirs {
-			if !m.topo.HasLink(cur, d) {
+		var m uint8
+		for i, d := range geom.LinkDirs {
+			if !t.HasLink(cur, d) {
 				continue
 			}
-			nb := m.topo.Neighbor(cur, d)
-			if dist[nb] == dist[cur]-1 {
-				choices[n] = d
-				n++
+			if dist[t.Neighbor(cur, d)] == dist[cur]-1 {
+				m |= 1 << uint(i)
 			}
 		}
-		if n == 0 {
-			// Cannot happen on a consistent distance table.
+		d := pickDir(m, rng)
+		if d == geom.Invalid {
 			return buf, false
 		}
-		pick := choices[0]
-		if rng != nil && n > 1 {
-			pick = choices[rng.Intn(n)]
-		}
-		route = append(route, pick)
-		cur = m.topo.Neighbor(cur, pick)
+		route = append(route, d)
+		cur = t.Neighbor(cur, d)
 	}
 	return route, true
 }

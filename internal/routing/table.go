@@ -1,0 +1,220 @@
+package routing
+
+import (
+	"math/bits"
+	"math/rand"
+
+	"repro/internal/geom"
+	"repro/internal/topology"
+)
+
+// This file is the topology compilation layer: it lowers a (topology,
+// algorithm) pair into flat arrays so the per-packet hot path never
+// walks the graph. For every destination the compiler stores
+//
+//   - a dense int16 distance row (replacing the lazy map[NodeID][]int
+//     caches the BFS implementations used to grow at route time), and
+//   - one packed next-hop candidate byte per (node, dst): bit i set
+//     means geom.LinkDirs[i] is a legal minimal next hop. AppendRoute
+//     then reduces to two array loads plus a popcount-indexed pick per
+//     hop, with rng draw semantics identical to the graph walk it
+//     replaced (one Intn(candidates) draw iff candidates > 1).
+//
+// Compiled tables are immutable after construction, which is what makes
+// one instance shareable across the sweep engine's workers and the
+// sharded core's parallel injection phase (see race_test.go); the lazy
+// maps they replace mutated under Route and were unsafe to share.
+
+// minTables is the compiled form of minimal routing: all-pairs
+// distances and per-(node,dst) candidate masks over a FlatGraph.
+type minTables struct {
+	n    int
+	dist []int16 // [dst*n + node]: directed-hop distance node→dst, -1 unreachable
+	mask []uint8 // [dst*n + node]: bit d set iff d is a minimal next hop
+}
+
+// bytes returns the heap footprint of the table arrays.
+func (t *minTables) bytes() int64 { return 2*int64(len(t.dist)) + int64(len(t.mask)) }
+
+// compileMinimal builds the minimal-routing tables for every
+// destination of g: one reverse BFS per destination (O(N) each over the
+// flat arrays), then a candidate-mask fill.
+func compileMinimal(g *topology.FlatGraph) *minTables {
+	n := g.N
+	t := &minTables{
+		n:    n,
+		dist: make([]int16, n*n),
+		mask: make([]uint8, n*n),
+	}
+	queue := make([]int32, 0, n)
+	for dst := 0; dst < n; dst++ {
+		base := dst * n
+		row := t.dist[base : base+n]
+		for i := range row {
+			row[i] = -1
+		}
+		if !g.Alive[dst] {
+			continue
+		}
+		row[dst] = 0
+		queue = append(queue[:0], int32(dst))
+		for head := 0; head < len(queue); head++ {
+			cur := int(queue[head])
+			// Predecessors of cur: nodes p with a usable channel p→cur.
+			for d := 0; d < geom.NumLinkDirs; d++ {
+				p := g.Adj[geom.NumLinkDirs*cur+d]
+				if p < 0 || g.Next[geom.NumLinkDirs*int(p)+int(geom.Direction(d).Opposite())] != int32(cur) {
+					continue
+				}
+				if row[p] < 0 {
+					row[p] = row[cur] + 1
+					queue = append(queue, p)
+				}
+			}
+		}
+		// Candidate masks: every usable outgoing channel that decreases
+		// the distance by exactly one.
+		for v := 0; v < n; v++ {
+			if row[v] <= 0 {
+				continue
+			}
+			var m uint8
+			for d := 0; d < geom.NumLinkDirs; d++ {
+				nb := g.Next[geom.NumLinkDirs*v+d]
+				if nb >= 0 && row[nb] == row[v]-1 {
+					m |= 1 << uint(d)
+				}
+			}
+			t.mask[base+v] = m
+		}
+	}
+	return t
+}
+
+const (
+	phaseUp   = 0 // may still take up channels
+	phaseDown = 1 // committed to down channels only
+)
+
+// udTables is the compiled form of up*/down* routing: distances on the
+// (node, phase) state graph and per-(node,dst) candidate masks with the
+// two phases packed into one byte (low nibble = phaseUp candidates,
+// high nibble = phaseDown candidates).
+type udTables struct {
+	n    int
+	dist []int16 // [(dst*n + node)*2 + phase]
+	mask []uint8 // [dst*n + node]
+}
+
+func (t *udTables) bytes() int64 { return 2*int64(len(t.dist)) + int64(len(t.mask)) }
+
+// compileUpDown builds the up*/down* tables. level is the BFS-tree
+// level array (-1 dead/unrouted) and upMask[v] has bit d set iff the
+// channel v→d is an "up" channel; both come from the spanning-tree
+// construction in updown.go.
+func compileUpDown(g *topology.FlatGraph, level []int, upMask []uint8) *udTables {
+	n := g.N
+	t := &udTables{
+		n:    n,
+		dist: make([]int16, 2*n*n),
+		mask: make([]uint8, n*n),
+	}
+	queue := make([]int32, 0, 2*n)
+	for dst := 0; dst < n; dst++ {
+		base := dst * n
+		row := t.dist[2*base : 2*(base+n)]
+		for i := range row {
+			row[i] = -1
+		}
+		if level[dst] < 0 {
+			continue
+		}
+		// BFS over (node, phase) states, walking legal transitions
+		// backward: an up channel keeps phaseUp and requires phaseUp
+		// before it; a down channel lands in phaseDown from either phase.
+		row[2*dst+phaseUp] = 0
+		row[2*dst+phaseDown] = 0
+		queue = append(queue[:0], int32(2*dst+phaseUp), int32(2*dst+phaseDown))
+		for head := 0; head < len(queue); head++ {
+			st := int(queue[head])
+			node, phase := st>>1, st&1
+			sd := row[st]
+			for d := 0; d < geom.NumLinkDirs; d++ {
+				v := g.Adj[geom.NumLinkDirs*node+d]
+				if v < 0 || g.Next[geom.NumLinkDirs*int(v)+int(geom.Direction(d).Opposite())] != int32(node) {
+					continue
+				}
+				if level[v] < 0 {
+					continue
+				}
+				chanUp := upMask[v]&(1<<uint(geom.Direction(d).Opposite())) != 0 // channel v→node
+				var lo, hi int
+				switch {
+				case chanUp && phase == phaseUp:
+					lo, hi = phaseUp, phaseUp
+				case !chanUp && phase == phaseDown:
+					lo, hi = phaseUp, phaseDown
+				default:
+					continue
+				}
+				for pv := lo; pv <= hi; pv++ {
+					idx := 2*int(v) + pv
+					if row[idx] < 0 {
+						row[idx] = sd + 1
+						queue = append(queue, int32(idx))
+					}
+				}
+			}
+		}
+		// Candidate masks per phase.
+		for v := 0; v < n; v++ {
+			if level[v] < 0 {
+				continue
+			}
+			var m uint8
+			curUp, curDown := row[2*v+phaseUp], row[2*v+phaseDown]
+			for d := 0; d < geom.NumLinkDirs; d++ {
+				nb := g.Next[geom.NumLinkDirs*v+d]
+				if nb < 0 {
+					continue
+				}
+				chanUp := upMask[v]&(1<<uint(d)) != 0
+				next := phaseDown
+				if chanUp {
+					next = phaseUp
+				}
+				nd := row[2*int(nb)+next]
+				if curUp > 0 && nd == curUp-1 {
+					m |= 1 << uint(d)
+				}
+				// phaseDown may only continue on down channels.
+				if !chanUp && curDown > 0 && nd == curDown-1 {
+					m |= 1 << (4 + uint(d))
+				}
+			}
+			t.mask[base+v] = m
+		}
+	}
+	return t
+}
+
+// pickDir returns the k-th set direction of candidate mask m (bit i is
+// geom.LinkDirs[i], so candidates enumerate in N,E,S,W order exactly as
+// the graph walk did), drawing k from rng iff more than one candidate
+// exists — the rng contract every seeded trajectory depends on.
+func pickDir(m uint8, rng *rand.Rand) geom.Direction {
+	cnt := bits.OnesCount8(uint8(m))
+	k := 0
+	if rng != nil && cnt > 1 {
+		k = rng.Intn(cnt)
+	}
+	for i := 0; i < geom.NumLinkDirs; i++ {
+		if m&(1<<uint(i)) != 0 {
+			if k == 0 {
+				return geom.Direction(i)
+			}
+			k--
+		}
+	}
+	return geom.Invalid
+}

@@ -17,14 +17,21 @@ import (
 //
 // Routes returned are the shortest *legal* paths, sampled uniformly among
 // legal minimal next hops when an rng is supplied.
+//
+// Like Minimal, an UpDown is fully compiled at construction (table.go):
+// state-graph distances and per-(node,dst) candidate masks replace the
+// lazy per-destination BFS the type used to run at route time, so
+// instances are immutable and safe for concurrent use.
 type UpDown struct {
 	topo   *topology.Topology
+	g      *topology.FlatGraph
 	level  []int         // BFS level within the component; -1 if dead
 	parent []geom.NodeID // BFS tree parent; InvalidNode at roots/dead
 	root   []geom.NodeID // component root per node; InvalidNode if dead
-	// distTo[dst] holds distances on the (node, downPhase) state graph:
-	// index 2*node+phase, phase 0 = may still go up, 1 = committed down.
-	distTo map[geom.NodeID][]int
+	// upMask[n] has bit d set iff the channel n→d is an "up" channel
+	// (usable, both levels known, toward the root ordering).
+	upMask []uint8
+	tab    *udTables
 }
 
 // RootPolicy selects how the spanning-tree root of each component is
@@ -43,6 +50,14 @@ const (
 	RootLowestID
 )
 
+// String names the policy for compiled-table cache keys.
+func (p RootPolicy) String() string {
+	if p == RootLowestID {
+		return "lowest_id"
+	}
+	return "median"
+}
+
 // NewUpDown constructs the spanning trees and classification for t with
 // the RootMedian policy. The topology must not change afterwards.
 func NewUpDown(t *topology.Topology) *UpDown {
@@ -50,15 +65,16 @@ func NewUpDown(t *topology.Topology) *UpDown {
 }
 
 // NewUpDownRooted constructs the spanning trees using the given root
-// policy.
+// policy and compiles the routing tables.
 func NewUpDownRooted(t *topology.Topology, policy RootPolicy) *UpDown {
 	n := t.NumNodes()
 	u := &UpDown{
 		topo:   t,
+		g:      t.Flatten(),
 		level:  make([]int, n),
 		parent: make([]geom.NodeID, n),
 		root:   make([]geom.NodeID, n),
-		distTo: make(map[geom.NodeID][]int),
+		upMask: make([]uint8, n),
 	}
 	for i := range u.level {
 		u.level[i] = -1
@@ -70,9 +86,23 @@ func NewUpDownRooted(t *topology.Topology, policy RootPolicy) *UpDown {
 		if policy == RootMedian {
 			root = chooseRoot(t, comp)
 		}
-		u.buildTree(root, comp)
+		u.buildTree(root)
 	}
+	for id := 0; id < n; id++ {
+		for i, d := range geom.LinkDirs {
+			if u.isUpLive(geom.NodeID(id), d) {
+				u.upMask[id] |= 1 << uint(i)
+			}
+		}
+	}
+	u.tab = compileUpDown(u.g, u.level, u.upMask)
 	return u
+}
+
+// tableBytes returns the compiled-table footprint for cache accounting.
+func (u *UpDown) tableBytes() int64 {
+	return u.g.Bytes() + u.tab.bytes() +
+		int64(len(u.upMask)) + int64(len(u.level))*8 + int64(len(u.parent))*8 + int64(len(u.root))*8
 }
 
 // chooseRoot picks the 1-median of the component (lowest id on ties).
@@ -98,13 +128,15 @@ func chooseRoot(t *topology.Topology, comp []geom.NodeID) geom.NodeID {
 	return best
 }
 
-func (u *UpDown) buildTree(root geom.NodeID, comp []geom.NodeID) {
+func (u *UpDown) buildTree(root geom.NodeID) {
 	u.level[root] = 0
 	u.root[root] = root
+	// Index cursor, not queue = queue[1:]: re-slicing would pin the
+	// whole backing array for the life of the UpDown (the NIRing/BFS
+	// retention bug class fixed across the repo).
 	queue := []geom.NodeID{root}
-	for len(queue) > 0 {
-		cur := queue[0]
-		queue = queue[1:]
+	for head := 0; head < len(queue); head++ {
+		cur := queue[head]
 		for _, d := range geom.LinkDirs {
 			if !u.topo.HasLink(cur, d) {
 				continue
@@ -118,10 +150,9 @@ func (u *UpDown) buildTree(root geom.NodeID, comp []geom.NodeID) {
 			}
 		}
 	}
-	// Defensive: members not reached (possible only with unidirectional
-	// faults inside an undirected component) stay level -1 and are treated
-	// as unroutable by this scheme.
-	_ = comp
+	// Members not reached (possible only with unidirectional faults
+	// inside an undirected component) stay level -1 and are treated as
+	// unroutable by this scheme.
 }
 
 // Name implements Algorithm.
@@ -136,10 +167,9 @@ func (u *UpDown) Parent(n geom.NodeID) geom.NodeID { return u.parent[n] }
 // Root returns the component root of n.
 func (u *UpDown) Root(n geom.NodeID) geom.NodeID { return u.root[n] }
 
-// IsUp reports whether the directed channel from n in direction d is an
-// "up" channel (toward the root ordering). Channels between different
-// components or involving dead nodes report false.
-func (u *UpDown) IsUp(n geom.NodeID, d geom.Direction) bool {
+// isUpLive computes the up-channel classification from the live
+// topology; used once at construction to fill upMask.
+func (u *UpDown) isUpLive(n geom.NodeID, d geom.Direction) bool {
 	if !u.topo.HasLink(n, d) {
 		return false
 	}
@@ -151,6 +181,17 @@ func (u *UpDown) IsUp(n geom.NodeID, d geom.Direction) bool {
 		return u.level[nb] < u.level[n]
 	}
 	return nb < n
+}
+
+// IsUp reports whether the directed channel from n in direction d is an
+// "up" channel (toward the root ordering). Channels between different
+// components or involving dead nodes report false.
+func (u *UpDown) IsUp(n geom.NodeID, d geom.Direction) bool {
+	if !d.IsLink() {
+		return false
+	}
+	// Link directions are 0..3, so the direction doubles as the bit index.
+	return u.upMask[n]&(1<<uint(d)) != 0
 }
 
 // TurnLegal reports whether a packet that entered node n via heading
@@ -169,77 +210,13 @@ func (u *UpDown) TurnLegal(n geom.NodeID, in, out geom.Direction) bool {
 	return !(cameDown && goesUp)
 }
 
-const (
-	phaseUp   = 0 // may still take up channels
-	phaseDown = 1 // committed to down channels only
-)
-
-// dist returns the per-state distance table toward dst (index
-// 2*node+phase), computing and caching it on first use.
-func (u *UpDown) dist(dst geom.NodeID) []int {
-	if d, ok := u.distTo[dst]; ok {
-		return d
-	}
-	n := u.topo.NumNodes()
-	dist := make([]int, 2*n)
-	for i := range dist {
-		dist[i] = -1
-	}
-	if u.level[dst] >= 0 {
-		type state struct {
-			node  geom.NodeID
-			phase int
-		}
-		dist[2*int(dst)+phaseUp] = 0
-		dist[2*int(dst)+phaseDown] = 0
-		queue := []state{{dst, phaseUp}, {dst, phaseDown}}
-		for len(queue) > 0 {
-			s := queue[0]
-			queue = queue[1:]
-			sd := dist[2*int(s.node)+s.phase]
-			// Predecessors (v, pv) with a legal transition (v,pv) → s.
-			for _, d := range geom.LinkDirs {
-				v := u.topo.Neighbor(s.node, d)
-				if v == geom.InvalidNode || !u.topo.HasLink(v, d.Opposite()) {
-					continue
-				}
-				if u.level[v] < 0 {
-					continue
-				}
-				chanUp := u.IsUp(v, d.Opposite()) // channel v→s.node
-				var preds []int
-				if chanUp {
-					// Up channels keep phaseUp and require phaseUp before.
-					if s.phase == phaseUp {
-						preds = []int{phaseUp}
-					}
-				} else {
-					// Down channels land in phaseDown from either phase.
-					if s.phase == phaseDown {
-						preds = []int{phaseUp, phaseDown}
-					}
-				}
-				for _, pv := range preds {
-					idx := 2*int(v) + pv
-					if dist[idx] < 0 {
-						dist[idx] = sd + 1
-						queue = append(queue, state{v, pv})
-					}
-				}
-			}
-		}
-	}
-	u.distTo[dst] = dist
-	return dist
-}
-
 // Distance returns the shortest legal up*/down* hop count from src to dst,
 // or -1 if unreachable under this scheme.
 func (u *UpDown) Distance(src, dst geom.NodeID) int {
 	if u.level[src] < 0 || u.level[dst] < 0 {
 		return -1
 	}
-	return u.dist(dst)[2*int(src)+phaseUp]
+	return int(u.tab.dist[2*(int(dst)*u.tab.n+int(src))+phaseUp])
 }
 
 // Route implements Algorithm: the shortest legal up*/down* route, sampled
@@ -249,50 +226,38 @@ func (u *UpDown) Route(src, dst geom.NodeID, rng *rand.Rand) (Route, bool) {
 }
 
 // AppendRoute implements RouteAppender: same sampling as Route, hops
-// appended onto buf.
+// appended onto buf. Per hop: one candidate-mask byte (nibble-selected
+// by the current phase), one next-hop word, one up-mask bit for the
+// phase transition.
 func (u *UpDown) AppendRoute(buf Route, src, dst geom.NodeID, rng *rand.Rand) (Route, bool) {
 	if src == dst {
 		return buf, u.level[src] >= 0
 	}
-	dist := u.dist(dst)
-	if u.level[src] < 0 || dist[2*int(src)+phaseUp] < 0 {
+	n := u.tab.n
+	base := int(dst) * n
+	if u.level[src] < 0 || u.tab.dist[2*(base+int(src))+phaseUp] < 0 {
 		return buf, false
 	}
 	route := buf
-	cur, phase := src, phaseUp
-	for cur != dst {
-		curD := dist[2*int(cur)+phase]
-		var dirs [geom.NumLinkDirs]geom.Direction
-		var phases [geom.NumLinkDirs]int
-		n := 0
-		for _, d := range geom.LinkDirs {
-			if !u.topo.HasLink(cur, d) {
-				continue
-			}
-			nb := u.topo.Neighbor(cur, d)
-			chanUp := u.IsUp(cur, d)
-			if chanUp && phase != phaseUp {
-				continue
-			}
-			nextPhase := phaseDown
-			if chanUp {
-				nextPhase = phaseUp
-			}
-			if dist[2*int(nb)+nextPhase] == curD-1 {
-				dirs[n], phases[n] = d, nextPhase
-				n++
-			}
+	cur, phase := int(src), phaseUp
+	for cur != int(dst) {
+		m := u.tab.mask[base+cur]
+		if phase == phaseUp {
+			m &= 0x0f
+		} else {
+			m >>= 4
 		}
-		if n == 0 {
+		d := pickDir(m, rng)
+		if d == geom.Invalid {
 			return buf, false
 		}
-		pick := 0
-		if rng != nil && n > 1 {
-			pick = rng.Intn(n)
+		route = append(route, d)
+		if u.upMask[cur]&(1<<uint(d)) != 0 {
+			phase = phaseUp
+		} else {
+			phase = phaseDown
 		}
-		route = append(route, dirs[pick])
-		cur = u.topo.Neighbor(cur, dirs[pick])
-		phase = phases[pick]
+		cur = int(u.g.Next[geom.NumLinkDirs*cur+int(d)])
 	}
 	return route, true
 }

@@ -68,10 +68,11 @@ func (t *Topology) BFSDistances(src geom.NodeID) []int {
 		return dist
 	}
 	dist[src] = 0
+	// Index cursor, not queue = queue[1:]: re-slicing would pin the whole
+	// backing array alive for the life of the (cached) result.
 	queue := []geom.NodeID{src}
-	for len(queue) > 0 {
-		cur := queue[0]
-		queue = queue[1:]
+	for head := 0; head < len(queue); head++ {
+		cur := queue[head]
 		for _, d := range geom.LinkDirs {
 			if !t.HasLink(cur, d) {
 				continue
@@ -98,9 +99,8 @@ func (t *Topology) ReverseBFSDistances(dst geom.NodeID) []int {
 	}
 	dist[dst] = 0
 	queue := []geom.NodeID{dst}
-	for len(queue) > 0 {
-		cur := queue[0]
-		queue = queue[1:]
+	for head := 0; head < len(queue); head++ {
+		cur := queue[head]
 		// Predecessors of cur: nodes nb with a usable channel nb→cur.
 		for _, d := range geom.LinkDirs {
 			nb := t.Neighbor(cur, d)
