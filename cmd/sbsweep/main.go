@@ -18,6 +18,7 @@
 //	sbsweep -fig all -scale quick
 //	sbsweep -fig 9 -resume -progress   # continue an interrupted sweep
 //	sbsweep -fig scale16               # 16x16 sharded-stepper timing sweep
+//	sbsweep -fig adversary -scale quick -adv-evals 24   # worst-case SLO search
 //	sbsweep -fig 9 -shards 4           # run each simulation sharded
 //	sbsweep -fig bench -check-zero-alloc           # fail on steady-state allocation
 //	sbsweep -fig 9 -route-cache-stats  # report compiled routing-table cache efficiency
@@ -40,7 +41,8 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "experiment: 2, 3, t1, 8, 9, 10, 11, 12, 13, scale, scale16, failures, ablation, bench, or all")
+	fig := flag.String("fig", "all", "experiment: 2, 3, t1, 8, 9, 10, 11, 12, 13, scale, scale16, failures, ablation, adversary, bench, or all")
+	advEvals := flag.Int("adv-evals", 0, "with -fig adversary: cap on unique scenario evaluations (0 = scale default)")
 	benchOut := flag.String("bench-out", "BENCH_sim.json", "output file for -fig bench results")
 	shards := flag.Int("shards", 1, "per-simulation shard count (1 = sequential core; results are identical for any value)")
 	scale := flag.String("scale", "full", "quick or full")
@@ -210,6 +212,24 @@ func main() {
 			fatal(err)
 		}
 		experiments.PrintScale16(os.Stdout, rows)
+	})
+	// Adversarial worst-case SLO search: hill climb with restarts over
+	// (faults × traffic × control-plane perturbation), each candidate
+	// evaluated as one sweep-engine job. Reproducible for a fixed -seed
+	// and budget; cached cells make a rerun or -resume instant.
+	run("adversary", func() {
+		cfg := experiments.AdversaryConfig(*scale == "quick", *seed, *advEvals)
+		res, err := experiments.Adversary(p, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		if asCSV {
+			if err := experiments.AdversaryCSV(os.Stdout, res); err != nil {
+				fatal(err)
+			}
+		} else {
+			experiments.PrintAdversary(os.Stdout, res)
+		}
 	})
 	run("ablation", emit(
 		func() { experiments.PrintAblation(os.Stdout, experiments.Ablation(p)) },

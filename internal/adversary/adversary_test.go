@@ -1,0 +1,164 @@
+package adversary
+
+import (
+	"testing"
+)
+
+// fakeEval scores a gene by the sum of its indices — a smooth landscape
+// whose unique maximum is the all-max corner — and records every batch.
+type fakeEval struct {
+	sp      Space
+	batches [][]Gene
+	calls   map[string]int
+}
+
+func newFakeEval(sp Space) *fakeEval {
+	return &fakeEval{sp: sp, calls: map[string]int{}}
+}
+
+func (f *fakeEval) eval(genes []Gene) []Outcome {
+	f.batches = append(f.batches, append([]Gene(nil), genes...))
+	outs := make([]Outcome, len(genes))
+	for i, g := range genes {
+		f.calls[g.Key()]++
+		sum := 0
+		for _, p := range g.fields() {
+			sum += *p
+		}
+		outs[i] = Outcome{DeadlockFreq: float64(sum)}
+	}
+	return outs
+}
+
+func smallSpace() Space {
+	return Space{
+		FaultKinds:  []string{"link"},
+		FaultCounts: []int{4, 8},
+		Topologies:  2,
+		Patterns:    []string{"uniform_random", "transpose"},
+		Traffics:    []string{"bernoulli", "pareto"},
+		Rates:       []float64{0.1, 0.2},
+		Loss:        []float64{0, 0.2},
+		Jitter:      []float64{0, 0.2},
+		Reorder:     []float64{0, 0.2},
+		Dup:         []float64{0, 0.2},
+	}
+}
+
+// TestSearchDeterministic: identical configs against a deterministic
+// evaluator yield identical results — tables, counters, everything.
+func TestSearchDeterministic(t *testing.T) {
+	cfg := Config{Space: smallSpace(), Restarts: 3, Generations: 6, Neighbors: 4, Seed: 11}
+	r1, err1 := Search(cfg, newFakeEval(cfg.Space).eval)
+	r2, err2 := Search(cfg, newFakeEval(cfg.Space).eval)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if r1.Evals != r2.Evals || r1.Proposed != r2.Proposed {
+		t.Fatalf("counters diverged: %+v vs %+v", r1, r2)
+	}
+	if len(r1.Table) != len(r2.Table) {
+		t.Fatalf("table sizes diverged: %d vs %d", len(r1.Table), len(r2.Table))
+	}
+	for i := range r1.Table {
+		if r1.Table[i] != r2.Table[i] {
+			t.Fatalf("table row %d diverged: %+v vs %+v", i, r1.Table[i], r2.Table[i])
+		}
+	}
+}
+
+// TestSearchClimbs: on the sum-of-indices landscape the search must do
+// clearly better than its random starting points — with this budget it
+// should find the global maximum of the small space.
+func TestSearchClimbs(t *testing.T) {
+	sp := smallSpace()
+	cfg := Config{Space: sp, Restarts: 4, Generations: 12, Neighbors: 5, Seed: 3}
+	res, err := Search(cfg, newFakeEval(sp).eval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Global max score: every index at its top value.
+	want := 0.0
+	for _, n := range sp.axes() {
+		want += float64(n - 1)
+	}
+	if got := res.Best.Outcome.DeadlockFreq; got < want-1 {
+		t.Fatalf("best sum %v, want >= %v (search failed to climb)", got, want-1)
+	}
+	if res.Evals == 0 || res.Proposed == 0 {
+		t.Fatal("search did no work")
+	}
+}
+
+// TestSearchMemoizes: a gene is never evaluated twice, however often the
+// mutation stream revisits it.
+func TestSearchMemoizes(t *testing.T) {
+	sp := smallSpace()
+	f := newFakeEval(sp)
+	if _, err := Search(Config{Space: sp, Restarts: 4, Generations: 10, Neighbors: 6, Seed: 5}, f.eval); err != nil {
+		t.Fatal(err)
+	}
+	for k, n := range f.calls {
+		if n != 1 {
+			t.Fatalf("gene %s evaluated %d times", k, n)
+		}
+	}
+}
+
+// TestSearchBudget: MaxEvals is a hard cap on unique evaluations.
+func TestSearchBudget(t *testing.T) {
+	sp := smallSpace()
+	f := newFakeEval(sp)
+	res, err := Search(Config{Space: sp, Restarts: 4, Generations: 20, Neighbors: 6, MaxEvals: 15, Seed: 5}, f.eval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evals > 15 {
+		t.Fatalf("evaluated %d genes, budget 15", res.Evals)
+	}
+	if len(f.calls) != res.Evals {
+		t.Fatalf("call count %d != reported evals %d", len(f.calls), res.Evals)
+	}
+}
+
+// TestSearchTableSortedAndBounded: the SLO table is score-descending and
+// at most TopK long.
+func TestSearchTableSortedAndBounded(t *testing.T) {
+	sp := smallSpace()
+	res, err := Search(Config{Space: sp, Restarts: 4, Generations: 10, Neighbors: 5, TopK: 5, Seed: 7}, newFakeEval(sp).eval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Table) > 5 {
+		t.Fatalf("table has %d rows, TopK 5", len(res.Table))
+	}
+	for i := 1; i < len(res.Table); i++ {
+		if res.Table[i].Outcome.Score() > res.Table[i-1].Outcome.Score() {
+			t.Fatalf("table not sorted at row %d", i)
+		}
+	}
+	if res.Best != res.Table[0] {
+		t.Fatal("Best is not the table head")
+	}
+}
+
+// TestWedgedDominates: a wedged outcome outranks any non-wedged one.
+func TestWedgedDominates(t *testing.T) {
+	wedged := Outcome{Wedged: true}
+	busy := Outcome{DeadlockFreq: 50, RecoveryP99: 4000, AvgLatency: 10000}
+	if wedged.Score() <= busy.Score() {
+		t.Fatalf("wedged score %v not above busy score %v", wedged.Score(), busy.Score())
+	}
+}
+
+// TestGeneKeyRoundTrip: Key/parseKey are inverse.
+func TestGeneKeyRoundTrip(t *testing.T) {
+	g := Gene{Kind: 1, Faults: 3, Topo: 2, Pattern: 1, Traffic: 2, Rate: 3, Loss: 1, Jitter: 2, Reorder: 1, Dup: 2}
+	back, err := parseKey(g.Key())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != g {
+		t.Fatalf("round trip %+v -> %q -> %+v", g, g.Key(), back)
+	}
+}

@@ -35,6 +35,11 @@ type Options struct {
 	// sends, returns and drops, fence changes, FSM transitions) for
 	// debugging and instrumentation.
 	Trace func(now int64, node geom.NodeID, event string)
+	// Perturb, when non-nil, intercepts every control-message
+	// transmission (see Perturber): internal/perturb implements per-link
+	// loss, delay jitter, reordering, and duplication knobs over it. Nil
+	// keeps the transport exact, with zero overhead beyond one nil check.
+	Perturb Perturber
 }
 
 func (o Options) withDefaults() Options {
@@ -210,7 +215,7 @@ func (c *Controller) send(src geom.NodeID, typ MsgType, vnet int, out geom.Direc
 	m.NextAt = s.Now + c.hopLatency
 	m.Seq = seq
 	m.OutPort = out
-	c.msgs = append(c.msgs, m)
+	c.transmit(m, src, out)
 }
 
 // forward relays m (already updated with its remaining turns) out of
@@ -225,7 +230,7 @@ func (c *Controller) forward(m *Message, at geom.NodeID, out geom.Direction) boo
 	m.At = s.Topo.Neighbor(at, out)
 	m.Heading = out
 	m.NextAt = s.Now + c.hopLatency
-	c.msgs = append(c.msgs, m)
+	c.transmit(m, at, out)
 	return true
 }
 

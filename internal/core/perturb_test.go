@@ -1,0 +1,87 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/network"
+	"repro/internal/topology"
+)
+
+// dupAll duplicates every transmission (no loss, no delay) — the
+// worst case for the deep-copy rule: every in-flight message has a twin
+// that must not share its Turns backing array.
+type dupAll struct{ dupDelay int64 }
+
+func (d dupAll) PerturbMsg(int64, geom.NodeID, geom.Direction, MsgType) Verdict {
+	return Verdict{Dup: true, DupDelay: d.dupDelay}
+}
+
+// TestDuplicationDeepCopies is the regression test for the freeMsg audit:
+// a duplicated control message must carry its own Turns buffer. If the
+// duplicate aliased the original's backing array, consuming turns on one
+// copy (or recycling it — freeMsg truncates Turns in place) would corrupt
+// the other. The test inspects the in-flight set directly after forcing a
+// duplicate of a message that carries turns.
+func TestDuplicationDeepCopies(t *testing.T) {
+	topo := topology.NewMesh(2, 2)
+	s := network.New(topo, network.Config{}, rand.New(rand.NewSource(1)))
+	c := Attach(s, Options{TDD: 20, Perturb: dupAll{dupDelay: 2}})
+	enqueueClockwiseRing(s, 12)
+
+	checked := 0
+	for cyc := 0; cyc < 4000; cyc++ {
+		s.Step()
+		// Scan the in-flight set for sibling copies: same identity, both
+		// holding turns. Any shared backing array is the bug.
+		for i, a := range c.msgs {
+			if cap(a.Turns) == 0 {
+				continue
+			}
+			ah := &a.Turns[:1][0]
+			for _, b := range c.msgs[i+1:] {
+				if cap(b.Turns) == 0 {
+					continue
+				}
+				if ah == &b.Turns[:1][0] {
+					t.Fatalf("cycle %d: messages %v and %v alias one Turns buffer", s.Now, a, b)
+				}
+			}
+			if a.Type != MsgProbe && len(a.Turns) > 0 {
+				checked++
+			}
+		}
+		if err := c.CheckMessagePool(); err != nil {
+			t.Fatalf("cycle %d: %v", s.Now, err)
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no turn-carrying disable/enable/check_probe was ever duplicated — scenario too weak")
+	}
+	if s.Stats.DeadlockRecoveries == 0 {
+		t.Fatal("expected recoveries under full duplication")
+	}
+}
+
+// TestDuplicatedRoundStillDrains runs the guaranteed ring deadlock to
+// completion with every message duplicated at zero extra delay (twins
+// processed in the same cycle at the same router — the tightest aliasing
+// and double-free window) and checks pool integrity plus full drain.
+func TestDuplicatedRoundStillDrains(t *testing.T) {
+	topo := topology.NewMesh(2, 2)
+	s := network.New(topo, network.Config{}, rand.New(rand.NewSource(1)))
+	c := Attach(s, Options{TDD: 20, Perturb: dupAll{dupDelay: 0}})
+	total := enqueueClockwiseRing(s, 12)
+	s.Run(40000)
+	if s.Stats.Delivered != int64(total) {
+		t.Fatalf("delivered %d of %d under full duplication (state %v)",
+			s.Stats.Delivered, total, c.FSMState(3))
+	}
+	if err := c.CheckMessagePool(); err != nil {
+		t.Fatal(err)
+	}
+	if c.InFlightMessages() != 0 {
+		t.Fatalf("%d control messages still in flight after drain", c.InFlightMessages())
+	}
+}

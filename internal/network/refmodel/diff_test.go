@@ -20,6 +20,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/geom"
 	"repro/internal/network"
+	"repro/internal/perturb"
 	"repro/internal/reconfig"
 	"repro/internal/routing"
 	"repro/internal/topology"
@@ -48,6 +49,17 @@ type unit struct {
 // always checked, on all of them); shardCounts selects the sharded
 // variants riding along with the event/refmodel pair.
 func runScenario(seed int64, cycles int, checkEqual bool, shardCounts []int) error {
+	return runScenarioKnobs(seed, cycles, checkEqual, shardCounts, perturb.Knobs{}, false)
+}
+
+// runScenarioKnobs is runScenario with a perturbed control plane: every
+// unit gets its own identically seeded Perturber applying knobs to all
+// SB controller messages, so perturbation decisions are part of the
+// shared trajectory and the cores must stay cycle-exact through lost,
+// delayed, reordered, and duplicated control messages. forceSpin pins
+// SPIN recovery mode on (instead of the seed-derived draw), for
+// perturbed SPIN-storm scenarios.
+func runScenarioKnobs(seed int64, cycles int, checkEqual bool, shardCounts []int, knobs perturb.Knobs, forceSpin bool) error {
 	hrng := rand.New(rand.NewSource(seed))
 	w := 4 + hrng.Intn(5)
 	h := 4 + hrng.Intn(5)
@@ -73,6 +85,17 @@ func runScenario(seed int64, cycles int, checkEqual bool, shardCounts []int) err
 	attachSB := hrng.Intn(5) != 0
 	opt := core.Options{TDD: int64(16 + hrng.Intn(32))}
 	opt.Spin = hrng.Intn(4) == 0
+	var perturbSeed int64
+	if !knobs.IsZero() {
+		// Perturbing the control plane requires one: force the controller
+		// on, and derive the per-unit perturber seed from the scenario so
+		// every core sees the same drop/delay/reorder/duplicate decisions.
+		attachSB = true
+		perturbSeed = hrng.Int63()
+	}
+	if forceSpin {
+		opt.Spin = true
+	}
 
 	units := []*unit{{name: "event"}, {name: "refmodel"}}
 	for _, n := range shardCounts {
@@ -95,7 +118,14 @@ func runScenario(seed int64, cycles int, checkEqual bool, shardCounts []int) err
 			u.sim.SetPooling(false)
 		}
 		if attachSB {
-			core.Attach(u.sim, opt)
+			uopt := opt
+			if !knobs.IsZero() {
+				// A fresh, identically seeded perturber per unit: the
+				// stream is stateful, so sharing one instance would let the
+				// first-stepped core consume the other units' draws.
+				uopt.Perturb = perturb.New(perturb.Config{Default: knobs, Seed: perturbSeed})
+			}
+			core.Attach(u.sim, uopt)
 		}
 		u.delivered = make(map[int64]int64)
 		d := u.delivered
@@ -307,6 +337,42 @@ func TestDifferentialEventVsRefModel(t *testing.T) {
 		t.Run(fmt.Sprintf("seed%02d", i), func(t *testing.T) {
 			t.Parallel()
 			if err := runScenario(int64(i)+1, 900+100*(i%6), true, diffShardCounts); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestDifferentialPerturbedControl extends the differential harness with
+// perturbed-control scenarios: SB (and SPIN) recovery storms whose
+// controller messages are randomly lost, delayed, reordered, and
+// duplicated. The perturber draws from its own seeded stream inside the
+// controller's fixed call order, so the decisions are part of the shared
+// trajectory and all three cores — event, refmodel, sharded (1/2/4/8) —
+// must remain cycle-exact through them. This pins down both the
+// determinism contract of internal/perturb and the pooled-message
+// discipline under duplication in every core.
+func TestDifferentialPerturbedControl(t *testing.T) {
+	cases := []struct {
+		name   string
+		seed   int64
+		cycles int
+		knobs  perturb.Knobs
+		spin   bool
+	}{
+		{"lossy_probes", 101, 900, perturb.Knobs{Loss: 0.25}, false},
+		{"jittered_delivery", 102, 900, perturb.Knobs{Jitter: 0.5}, false},
+		{"reordered_control", 103, 900, perturb.Knobs{Reorder: 0.4}, false},
+		{"duplicated_control", 104, 900, perturb.Knobs{Dup: 0.35}, false},
+		{"hostile_mix", 105, 1100, perturb.Knobs{Loss: 0.2, Jitter: 0.3, Reorder: 0.2, Dup: 0.2}, false},
+		{"spin_storm_lossy", 106, 1100, perturb.Knobs{Loss: 0.2, Jitter: 0.3}, true},
+		{"spin_storm_dup_reorder", 107, 1100, perturb.Knobs{Reorder: 0.3, Dup: 0.3}, true},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			if err := runScenarioKnobs(tc.seed, tc.cycles, true, diffShardCounts, tc.knobs, tc.spin); err != nil {
 				t.Fatal(err)
 			}
 		})

@@ -1,0 +1,196 @@
+package traffic
+
+import (
+	"math/rand"
+	"sort"
+
+	"repro/internal/geom"
+	"repro/internal/network"
+	"repro/internal/routing"
+)
+
+// FlowRecord is one packet of a recorded per-flow trace: inject a
+// Len-flit packet from Src to Dst on Vnet at cycle Cycle (relative to
+// the start of the replay).
+type FlowRecord struct {
+	Cycle int64
+	Src   geom.NodeID
+	Dst   geom.NodeID
+	Vnet  int
+	Len   int
+}
+
+// TraceInjector replays a per-flow trace into a simulator: each Tick
+// enqueues every record whose cycle has arrived, routing it with the
+// configured algorithm. Replay is seed-deterministic: record order is
+// canonical (stable-sorted by cycle, ties in input order) and the only
+// randomness is the routing algorithm's tie-breaking, drawn from the rng
+// passed at construction.
+type TraceInjector struct {
+	recs []FlowRecord
+	alg  routing.Algorithm
+	rng  *rand.Rand
+	// Loop, when positive, replays the trace again every Loop cycles
+	// (records re-fire at Cycle + k*Loop), turning a finite trace into a
+	// periodic workload. Zero replays once.
+	Loop int64
+
+	next     int
+	offset   int64
+	routeBuf routing.Route
+}
+
+// NewTraceInjector prepares a replay of recs. The slice is copied and
+// canonicalized; the caller keeps its buffer.
+func NewTraceInjector(recs []FlowRecord, alg routing.Algorithm, rng *rand.Rand) *TraceInjector {
+	cp := append([]FlowRecord(nil), recs...)
+	sort.SliceStable(cp, func(i, j int) bool { return cp[i].Cycle < cp[j].Cycle })
+	return &TraceInjector{recs: cp, alg: alg, rng: rng}
+}
+
+// Remaining returns the number of records not yet injected in the
+// current pass.
+func (ti *TraceInjector) Remaining() int { return len(ti.recs) - ti.next }
+
+// Done reports whether the whole trace has been injected (never true in
+// loop mode).
+func (ti *TraceInjector) Done() bool { return ti.Loop <= 0 && ti.next >= len(ti.recs) }
+
+// Tick injects every record due at or before the current cycle. Records
+// whose source is dead or whose destination is unreachable are dropped
+// at the source (counted by Stats.DroppedUnreachable), mirroring the
+// synthetic injector's policy.
+func (ti *TraceInjector) Tick(s *network.Sim) {
+	for {
+		if ti.next >= len(ti.recs) {
+			if ti.Loop <= 0 || len(ti.recs) == 0 {
+				return
+			}
+			ti.next = 0
+			ti.offset += ti.Loop
+		}
+		rec := &ti.recs[ti.next]
+		if rec.Cycle+ti.offset > s.Now {
+			return
+		}
+		ti.next++
+		ti.inject(s, rec)
+	}
+}
+
+func (ti *TraceInjector) inject(s *network.Sim, rec *FlowRecord) {
+	if rec.Src == rec.Dst || !s.Topo.RouterAlive(rec.Src) {
+		s.Drop()
+		return
+	}
+	route, ok := routing.AppendRoute(ti.alg, ti.routeBuf[:0], rec.Src, rec.Dst, ti.rng)
+	if !ok {
+		s.Drop()
+		return
+	}
+	ln := rec.Len
+	if ln < 1 {
+		ln = 1
+	}
+	s.Enqueue(s.NewPacket(rec.Src, rec.Dst, rec.Vnet, ln, route))
+	if s.PoolingEnabled() {
+		ti.routeBuf = route[:0]
+	} else {
+		ti.routeBuf = nil
+	}
+}
+
+// Run drives the simulator until the trace is exhausted plus drain
+// cycles, or maxCycles, whichever comes first.
+func (ti *TraceInjector) Run(s *network.Sim, maxCycles int) {
+	for i := 0; i < maxCycles; i++ {
+		ti.Tick(s)
+		s.Step()
+		if ti.Done() && s.InFlight() == 0 && s.QueuedPackets() == 0 {
+			return
+		}
+	}
+}
+
+// SynthesizeTrace generates a per-flow trace from a spatial pattern and
+// a Bernoulli arrival process — a stand-in for recorded application
+// traces that keeps the replay path exercised end-to-end without
+// external trace files. Deterministic for a fixed seed.
+func SynthesizeTrace(sources []geom.NodeID, p Pattern, rateFlits float64, cycles int, seed int64) []FlowRecord {
+	rng := rand.New(rand.NewSource(seed))
+	meanLen := 0.5*1 + 0.5*5
+	pPkt := rateFlits / meanLen
+	var recs []FlowRecord
+	for c := 0; c < cycles; c++ {
+		for _, src := range sources {
+			if rng.Float64() >= pPkt {
+				continue
+			}
+			dst := p.Dest(src, rng)
+			if dst == src {
+				continue
+			}
+			vnet, ln := 0, 1
+			if rng.Float64() >= 0.5 {
+				vnet, ln = 2, 5
+			}
+			recs = append(recs, FlowRecord{Cycle: int64(c), Src: src, Dst: dst, Vnet: vnet, Len: ln})
+		}
+	}
+	return recs
+}
+
+// TenantClass describes one tenant's traffic in a multi-tenant mix: its
+// own spatial pattern, offered load, packet mix, and vnet assignment
+// (tenants typically map to distinct message classes).
+type TenantClass struct {
+	Name         string
+	Pattern      Pattern
+	RateFlits    float64
+	CtrlFraction float64 // default 0.5
+	DataLen      int     // default 5
+	CtrlVnet     int
+	DataVnet     int
+}
+
+// TenantMix drives several tenant classes over one simulator: each Tick
+// offers every tenant's traffic independently. Per-tenant injectors draw
+// from decorrelated sub-streams of the mix seed, so adding or reordering
+// tenants never perturbs another tenant's arrival sequence.
+type TenantMix struct {
+	classes []TenantClass
+	injs    []*Injector
+}
+
+// NewTenantMix builds the mix over the given source nodes.
+func NewTenantMix(sources []geom.NodeID, alg routing.Algorithm, classes []TenantClass, seed int64) *TenantMix {
+	m := &TenantMix{classes: append([]TenantClass(nil), classes...)}
+	for i, tc := range m.classes {
+		// Golden-ratio stride (as int64) decorrelates per-tenant streams.
+		const stride = -0x61c8864680b583eb // 0x9e3779b97f4a7c15
+		sub := seed + int64(i+1)*stride
+		inj := NewInjector(sources, alg, tc.Pattern, tc.RateFlits, rand.New(rand.NewSource(sub)))
+		if tc.CtrlFraction > 0 {
+			inj.CtrlFraction = tc.CtrlFraction
+		}
+		if tc.DataLen > 0 {
+			inj.DataLen = tc.DataLen
+		}
+		inj.CtrlVnet = tc.CtrlVnet
+		if tc.DataVnet > 0 {
+			inj.DataVnet = tc.DataVnet
+		}
+		m.injs = append(m.injs, inj)
+	}
+	return m
+}
+
+// Classes returns the configured tenant classes.
+func (m *TenantMix) Classes() []TenantClass { return m.classes }
+
+// Tick offers one cycle of every tenant's traffic.
+func (m *TenantMix) Tick(s *network.Sim) {
+	for _, inj := range m.injs {
+		inj.Tick(s)
+	}
+}

@@ -142,32 +142,40 @@ func (in *Injector) meanLen() float64 {
 func (in *Injector) Tick(s *network.Sim) {
 	pPkt := in.RateFlits / in.meanLen()
 	for _, src := range in.sources {
-		if in.rng.Float64() >= pPkt {
-			continue
-		}
-		dst := in.pattern.Dest(src, in.rng)
-		if dst == src {
-			continue
-		}
-		// Routes are built in a reusable scratch buffer: NewPacket copies
-		// them into the sim's arena under pooling, so injection allocates
-		// nothing in steady state. Without pooling NewPacket keeps the
-		// slice, so ownership transfers and the scratch must be dropped.
-		route, ok := routing.AppendRoute(in.router, in.routeBuf[:0], src, dst, in.rng)
-		if !ok {
-			s.Drop()
-			continue
-		}
-		vnet, ln := in.CtrlVnet, 1
-		if in.rng.Float64() >= in.CtrlFraction {
-			vnet, ln = in.DataVnet, in.DataLen
-		}
-		s.Enqueue(s.NewPacket(src, dst, vnet, ln, route))
-		if s.PoolingEnabled() {
-			in.routeBuf = route[:0]
-		} else {
-			in.routeBuf = nil
-		}
+		in.offer(s, src, pPkt)
+	}
+}
+
+// offer makes one node's injection decision for this cycle: with
+// probability pPkt it picks a destination from the pattern, routes, and
+// enqueues a packet of the configured control/data mix. The bursty
+// arrival processes (ParetoOnOff) reuse this with per-node gating.
+func (in *Injector) offer(s *network.Sim, src geom.NodeID, pPkt float64) {
+	if in.rng.Float64() >= pPkt {
+		return
+	}
+	dst := in.pattern.Dest(src, in.rng)
+	if dst == src {
+		return
+	}
+	// Routes are built in a reusable scratch buffer: NewPacket copies
+	// them into the sim's arena under pooling, so injection allocates
+	// nothing in steady state. Without pooling NewPacket keeps the
+	// slice, so ownership transfers and the scratch must be dropped.
+	route, ok := routing.AppendRoute(in.router, in.routeBuf[:0], src, dst, in.rng)
+	if !ok {
+		s.Drop()
+		return
+	}
+	vnet, ln := in.CtrlVnet, 1
+	if in.rng.Float64() >= in.CtrlFraction {
+		vnet, ln = in.DataVnet, in.DataLen
+	}
+	s.Enqueue(s.NewPacket(src, dst, vnet, ln, route))
+	if s.PoolingEnabled() {
+		in.routeBuf = route[:0]
+	} else {
+		in.routeBuf = nil
 	}
 }
 
