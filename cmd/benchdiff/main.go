@@ -4,11 +4,23 @@
 // the main branch's most recent bench artifact, so a PR cannot silently
 // regress steady-state simulation throughput.
 //
-// Per scenario it compares the minimum event ns/cycle across shard
-// counts (the minimum damps scheduler and machine noise far better than
-// any single row). Scenarios present on only one side are reported but
-// never fail the gate — adding or retiring a scenario is not a
-// regression.
+// Two gates run:
+//
+//   - Cross-file: per scenario, the minimum event ns/cycle across shard
+//     counts (the minimum damps scheduler and machine noise far better
+//     than any single row) must not rise by more than -threshold. The
+//     per-(scenario, shards) rows are reported alongside so a regression
+//     confined to one shard count is visible even when the min hides it.
+//
+//   - Intra-file scaling: within the NEW file alone, the sharded stepper
+//     must not scale backwards — shards=4 must stay within a per-scenario
+//     limit of shards=1 (see scalingGates). Rows benched without enough
+//     OS parallelism (GoMaxProcs below the shard count) are skipped, not
+//     failed: on a 1-CPU runner a sharded row can only measure overhead,
+//     and gating it would reject every PR the runner ever sees.
+//
+// Scenarios present on only one side are reported but never fail the
+// gate — adding or retiring a scenario is not a regression.
 //
 // Usage:
 //
@@ -43,6 +55,55 @@ func main() {
 		fatal(err)
 	}
 
+	failed := diffScenarios(oldRows, newRows, *threshold, *gateAll)
+	if checkScaling(newRows) {
+		failed = true
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// gatedScenarios are the scenarios whose throughput the cross-file gate
+// protects: the steady-state regimes whose timing is reproducible enough
+// for a threshold comparison. That includes the sharded 32x32 saturation
+// scenario — the workload the sharded stepper exists for. The
+// past-saturation 8x8 and recovery-storm scenarios are reported but
+// ungated (their queues grow unboundedly, so their timings swing with
+// allocator behavior).
+var gatedScenarios = map[string]bool{
+	"idle_mesh_16x16":            true,
+	"saturation_steady_8x8":      true,
+	"saturation_steady_32x32":    true,
+	"route_heavy_adaptive_16x16": true,
+}
+
+// scalingGates bound, within a single bench file, how shards=4 may
+// compare against shards=1 (ns4 <= limit * ns1). The idle mesh is pure
+// synchronization overhead — quiet batching should make sharding close
+// to free. The 32x32 saturation mesh is the parallel payoff case: with
+// real cores underneath, 4 shards must come out meaningfully ahead, and
+// a limit below 1 means "backwards scaling fails the gate" rather than
+// merely "regression versus last week". Both checks are skipped when
+// the row was measured with GoMaxProcs < 4.
+var scalingGates = []struct {
+	scenario string
+	limit    float64
+}{
+	{"idle_mesh_16x16", 1.10},
+	{"saturation_steady_32x32", 0.80},
+}
+
+type key struct {
+	scenario string
+	shards   int
+}
+
+// diffScenarios prints the per-(scenario, shards) comparison plus the
+// min-across-shards verdict per scenario, and reports whether any gated
+// scenario regressed past the threshold.
+func diffScenarios(oldRows, newRows []experiments.SimBenchResult, threshold float64, gateAll bool) bool {
+	oldBy, newBy := byKey(oldRows), byKey(newRows)
 	oldNs, newNs := minByScenario(oldRows), minByScenario(newRows)
 	names := make([]string, 0, len(newNs))
 	for name := range newNs {
@@ -50,47 +111,94 @@ func main() {
 	}
 	sort.Strings(names)
 
-	fmt.Printf("%-30s %14s %14s %8s %6s\n", "scenario", "old ns/cyc", "new ns/cyc", "delta", "gated")
+	fmt.Printf("%-30s %7s %14s %14s %8s %6s\n", "scenario", "shards", "old ns/cyc", "new ns/cyc", "delta", "gated")
 	failed := false
 	for _, name := range names {
+		// Per-shard detail rows: informational, so a slowdown confined to
+		// one shard count is visible even when the min-based gate passes.
+		shardCounts := make([]int, 0, 4)
+		for k := range newBy {
+			if k.scenario == name {
+				shardCounts = append(shardCounts, k.shards)
+			}
+		}
+		sort.Ints(shardCounts)
+		for _, sh := range shardCounts {
+			nr := newBy[key{name, sh}]
+			if or, ok := oldBy[key{name, sh}]; ok {
+				d := nr.EventNsPerCycle/or.EventNsPerCycle - 1
+				fmt.Printf("%-30s %7d %14.0f %14.0f %+7.1f%% %6s\n", name, sh, or.EventNsPerCycle, nr.EventNsPerCycle, d*100, "")
+			} else {
+				fmt.Printf("%-30s %7d %14s %14.0f %8s %6s\n", name, sh, "-", nr.EventNsPerCycle, "new", "")
+			}
+		}
+		// Scenario verdict row: min across shard counts.
 		old, ok := oldNs[name]
 		if !ok {
-			fmt.Printf("%-30s %14s %14.0f %8s %6s\n", name, "-", newNs[name], "new", "-")
+			fmt.Printf("%-30s %7s %14s %14.0f %8s %6s\n", name, "min", "-", newNs[name], "new", "-")
 			continue
 		}
 		delta := newNs[name]/old - 1
-		gated := *gateAll || gatedScenarios[name]
+		gated := gateAll || gatedScenarios[name]
 		mark := "no"
 		if gated {
 			mark = "yes"
 		}
 		verdict := ""
-		if gated && delta > *threshold {
+		if gated && delta > threshold {
 			verdict = "  REGRESSION"
 			failed = true
 		}
-		fmt.Printf("%-30s %14.0f %14.0f %+7.1f%% %6s%s\n", name, old, newNs[name], delta*100, mark, verdict)
+		fmt.Printf("%-30s %7s %14.0f %14.0f %+7.1f%% %6s%s\n", name, "min", old, newNs[name], delta*100, mark, verdict)
 	}
 	for name := range oldNs {
 		if _, ok := newNs[name]; !ok {
-			fmt.Printf("%-30s %14.0f %14s %8s %6s\n", name, oldNs[name], "-", "gone", "-")
+			fmt.Printf("%-30s %7s %14.0f %14s %8s %6s\n", name, "min", oldNs[name], "-", "gone", "-")
 		}
 	}
 	if failed {
-		fmt.Fprintf(os.Stderr, "benchdiff: event core slower by more than %.0f%% in a gated scenario\n", *threshold*100)
-		os.Exit(1)
+		fmt.Fprintf(os.Stderr, "benchdiff: event core slower by more than %.0f%% in a gated scenario\n", threshold*100)
 	}
+	return failed
 }
 
-// gatedScenarios are the scenarios whose throughput the gate protects:
-// the steady-state regimes whose timing is reproducible enough for a
-// threshold comparison. The past-saturation and recovery-storm scenarios
-// are reported but ungated (their queues grow unboundedly, so their
-// timings swing with allocator behavior).
-var gatedScenarios = map[string]bool{
-	"idle_mesh_16x16":            true,
-	"saturation_steady_8x8":      true,
-	"route_heavy_adaptive_16x16": true,
+// checkScaling applies scalingGates to the new file and reports whether
+// any scenario scaled backwards past its limit.
+func checkScaling(newRows []experiments.SimBenchResult) bool {
+	newBy := byKey(newRows)
+	failed := false
+	for _, g := range scalingGates {
+		r1, ok1 := newBy[key{g.scenario, 1}]
+		r4, ok4 := newBy[key{g.scenario, 4}]
+		if !ok1 || !ok4 {
+			fmt.Printf("scaling %-30s skipped: missing shards=1 or shards=4 row\n", g.scenario)
+			continue
+		}
+		if r4.GoMaxProcs < 4 {
+			fmt.Printf("scaling %-30s skipped: benched at GOMAXPROCS=%d (<4), sharded rows measure only overhead\n",
+				g.scenario, r4.GoMaxProcs)
+			continue
+		}
+		ratio := r4.EventNsPerCycle / r1.EventNsPerCycle
+		verdict := "ok"
+		if ratio > g.limit {
+			verdict = "BACKWARDS SCALING"
+			failed = true
+		}
+		fmt.Printf("scaling %-30s shards4/shards1 = %.2f (limit %.2f)  %s\n", g.scenario, ratio, g.limit, verdict)
+	}
+	if failed {
+		fmt.Fprintln(os.Stderr, "benchdiff: sharded stepper scales backwards in a gated scenario")
+	}
+	return failed
+}
+
+func byKey(rows []experiments.SimBenchResult) map[key]experiments.SimBenchResult {
+	m := make(map[key]experiments.SimBenchResult, len(rows))
+	for _, r := range rows {
+		m[key{r.Scenario, r.Shards}] = r
+	}
+	return m
 }
 
 // minByScenario reduces rows to each scenario's fastest event time

@@ -41,7 +41,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "experiment: 2, 3, t1, 8, 9, 10, 11, 12, 13, scale, scale16, failures, ablation, adversary, bench, or all")
+	fig := flag.String("fig", "all", "experiment: 2, 3, t1, 8, 9, 10, 11, 12, 13, scale, scale16, scalegrid, failures, ablation, adversary, bench, or all")
 	advEvals := flag.Int("adv-evals", 0, "with -fig adversary: cap on unique scenario evaluations (0 = scale default)")
 	benchOut := flag.String("bench-out", "BENCH_sim.json", "output file for -fig bench results")
 	shards := flag.Int("shards", 1, "per-simulation shard count (1 = sequential core; results are identical for any value)")
@@ -212,6 +212,19 @@ func main() {
 			fatal(err)
 		}
 		experiments.PrintScale16(os.Stdout, rows)
+	})
+	// Mesh-size scaling grid: the scale16 recovery-storm recipe at
+	// 16x16, 32x32 and 64x64 with bisection-scaled injection, each size
+	// run at shard counts 1/2/4/8 with byte-identical Stats verified.
+	// The numbers behind EXPERIMENTS.md's sharded-stepper scaling
+	// section; each row records GOMAXPROCS so single-CPU measurements
+	// are self-describing.
+	run("scalegrid", func() {
+		rows, err := experiments.ScaleGrid()
+		if err != nil {
+			fatal(err)
+		}
+		experiments.PrintScaleGrid(os.Stdout, rows)
 	})
 	// Adversarial worst-case SLO search: hill climb with restarts over
 	// (faults × traffic × control-plane perturbation), each candidate

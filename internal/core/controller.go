@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"repro/internal/geom"
@@ -64,9 +65,12 @@ type Controller struct {
 	// 1+1 configuration). t_DR = hopLatency × path length.
 	hopLatency int64
 	fsms       map[geom.NodeID]*fsm
-	// order is the deterministic FSM iteration order.
-	order []geom.NodeID
-	msgs  []*Message
+	// order is the deterministic FSM iteration order; fsmList holds the
+	// FSMs in that order so the per-cycle tick and the quiescence horizon
+	// iterate a dense slice instead of doing a map lookup per FSM.
+	order   []geom.NodeID
+	fsmList []*fsm
+	msgs    []*Message
 	// recoveryDurations records, per completed recovery round, the cycles
 	// from the disable's return (bubble on) to the enable's return
 	// (fences cleared) and the latched path length in hops.
@@ -105,6 +109,67 @@ func (c *Controller) freeMsg(m *Message) {
 	c.msgPool = append(c.msgPool, m)
 }
 
+// consumeTurn removes m's head turn in place. The obvious
+// `m.Turns = m.Turns[1:]` advances the slice base past the backing
+// array's start, so when freeMsg later recycles the message with
+// `m.Turns[:0]` the pooled capacity has shrunk by every turn ever
+// consumed — recycled messages erode until probe forks reallocate.
+// Copying down keeps the base pointer (and the full pooled capacity)
+// intact; the copy is at most MaxTurns tiny elements per consumed hop.
+func consumeTurn(m *Message) {
+	m.Turns = m.Turns[:copy(m.Turns, m.Turns[1:])]
+}
+
+// PrewarmMessages pre-populates the message pool with n messages whose
+// Turns slices already hold MaxTurns capacity (the per-message maximum)
+// and reserves every controller-side growable — the in-flight list, the
+// per-cycle due/request scratch, and the recovery-record log — to the
+// same bound. Probe storms then draw every fork from the pool instead
+// of growing it (and its backing arrays) toward the storm's high-water
+// inside a measured window. Like Sim.PrewarmPool this draws no
+// randomness and moves no state, so the simulated trajectory is
+// unchanged; benchmark scenarios with a zero-allocation contract call
+// it at build time.
+func (c *Controller) PrewarmMessages(n int) {
+	ms := make([]*Message, n)
+	for i := range ms {
+		m := c.newMsg()
+		if cap(m.Turns) < c.opt.MaxTurns {
+			m.Turns = make([]geom.Turn, 0, c.opt.MaxTurns)
+		}
+		ms[i] = m
+	}
+	for _, m := range ms {
+		c.freeMsg(m)
+	}
+	if cap(c.msgs) < n {
+		c.msgs = append(make([]*Message, 0, n), c.msgs...)
+	}
+	if cap(c.dueBuf) < n {
+		c.dueBuf = append(make([]*Message, 0, n), c.dueBuf...)
+	}
+	if cap(c.reqBuf) < n {
+		c.reqBuf = append(make([]outReq, 0, n), c.reqBuf...)
+	}
+	if cap(c.recoveryDurations) < n {
+		c.recoveryDurations = append(make([]RecoveryRecord, 0, n), c.recoveryDurations...)
+	}
+	if cap(c.spinChain) < n {
+		c.spinChain = append(make([]spinLink, 0, n), c.spinChain...)
+	}
+	if cap(c.spinPkts) < n {
+		c.spinPkts = append(make([]*network.Packet, 0, n), c.spinPkts...)
+	}
+	// Each FSM's Turn Buffer is filled by copying a returned probe's
+	// turns (probeReturned); give it MaxTurns capacity up front so that
+	// copy never grows it mid-run.
+	for _, f := range c.fsmList {
+		if cap(f.turnBuf) < c.opt.MaxTurns {
+			f.turnBuf = append(make([]geom.Turn, 0, c.opt.MaxTurns), f.turnBuf...)
+		}
+	}
+}
+
 // RecoveryRecord describes one completed recovery round.
 type RecoveryRecord struct {
 	Node     geom.NodeID
@@ -138,9 +203,71 @@ func Attach(s *network.Sim, opt Options) *Controller {
 		c.order = append(c.order, n)
 	}
 	sort.Slice(c.order, func(i, j int) bool { return c.order[i] < c.order[j] })
+	for _, n := range c.order {
+		c.fsmList = append(c.fsmList, c.fsms[n])
+	}
 	s.PreCycle = append(s.PreCycle, func(sim *network.Sim) { c.transport() })
 	s.PostCycle = append(s.PostCycle, func(sim *network.Sim) { c.tickAll() })
+	// Both hooks are quiescent between the horizons computed below, so
+	// the simulator may fast-forward through cycles in which neither the
+	// transport nor any FSM can act (quiet-epoch batching; see
+	// Sim.RegisterQuiescence and the horizon method).
+	s.RegisterQuiescence(2, func(sim *network.Sim) int64 { return c.horizon() })
 	return c
+}
+
+// horizon returns the earliest future cycle at which the controller may
+// act or observe cycle-varying state, assuming no packet moves before
+// it (the simulator guarantees that assumption via its own wake
+// horizon). Returning the current cycle vetoes fast-forward.
+//
+// Per source of activity:
+//   - an in-flight control message is delivered exactly at its NextAt;
+//   - StateOff parked behind a foreign fence waits for an enable (a
+//     message, covered above), and with no non-local occupancy it has
+//     nothing to watch: both skip. With occupancy it may enter
+//     detection on the very next tick, so it vetoes;
+//   - StateSBActive re-evaluates progress predicates (grant counters,
+//     bubble occupancy, dependence existence) that can fire on any
+//     tick, so it vetoes — a recovery in progress never fast-forwards;
+//   - the remaining states (DD, Disable, CheckProbe, Enable) are pure
+//     countdowns: between now and the deadline the tick either does
+//     nothing or only re-checks packet state that cannot change while
+//     the network is frozen. (StateDD's watched packet can only leave
+//     via a grant — a wake — or RemovePacket, which voids the quiet
+//     window explicitly.)
+func (c *Controller) horizon() int64 {
+	s := c.sim
+	now := s.Now
+	h := int64(math.MaxInt64)
+	for _, m := range c.msgs {
+		if m.NextAt < h {
+			h = m.NextAt
+		}
+	}
+	for _, f := range c.fsmList {
+		switch f.state {
+		case StateOff:
+			r := &s.Routers[f.node]
+			if r.Fence.Active && r.Fence.SrcID != f.node {
+				continue
+			}
+			if r.OccupiedNonLocal() == 0 {
+				continue
+			}
+			return now
+		case StateSBActive:
+			return now
+		default:
+			if f.deadline <= now {
+				return now
+			}
+			if f.deadline < h {
+				h = f.deadline
+			}
+		}
+	}
+	return h
 }
 
 // FSMState reports the recovery state of the FSM at node n (StateOff for
@@ -446,7 +573,7 @@ func (c *Controller) processOne(id geom.NodeID, r *network.Router, f *fsm, m *Me
 			// its own detection until the enable arrives (Section IV-B).
 			f.state = StateOff
 		}
-		m.Turns = m.Turns[1:]
+		consumeTurn(m)
 		return append(reqs, outReq{out, m})
 
 	case MsgEnable:
@@ -485,7 +612,7 @@ func (c *Controller) processOne(id geom.NodeID, r *network.Router, f *fsm, m *Me
 		}
 		// A mismatched enable is forwarded untouched, not dropped
 		// (Section IV-B).
-		m.Turns = m.Turns[1:]
+		consumeTurn(m)
 		return append(reqs, outReq{out, m})
 
 	case MsgCheckProbe:
@@ -507,7 +634,7 @@ func (c *Controller) processOne(id geom.NodeID, r *network.Router, f *fsm, m *Me
 		if out != r.Fence.Out {
 			return reqs
 		}
-		m.Turns = m.Turns[1:]
+		consumeTurn(m)
 		return append(reqs, outReq{out, m})
 	}
 	return reqs
@@ -798,8 +925,8 @@ func (c *Controller) sendEnable(f *fsm) {
 // --- FSM counter ticks ------------------------------------------------------
 
 func (c *Controller) tickAll() {
-	for _, n := range c.order {
-		c.tickFSM(c.fsms[n])
+	for _, f := range c.fsmList {
+		c.tickFSM(f)
 	}
 }
 

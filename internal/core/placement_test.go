@@ -24,6 +24,22 @@ func TestPlacementCount16x16Is89(t *testing.T) {
 	}
 }
 
+// The larger meshes the scaling experiments run at (sbsweep -fig
+// scalegrid, the 32x32 bench scenario): beyond the paper's table, so
+// the expected counts come from the closed form — pinned here so a
+// placement change shows up as a placement diff, not as a mysterious
+// Stats divergence in the 32x32/64x64 differential and scaling tiers.
+func TestPlacementCountScalingMeshes(t *testing.T) {
+	for _, tc := range []struct{ n, want int }{{32, 369}, {64, 1505}} {
+		if got := PlacementCount(tc.n, tc.n); got != tc.want {
+			t.Fatalf("%dx%d bubble count = %d, want %d", tc.n, tc.n, got, tc.want)
+		}
+		if got := len(Placement(tc.n, tc.n)); got != tc.want {
+			t.Fatalf("Placement(%d,%d) has %d nodes, want %d", tc.n, tc.n, got, tc.want)
+		}
+	}
+}
+
 func TestNoBubblesOnFirstRowOrColumn(t *testing.T) {
 	for i := 0; i < 32; i++ {
 		if HasStaticBubble(geom.Coord{X: 0, Y: i}) {

@@ -1,0 +1,165 @@
+package experiments
+
+// ScaleGrid extends scale16 along the mesh-size axis: the same fixed
+// recovery-storm recipe at 16×16, 32×32 and 64×64, each run once per
+// shard count with byte-identical Stats demanded across all counts.
+// It exists to put honest numbers under the sharded stepper's scaling
+// story (EXPERIMENTS.md): injection rates are bisection-scaled so every
+// size sits in the same past-saturation regime, and each row records
+// GOMAXPROCS so a single-CPU measurement (where sharded rows can only
+// show overhead) is distinguishable from a real parallel one.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/network"
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+// ScaleGridResult is one (mesh size, shard count) timing row.
+type ScaleGridResult struct {
+	Width      int     `json:"width"`
+	Height     int     `json:"height"`
+	Shards     int     `json:"shards"`
+	Cycles     int     `json:"cycles"`
+	NsPerCycle float64 `json:"ns_per_cycle"`
+	// Speedup is the same size's Shards=1 step time over this row's.
+	Speedup float64 `json:"speedup_vs_1"`
+	// Delivered and Recoveries are identical across a size's shard
+	// counts — verified before any row is emitted.
+	Delivered  int64 `json:"delivered"`
+	Recoveries int64 `json:"deadlock_recoveries"`
+	// SBRouters is the static-bubble placement size for this mesh.
+	SBRouters int `json:"sb_routers"`
+	// GoMaxProcs records the host parallelism the wall-clock numbers
+	// were taken under: with GOMAXPROCS=1 the sharded rows can only
+	// show scheduling overhead, never parallel speedup.
+	GoMaxProcs int `json:"gomaxprocs"`
+}
+
+// scaleGridPoint fixes one mesh size's trajectory. Rates scale with the
+// bisection (uniform-random saturation falls roughly linearly in mesh
+// edge length), keeping every size past its own saturation point so
+// deadlock recovery stays active without the queues exploding; cycle
+// counts shrink with size so the grid finishes in minutes.
+type scaleGridPoint struct {
+	w, h      int
+	faults    int
+	cycles    int
+	injectEnd int
+	rate      float64
+}
+
+var scaleGridPoints = []scaleGridPoint{
+	{16, 16, 30, 8000, 4000, 0.06},
+	{32, 32, 60, 3000, 1500, 0.03},
+	{64, 64, 120, 1200, 600, 0.02},
+}
+
+// ScaleGridShardCounts are the shard counts each size sweeps.
+var ScaleGridShardCounts = []int{1, 2, 4, 8}
+
+// runScaleGrid executes one size's fixed trajectory at one shard count.
+// Only Step calls are timed; injection draws are identical across shard
+// counts by construction (the rng never observes simulator state beyond
+// RouterAlive, which faults fix before cycle 0).
+func runScaleGrid(pt scaleGridPoint, shards int) (network.Stats, time.Duration) {
+	topo := topology.RandomIrregular(pt.w, pt.h, topology.LinkFaults, pt.faults, 5)
+	min := routing.MinimalFor(topo)
+	s := network.New(topo, network.Config{Shards: shards}, rand.New(rand.NewSource(1)))
+	core.Attach(s, core.Options{TDD: 34})
+	rng := rand.New(rand.NewSource(2))
+	nodes := pt.w * pt.h
+	var total time.Duration
+	for cyc := 0; cyc < pt.cycles; cyc++ {
+		if cyc < pt.injectEnd {
+			for n := 0; n < nodes; n++ {
+				if !topo.RouterAlive(geom.NodeID(n)) || rng.Float64() >= pt.rate {
+					continue
+				}
+				dst := geom.NodeID(rng.Intn(nodes))
+				r, ok := min.Route(geom.NodeID(n), dst, rng)
+				if !ok {
+					s.Drop()
+					continue
+				}
+				ln := 1
+				if rng.Intn(2) == 0 {
+					ln = 5
+				}
+				s.Enqueue(s.NewPacket(geom.NodeID(n), dst, rng.Intn(3), ln, r))
+			}
+		}
+		t0 := time.Now()
+		s.Step()
+		total += time.Since(t0)
+	}
+	return s.Stats, total
+}
+
+// ScaleGrid runs every size at every shard count, verifies each size's
+// shard counts land on byte-identical Stats, and returns the timing
+// rows (Speedup relative to the same size's Shards=1 run).
+func ScaleGrid() ([]ScaleGridResult, error) {
+	var out []ScaleGridResult
+	for _, pt := range scaleGridPoints {
+		sbRouters := len(core.Placement(pt.w, pt.h))
+		var base network.Stats
+		var baseNs float64
+		for i, shards := range ScaleGridShardCounts {
+			stats, dur := runScaleGrid(pt, shards)
+			ns := float64(dur.Nanoseconds()) / float64(pt.cycles)
+			if i == 0 {
+				base, baseNs = stats, ns
+			} else if stats != base {
+				return nil, fmt.Errorf("scalegrid %dx%d: shards=%d diverged from shards=%d\nshards=%d: %+v\nshards=%d: %+v",
+					pt.w, pt.h, shards, ScaleGridShardCounts[0], shards, stats, ScaleGridShardCounts[0], base)
+			}
+			out = append(out, ScaleGridResult{
+				Width:      pt.w,
+				Height:     pt.h,
+				Shards:     shards,
+				Cycles:     pt.cycles,
+				NsPerCycle: ns,
+				Speedup:    safeRatio(baseNs, ns),
+				Delivered:  stats.Delivered,
+				Recoveries: stats.DeadlockRecoveries,
+				SBRouters:  sbRouters,
+				GoMaxProcs: runtime.GOMAXPROCS(0),
+			})
+		}
+	}
+	return out, nil
+}
+
+// WriteScaleGridJSON writes results as indented JSON (a top-level array
+// of ScaleGridResult).
+func WriteScaleGridJSON(w io.Writer, rs []ScaleGridResult) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rs)
+}
+
+// PrintScaleGrid renders the sweep as a table, one block per mesh size.
+func PrintScaleGrid(w io.Writer, rs []ScaleGridResult) {
+	lastSize := 0
+	for _, r := range rs {
+		if r.Width != lastSize {
+			lastSize = r.Width
+			fmt.Fprintf(w, "%dx%d irregular recovery storm: %d SB routers, %d cycles, GOMAXPROCS=%d\n",
+				r.Width, r.Height, r.SBRouters, r.Cycles, r.GoMaxProcs)
+			fmt.Fprintf(w, "%7s %14s %12s %10s %11s\n",
+				"shards", "ns/cycle", "speedup", "delivered", "recoveries")
+		}
+		fmt.Fprintf(w, "%7d %14.0f %11.2fx %10d %11d\n",
+			r.Shards, r.NsPerCycle, r.Speedup, r.Delivered, r.Recoveries)
+	}
+}

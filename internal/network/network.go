@@ -132,6 +132,16 @@ type Sim struct {
 
 	nextPktID int64
 	inFlight  int64
+	// occ/occNL/grantN hold each router's buffer-occupancy counters and
+	// grant count in struct-of-arrays layout, indexed by router id: the
+	// allocator's early-out (occ), the SB controller's detection predicate
+	// (occNL) and its progress witness (grantN) scan these every cycle, and
+	// a contiguous int32/int64 array is far denser than striding through
+	// ~1KB Router structs. Routers expose them via Occupied /
+	// OccupiedNonLocal / Grants.
+	occ    []int32
+	occNL  []int32
+	grantN []int64
 	// pool recycles delivered/lost packets and their route spans (see
 	// pool.go for the ownership rules).
 	pool poolState
@@ -152,7 +162,88 @@ type Sim struct {
 	shardOf []int8
 	shards  []shardState
 	shardWG sync.WaitGroup
+
+	// quietUntil > Now means the simulator proved that no state can
+	// change before cycle quietUntil: Step just advances Now (the
+	// quiet-epoch fast-forward). Established by maybeQuiet at the end of
+	// an empty-due cycle, torn down by any wake/mutation earlier than it
+	// (see wakeNode, RemovePacket, DeliverOutOfBand).
+	quietUntil int64
+	// quiesced counts the attached PreCycle+PostCycle hooks covered by a
+	// RegisterQuiescence call; quiet epochs engage only when every hook
+	// is covered (an unregistered hook may act on any cycle, so skipping
+	// cycles would change behavior).
+	quiesced   int
+	horizonFns []func(*Sim) int64
+	// inlineThreshold selects the sharded stepper's inline sequential
+	// path: when the total number of pending wakes across all shards is
+	// at or below it, the cycle runs on the coordinator with no goroutine
+	// handoff. See SetShardInlineThreshold.
+	inlineThreshold int
+	// parCommit is latched per cycle by the sharded stepper: true when
+	// the commit phase may run fully parallel (GrantFilter and OnGrant
+	// nil); false falls back to the sequential plan-decode commit.
+	parCommit bool
+	ctr       StepperCounters
+	// xfillObs, when non-nil, observes cross-shard buffer fills at fold
+	// time (SetXFillObserver) — seam-invariant test instrumentation.
+	xfillObs func(src, dst geom.NodeID)
 }
+
+// StepperCounters reports how many cycles each execution path of the
+// stepper has taken, plus cross-shard traffic, for tests and tuning.
+// Counters are execution observability, not simulation state: they vary
+// with Shards and thresholds while Stats does not.
+type StepperCounters struct {
+	// QuietCycles is the number of cycles skipped by quiet-epoch
+	// fast-forward (Step returned without running any phase).
+	QuietCycles int64
+	// InlineCycles counts sharded cycles run inline on the coordinator
+	// (pending-wake count at or below the inline threshold).
+	InlineCycles int64
+	// ParallelCycles counts sharded cycles run with parallel gather and
+	// parallel commit; SeqCommitCycles counts sharded cycles whose commit
+	// fell back to the sequential plan-decode path (GrantFilter/OnGrant
+	// installed).
+	ParallelCycles  int64
+	SeqCommitCycles int64
+	// XFills counts grants that filled a VC in a router owned by another
+	// shard — seam crossings. The seam property test asserts these occur
+	// only at band-boundary routers.
+	XFills int64
+}
+
+// StepperCounters returns the stepper path counters accumulated so far.
+func (s *Sim) StepperCounters() StepperCounters { return s.ctr }
+
+// RegisterQuiescence declares that nHooks of the attached
+// PreCycle/PostCycle hooks belong to a scheme that is quiescent between
+// its announced horizons: horizon (if non-nil) returns the earliest
+// future cycle at which the scheme may act or observe state, given that
+// no packet moves before it (return the current cycle to veto
+// fast-forward). Quiet-epoch batching engages only when every attached
+// hook is covered by a registration; schemes that cannot bound their
+// next action simply do not register and cost nothing.
+func (s *Sim) RegisterQuiescence(nHooks int, horizon func(*Sim) int64) {
+	s.quiesced += nHooks
+	if horizon != nil {
+		s.horizonFns = append(s.horizonFns, horizon)
+	}
+}
+
+// SetShardInlineThreshold tunes the sharded stepper's inline fallback:
+// when the total pending-wake count across shards is at or below n, the
+// cycle runs sequentially on the coordinator, skipping the parallel
+// phase handoff (which costs more than the work itself on a near-idle
+// network). n < 0 forces the parallel path every cycle; a very large n
+// forces inline. The choice affects speed only — results are
+// byte-identical on every path.
+func (s *Sim) SetShardInlineThreshold(n int) { s.inlineThreshold = n }
+
+// defaultInlineThreshold: a cycle with ≤32 active routers is cheaper to
+// run inline than to fan out (two barrier crossings cost ~a few µs;
+// 32 router visits cost well under that).
+const defaultInlineThreshold = 32
 
 // New builds a simulator over topo. The topology may be irregular; dead
 // routers carry no state.
@@ -169,10 +260,14 @@ func New(topo *topology.Topology, cfg Config, rng *rand.Rand) *Sim {
 		NIQueue: make([][]NIRing, n),
 		Rng:     rng,
 	}
+	s.occ = make([]int32, n)
+	s.occNL = make([]int32, n)
+	s.grantN = make([]int64, n)
 	slots := cfg.SlotsPerPort()
 	for id := 0; id < n; id++ {
 		r := &s.Routers[id]
 		r.ID = geom.NodeID(id)
+		r.sim = s
 		for p := 0; p < geom.NumPorts; p++ {
 			r.In[p] = make([]VC, slots)
 		}
@@ -181,6 +276,7 @@ func New(topo *topology.Topology, cfg Config, rng *rand.Rand) *Sim {
 	s.seqGather.init(cfg)
 	s.sched.init(n)
 	s.nshards = 1
+	s.inlineThreshold = defaultInlineThreshold
 	if k := effectiveShards(cfg.Shards, topo.Height()); k > 1 {
 		s.initShards(k)
 	}
@@ -250,6 +346,12 @@ func (s *Sim) Enqueue(p *Packet) {
 // happen only in sequential contexts (the commit pass, Enqueue,
 // hooks), so no scheduler is ever touched concurrently.
 func (s *Sim) wakeNode(id geom.NodeID, t int64) {
+	if t < s.quietUntil {
+		// A wake landing inside a proven-quiet window voids the proof
+		// (e.g. Enqueue during fast-forward): resume cycle-by-cycle
+		// stepping. On the hot path this is one always-false compare.
+		s.quietUntil = 0
+	}
 	if s.shardOf != nil {
 		s.shards[s.shardOf[id]].sched.wake(id, t)
 		return
@@ -278,6 +380,7 @@ func (s *Sim) WakeAll() {
 // the refmodel full-scan stepper, which visits every router every cycle
 // and needs no (and must not accumulate) scheduling state.
 func (s *Sim) DetachScheduler() {
+	s.quietUntil = 0
 	s.sched.detached = true
 	for k := range s.shards {
 		s.shards[k].sched.detached = true
@@ -298,12 +401,12 @@ func (s *Sim) RemovePacket(vc *VC, at geom.NodeID, port geom.Direction) {
 	if p == nil {
 		return
 	}
+	s.quietUntil = 0 // out-of-band mutation: void any quiet proof
 	vc.Pkt = nil
 	vc.FreeAt = s.Now
-	r := &s.Routers[at]
-	r.occupied--
+	s.occ[at]--
 	if port != geom.Local {
-		r.occNonLocal--
+		s.occNL[at]--
 	}
 	s.inFlight--
 	s.Stats.Lost++
@@ -347,10 +450,9 @@ func (s *Sim) PlaceBubblePacket(id geom.NodeID, in geom.Direction, p *Packet) {
 }
 
 func (s *Sim) placeAccount(id geom.NodeID, in geom.Direction, p *Packet) {
-	r := &s.Routers[id]
-	r.occupied++
+	s.occ[id]++
 	if in != geom.Local {
-		r.occNonLocal++
+		s.occNL[id]++
 	}
 	s.inFlight++
 	s.Stats.Offered++
@@ -373,12 +475,12 @@ func (s *Sim) DeliverOutOfBand(vc *VC, at geom.NodeID, port geom.Direction, deli
 	if deliverAt < s.Now {
 		deliverAt = s.Now
 	}
+	s.quietUntil = 0 // out-of-band mutation: void any quiet proof
 	vc.Pkt = nil
 	vc.FreeAt = s.Now + int64(p.Len)
-	r := &s.Routers[at]
-	r.occupied--
+	s.occ[at]--
 	if port != geom.Local {
-		r.occNonLocal--
+		s.occNL[at]--
 	}
 	s.inFlight--
 	p.DeliveredAt = deliverAt
@@ -398,7 +500,22 @@ func (s *Sim) DeliverOutOfBand(vc *VC, at geom.NodeID, port geom.Direction, deli
 // cores are cycle-exact (proved by the refmodel differential harness).
 // With Config.Shards > 1 the cycle runs on the sharded stepper
 // (shard.go), which is byte-identical by construction.
+//
+// Quiet epochs: when a cycle ends with an empty due set, every hook is
+// covered by a quiescence registration, and the earliest pending wake
+// and every registered horizon lie strictly in the future, Step
+// fast-forwards — subsequent calls only advance Now until the proven
+// horizon (or until a wake/mutation lands inside the window and voids
+// the proof). Skipped cycles are exactly the cycles in which neither
+// the phases nor the registered hooks would have changed any state, so
+// results stay byte-identical (the quiet-batching differential tests
+// prove this against the full-scan refmodel).
 func (s *Sim) Step() {
+	if s.Now < s.quietUntil {
+		s.Now++
+		s.ctr.QuietCycles++
+		return
+	}
 	if s.nshards > 1 {
 		s.stepSharded()
 		return
@@ -421,6 +538,47 @@ func (s *Sim) Step() {
 		f(s)
 	}
 	s.Now++
+	if len(due) == 0 {
+		s.maybeQuiet()
+	}
+}
+
+// maybeQuiet attempts to open a quiet epoch after an empty-due cycle:
+// compute the earliest cycle H at which anything can happen — the
+// minimum over every shard scheduler's earliest pending wake and every
+// registered hook horizon — and if H is still in the future, mark
+// [Now, H) quiet. Hooks are skipped during the window; that is sound
+// because each registered scheme promised (via its horizon) that with
+// no packet movement before H it neither acts nor observes
+// cycle-varying state before H. Packet movement before H is impossible
+// because every potential mover has a wake (sched.go's invariant) and
+// the earliest wake is ≥ H; mutations from outside the cycle loop
+// (Enqueue, RemovePacket, reconfiguration) void the window.
+func (s *Sim) maybeQuiet() {
+	if s.sched.detached || s.quiesced != len(s.PreCycle)+len(s.PostCycle) {
+		return
+	}
+	h := int64(wakeNever)
+	if s.nshards > 1 {
+		for k := range s.shards {
+			if w := s.shards[k].sched.earliestWake(); w < h {
+				h = w
+			}
+		}
+	} else {
+		h = s.sched.earliestWake()
+	}
+	for _, f := range s.horizonFns {
+		if h <= s.Now {
+			return
+		}
+		if v := f(s); v < h {
+			h = v
+		}
+	}
+	if h > s.Now {
+		s.quietUntil = h
+	}
 }
 
 // Run advances the simulation by n cycles.
@@ -508,7 +666,7 @@ func (s *Sim) injectNode(id geom.NodeID, d *injectDelta) {
 		d.injected++
 		d.flits += int64(p.Len)
 		d.inFlight++
-		r.occupied++
+		s.occ[id]++
 		if q.Len() > 0 {
 			pending = true // one injection per vnet per cycle
 		}

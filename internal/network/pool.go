@@ -30,8 +30,10 @@ import (
 //     route (reconfig's reroutes); it recycles the old span in place
 //     when the new route fits.
 //   - The sharded stepper is safe because packets are created by
-//     injection tick code and released by commitAllocate, both of which
-//     run on the sequential portion of the cycle.
+//     injection tick code and released either by commitAllocate or by
+//     the commit-sink fold, all of which run on the coordinator in the
+//     sequential portion of the cycle (parallel commit workers only
+//     *defer* releases into their sinks).
 //
 // The refmodel differential unit runs with SetPooling(false): it keeps
 // plain new(Packet) allocation, so a pooling bug in the event/sharded
@@ -117,6 +119,7 @@ func (s *Sim) PrewarmPool(packets, routeLen, niDepth int) {
 	// superseded entries — 2× the owned router count is comfortable.
 	perRouterPlan := geom.NumPorts*(s.Cfg.SlotsPerPort()+1) + 1
 	if s.nshards > 1 {
+		w := s.Topo.Width()
 		for k := range s.shards {
 			sh := &s.shards[k]
 			band := 0
@@ -128,6 +131,15 @@ func (s *Sim) PrewarmPool(packets, routeLen, niDepth int) {
 			sh.sched.reserve(2 * band)
 			sh.due = reserveInt32(sh.due, band)
 			sh.plan.reserve(band, perRouterPlan)
+			// Commit-sink bounds: at most one ejection per router per
+			// cycle; cross-shard fills cross a band seam, of which a
+			// shard touches at most two (2 rows × width links).
+			if cap(sh.sink.released) < band {
+				sh.sink.released = make([]*Packet, 0, band)
+			}
+			if cap(sh.sink.xf) < 2*w {
+				sh.sink.xf = make([]xfill, 0, 2*w)
+			}
 		}
 	} else {
 		s.sched.reserve(2 * n)

@@ -109,6 +109,21 @@ func runScenarioKnobs(seed int64, cycles int, checkEqual bool, shardCounts []int
 		topo := topology.RandomIrregular(w, h, kind, faults, topoSeed)
 		u.sim = network.New(topo, ucfg, rand.New(rand.NewSource(simSeed)))
 		u.step = u.sim.Step
+		if i >= 2 {
+			// Exercise every sharded execution path across the corpus:
+			// a third of the scenarios force the parallel phases (these
+			// meshes are small enough that the live-count heuristic
+			// would otherwise stay inline), a third force the inline
+			// sequential path, and the rest leave the heuristic free to
+			// mix paths cycle by cycle. Results must be identical on
+			// every path — that is exactly what this harness proves.
+			switch seed % 3 {
+			case 0:
+				u.sim.SetShardInlineThreshold(-1)
+			case 1:
+				u.sim.SetShardInlineThreshold(1 << 30)
+			}
+		}
 		if u.name == "refmodel" {
 			u.step = New(u.sim).Step
 			// The reference unit runs unpooled: a pooling bug in the

@@ -10,6 +10,14 @@ type NIRing struct {
 	buf  []*Packet
 	head int
 	n    int
+	// keep is the retain bound raised by Reserve: a drained ring keeps
+	// buffers up to max(ringRetainCap, keep). Prewarmed simulations
+	// (Sim.PrewarmPool) reserve rings to a scenario's high-water depth,
+	// and at saturation rings oscillate between full and empty — without
+	// the raised bound every drain would release the buffer and every
+	// refill would re-run the grow chain, which is exactly the
+	// allocation churn the prewarm exists to eliminate.
+	keep int
 }
 
 // Len returns the number of queued packets.
@@ -88,9 +96,10 @@ func (q *NIRing) Filter(keep func(*Packet) bool) {
 // the burst cannot retain memory after it clears.
 const ringRetainCap = 64
 
-// release resets a drained queue, keeping a small backing buffer.
+// release resets a drained queue, keeping a small backing buffer (or a
+// reserved one up to the Reserve bound).
 func (q *NIRing) release() {
-	if len(q.buf) > ringRetainCap {
+	if len(q.buf) > max(ringRetainCap, q.keep) {
 		q.buf = nil
 	}
 	q.head = 0
@@ -101,10 +110,13 @@ func (q *NIRing) Cap() int { return len(q.buf) }
 
 // Reserve grows the backing buffer so the ring holds at least n packets
 // without further allocation (Sim.PrewarmPool moves first-touch and
-// high-water ring growth out of measured windows). Buffers at or above
-// n — and drained rings above ringRetainCap, which release on purpose —
-// are left alone.
+// high-water ring growth out of measured windows), and raises the
+// drain-time retain bound to n so the reserved buffer survives
+// fill/drain oscillation. Buffers already at or above n are left alone.
 func (q *NIRing) Reserve(n int) {
+	if n > q.keep {
+		q.keep = n
+	}
 	if n <= len(q.buf) {
 		return
 	}

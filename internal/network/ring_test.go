@@ -167,6 +167,50 @@ func TestRingDrainRetainsSmallCapacity(t *testing.T) {
 	}
 }
 
+// TestRingReserveSurvivesDrain pins the prewarm contract: a ring
+// reserved above ringRetainCap keeps its buffer across a full drain
+// (saturation oscillates rings between full and empty, and releasing on
+// each drain would re-run the grow chain on every refill), while an
+// unreserved ring of the same size still releases.
+func TestRingReserveSurvivesDrain(t *testing.T) {
+	var q NIRing
+	q.Reserve(512)
+	for i := 0; i < 400; i++ {
+		q.Push(ringPacket(i))
+	}
+	for q.Len() > 0 {
+		q.PopFront()
+	}
+	if q.Cap() != 512 {
+		t.Fatalf("reserved ring released on drain: cap %d, want 512", q.Cap())
+	}
+	ps := make([]*Packet, 400)
+	for i := range ps {
+		ps[i] = ringPacket(i)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		for _, p := range ps {
+			q.Push(p)
+		}
+		for q.Len() > 0 {
+			q.PopFront()
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("reserved fill/drain cycle allocates %.1f times per run, want 0", allocs)
+	}
+	var u NIRing
+	for i := 0; i < 400; i++ {
+		u.Push(ringPacket(i))
+	}
+	for u.Len() > 0 {
+		u.PopFront()
+	}
+	if u.Cap() != 0 {
+		t.Fatalf("unreserved ring retained %d-slot buffer after drain", u.Cap())
+	}
+}
+
 func TestRingAtPanicsOutOfRange(t *testing.T) {
 	var q NIRing
 	q.Push(ringPacket(0))

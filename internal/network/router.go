@@ -50,25 +50,26 @@ type Router struct {
 	Fence     Fence
 	Bubble    Bubble
 
-	saPtr       [geom.NumPorts]int
-	occupied    int
-	occNonLocal int
-	grants      int64
+	saPtr [geom.NumPorts]int
+	// sim points back to the owning Sim: the hot per-router counters
+	// (occupancy, grants) live there in struct-of-arrays layout and are
+	// reached through it by the accessors below.
+	sim *Sim
 }
 
 // Occupied returns the number of packets buffered at this router
 // (including the bubble).
-func (r *Router) Occupied() int { return r.occupied }
+func (r *Router) Occupied() int { return int(r.sim.occ[r.ID]) }
 
 // OccupiedNonLocal returns the number of packets buffered at non-local
 // input ports (including the bubble) — the candidates a detection FSM
 // watches.
-func (r *Router) OccupiedNonLocal() int { return r.occNonLocal }
+func (r *Router) OccupiedNonLocal() int { return int(r.sim.occNL[r.ID]) }
 
 // Grants counts switch-allocation grants issued by this router over its
 // lifetime (including ejections) — a local progress signal used by the
 // recovery liveness guards.
-func (r *Router) Grants() int64 { return r.grants }
+func (r *Router) Grants() int64 { return r.sim.grantN[r.ID] }
 
 // VCAt returns the VC at input port in, vnet, index vc.
 func (r *Router) VCAt(cfg Config, in geom.Direction, vnet, vc int) *VC {
@@ -101,11 +102,21 @@ type allocGather struct {
 	cand      [geom.NumPorts][]int32
 	headReady int
 	minFuture int64
+	// recordSlots, set by the sharded stepper's fully parallel commit
+	// mode, makes the gather record each kept link candidate's free
+	// downstream slot (slot[out][i] for cand[out][i]; -1 means the
+	// static bubble). The availability-constancy argument in shard.go
+	// proves the gather-time answer equals the commit-time answer, so
+	// the parallel commit uses the recorded slot and never scans a
+	// foreign router's (concurrently mutated) VC array.
+	recordSlots bool
+	slot        [geom.NumPorts][]int32
 }
 
 func (g *allocGather) init(cfg Config) {
 	for i := range g.cand {
 		g.cand[i] = make([]int32, 0, geom.NumPorts*cfg.SlotsPerPort()+1)
+		g.slot[i] = make([]int32, 0, geom.NumPorts*cfg.SlotsPerPort()+1)
 	}
 }
 
@@ -139,7 +150,7 @@ func (r *Router) candVC(ci int32, slots, total int) (*VC, geom.Direction) {
 // parallel pass; such routers never reach the sequential commit.
 func (s *Sim) gatherAllocate(id geom.NodeID, g *allocGather) bool {
 	r := &s.Routers[id]
-	if r.occupied == 0 {
+	if s.occ[id] == 0 {
 		return false
 	}
 	if !s.Topo.RouterAlive(id) {
@@ -208,10 +219,23 @@ func (s *Sim) gatherAllocate(id geom.NodeID, g *allocGather) bool {
 			in := out.Opposite()
 			bubbleOK := s.Routers[nb].Bubble.EligibleFor(in, s.Now)
 			keep := cands[:0]
-			for _, ci := range cands {
-				vc, _ := r.candVC(ci, slots, total)
-				if bubbleOK || s.findFreeVC(nb, in, vc.Pkt, vc.Pkt.Vnet) >= 0 {
-					keep = append(keep, ci)
+			if g.recordSlots {
+				ks := g.slot[out][:0]
+				for _, ci := range cands {
+					vc, _ := r.candVC(ci, slots, total)
+					sl := s.findFreeVC(nb, in, vc.Pkt, vc.Pkt.Vnet)
+					if sl >= 0 || bubbleOK {
+						keep = append(keep, ci)
+						ks = append(ks, int32(sl))
+					}
+				}
+				g.slot[out] = ks
+			} else {
+				for _, ci := range cands {
+					vc, _ := r.candVC(ci, slots, total)
+					if bubbleOK || s.findFreeVC(nb, in, vc.Pkt, vc.Pkt.Vnet) >= 0 {
+						keep = append(keep, ci)
+					}
 				}
 			}
 			g.cand[out] = keep
@@ -329,7 +353,7 @@ func (s *Sim) tryGrant(r *Router, out geom.Direction, vc *VC, p *Packet, inPort 
 		if s.OnGrant != nil {
 			s.OnGrant(p, vc, r.ID, inPort, out)
 		}
-		r.grants++
+		s.grantN[r.ID]++
 		vc.Pkt = nil
 		vc.FreeAt = s.Now + length
 		r.OutFreeAt[geom.Local] = s.Now + length
@@ -340,9 +364,9 @@ func (s *Sim) tryGrant(r *Router, out geom.Direction, vc *VC, p *Packet, inPort 
 			s.OnDeliver(p)
 		}
 		s.inFlight--
-		r.occupied--
+		s.occ[r.ID]--
 		if inPort != geom.Local {
-			r.occNonLocal--
+			s.occNL[r.ID]--
 		}
 		s.LastProgress = s.Now
 		s.releasePacket(p)
@@ -363,7 +387,7 @@ func (s *Sim) tryGrant(r *Router, out geom.Direction, vc *VC, p *Packet, inPort 
 	if s.OnGrant != nil {
 		s.OnGrant(p, vc, r.ID, inPort, out)
 	}
-	r.grants++
+	s.grantN[r.ID]++
 	vc.Pkt = nil
 	vc.FreeAt = s.Now + length
 	dst.Pkt = p
@@ -372,12 +396,12 @@ func (s *Sim) tryGrant(r *Router, out geom.Direction, vc *VC, p *Packet, inPort 
 	r.OutFreeAt[out] = s.Now + length
 	s.Stats.LinkCycles[ClassFlit] += length
 	s.Stats.HopMoves++
-	r.occupied--
+	s.occ[r.ID]--
 	if inPort != geom.Local {
-		r.occNonLocal--
+		s.occNL[r.ID]--
 	}
-	nbr.occupied++
-	nbr.occNonLocal++ // arrivals always land on a link-side port
+	s.occ[nb]++
+	s.occNL[nb]++ // arrivals always land on a link-side port
 	s.wakeNode(nb, dst.ReadyAt)
 	s.LastProgress = s.Now
 	return true

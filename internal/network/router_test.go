@@ -134,13 +134,13 @@ func TestSwitchAllocationRoundRobinRotates(t *testing.T) {
 			p := s.NewPacket(0, 2, 0, 1, routing.Route{geom.East, geom.East})
 			p.Hop = 1
 			r.In[geom.West][0].Pkt = p
-			r.occupied++
-			r.occNonLocal++
+			s.occ[mid]++
+			s.occNL[mid]++
 		}
 		if r.In[geom.Local][0].Pkt == nil {
 			p := s.NewPacket(1, 2, 0, 1, routing.Route{geom.East})
 			r.In[geom.Local][0].Pkt = p
-			r.occupied++
+			s.occ[mid]++
 		}
 		wBefore := r.In[geom.West][0].Pkt
 		lBefore := r.In[geom.Local][0].Pkt
@@ -201,8 +201,8 @@ func TestBubbleHeadReadyParticipatesInSA(t *testing.T) {
 	r.Bubble.InPort = geom.East
 	p := s.NewPacket(0, 1, 0, 1, routing.Route{geom.East})
 	r.Bubble.VC.Pkt = p
-	r.occupied++
-	r.occNonLocal++
+	s.occ[0]++
+	s.occNL[0]++
 	s.Wake(0) // hand-placed packet: tell the event scheduler
 	s.Run(20)
 	if p.DeliveredAt < 0 {

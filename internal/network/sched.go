@@ -50,6 +50,11 @@ type scheduler struct {
 	// detached turns every wake into a no-op: set when the Sim is driven
 	// by the refmodel full-scan stepper instead of the event loop.
 	detached bool
+	// live is the number of routers with a pending wake (wakeAt[id] !=
+	// wakeNever). The sharded stepper uses it to decide between the inline
+	// sequential path and the parallel phases, and earliestWake uses it to
+	// answer O(1) when the wheel is empty.
+	live int
 }
 
 type wakeEntry struct {
@@ -108,6 +113,9 @@ func (sc *scheduler) wake(id geom.NodeID, t int64) {
 	if sc.wakeAt[id] <= t {
 		return
 	}
+	if sc.wakeAt[id] == wakeNever {
+		sc.live++
+	}
 	sc.wakeAt[id] = t
 	e := wakeEntry{t, int32(id)}
 	if t-sc.drained <= wheelSize {
@@ -140,6 +148,7 @@ func (sc *scheduler) collectDue(now int64, due []int32) []int32 {
 			case sc.wakeAt[e.id] == e.t:
 				sc.dueBits[e.id>>6] |= 1 << (uint(e.id) & 63)
 				sc.wakeAt[e.id] = wakeNever
+				sc.live--
 			}
 		}
 		sc.wheel[b] = keep
@@ -149,6 +158,7 @@ func (sc *scheduler) collectDue(now int64, due []int32) []int32 {
 		if sc.wakeAt[e.id] == e.t {
 			sc.dueBits[e.id>>6] |= 1 << (uint(e.id) & 63)
 			sc.wakeAt[e.id] = wakeNever
+			sc.live--
 		}
 	}
 	for w, word := range sc.dueBits {
@@ -159,6 +169,24 @@ func (sc *scheduler) collectDue(now int64, due []int32) []int32 {
 		sc.dueBits[w] = 0
 	}
 	return due
+}
+
+// earliestWake returns the earliest pending wake cycle across all
+// routers, or wakeNever when none is scheduled. O(1) when the scheduler
+// is empty; otherwise a contiguous scan of wakeAt (cheap relative to the
+// multi-cycle fast-forward it unlocks, and only attempted on cycles with
+// an empty due set).
+func (sc *scheduler) earliestWake() int64 {
+	if sc.live == 0 {
+		return wakeNever
+	}
+	min := int64(wakeNever)
+	for _, t := range sc.wakeAt {
+		if t < min {
+			min = t
+		}
+	}
+	return min
 }
 
 // wakeHeap is a plain min-heap on wake time (container/heap's interface

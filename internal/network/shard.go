@@ -1,40 +1,83 @@
 package network
 
 // The sharded parallel stepper. The mesh is partitioned into contiguous
-// row bands — one shard per band, each owning its routers' schedulers
-// and scratch — and every cycle runs as:
+// row bands — one shard per band, each owning its routers' timing-wheel
+// scheduler and scratch. A cycle picks one of three execution paths:
 //
-//	PreCycle hooks                     (coordinator)
-//	collect due + inject + gather      (parallel, one goroutine per shard)
-//	fold injection deltas              (coordinator, shard order)
-//	commit switch allocation           (coordinator, ascending router id)
-//	bubble transfers                   (coordinator, ascending router id)
-//	PostCycle hooks                    (coordinator)
+//   - Quiet fast-forward (Step, network.go): when a previous cycle
+//     proved nothing can happen before a horizon, Step only advances
+//     Now. Costs two compares per cycle; no shard machinery runs.
+//   - Inline sequential: when the total pending-wake count across
+//     shards is at or below the inline threshold, the coordinator runs
+//     the sequential phases itself over the per-shard due sets in shard
+//     order (= ascending router id). A near-idle network pays no
+//     goroutine handoff — this is what fixes the sharded core being
+//     *slower* than the sequential one on idle meshes.
+//   - Parallel phases: PreCycle hooks, then one goroutine per shard
+//     runs collect-due + inject + gather; after a barrier the
+//     coordinator folds injection deltas; then the commit runs — fully
+//     parallel (one goroutine per shard, private commit sinks, folded
+//     in shard order) when no GrantFilter/OnGrant is installed, else
+//     sequentially on the coordinator by plan decode. Bubble transfers
+//     and PostCycle hooks close the cycle.
 //
 // Determinism contract — the sharded stepper is byte-identical to the
 // sequential event core (and hence to the refmodel full scan) for any
-// shard count:
+// shard count and any path mix:
 //
-//   - The epoch is one cycle: shards join a barrier before any
-//     cross-router state moves, so there is no speculative lookahead to
-//     roll back and no dependence on goroutine scheduling.
-//   - The parallel phase touches only node-local state. Injection
-//     writes a node's own local-port VCs; gather writes only its
-//     per-shard plan. Gather's cross-shard *reads* (downstream buffer
-//     occupancy for pruning) see phase-stable or monotone state, so
-//     pruning is conservative and cannot change any grant decision —
-//     the argument lives with gatherAllocate/commitAllocate.
-//   - Boundary exchange is the commit pass itself: all packet movement,
-//     grant filters, Stats and delivery callbacks run sequentially in
-//     ascending global router id — the sequential core's exact order —
-//     regardless of which shard owns the routers involved.
-//   - Each shard's timing-wheel scheduler holds exactly the wakes of
-//     its own routers. During the parallel phase a worker only wakes
-//     itself (inject re-polls, gather's blocked/sleep classification);
-//     cross-shard wakes (a grant waking the downstream router) happen
-//     only in the sequential commit. The per-shard wake streams union
-//     to a superset of the sequential core's that preserves every
-//     earliest-wake, so due sets match cycle for cycle.
+//   - The epoch is one cycle: no speculative lookahead, no dependence
+//     on goroutine scheduling. Quiet epochs skip only cycles proven to
+//     change nothing (see maybeQuiet), so skipping is unobservable.
+//   - The parallel gather phase touches only node-local state; its
+//     cross-shard *reads* (downstream buffer occupancy for pruning) see
+//     phase-stable or monotone state, so pruning is conservative — the
+//     argument lives with gatherAllocate.
+//   - The parallel commit relies on availability constancy: the
+//     destination pool of a grant through output `out` is (neighbor,
+//     in=out.Opposite()), and the only router that ever *fills* a VC of
+//     that pool is this router (its unique upstream on that port).
+//     The pool's own commits only *empty* slots, and an emptied slot
+//     advertises FreeAt = now+len, so Empty(now) stays false for the
+//     rest of the cycle. Downstream availability observed at gather
+//     time therefore equals availability at commit time, grant
+//     decisions are order-independent across routers, and a kept
+//     candidate's grant cannot fail. The gather records each kept
+//     candidate's free slot (allocGather.recordSlots) and the commit
+//     writes exactly that slot — it never re-scans a foreign VC array,
+//     whose bookkeeping fields are being rewritten concurrently.
+//     A same-cycle bubble destination is safe for the same reason: the
+//     bubble serves exactly one input port (EligibleFor checks InPort),
+//     so its writer is unique too.
+//   - Writes crossing a seam during parallel commit are exactly: the
+//     destination VC fill (unique writer, see above — the downstream
+//     router's own commit only reads its *occupied* candidate slots,
+//     which are different elements). Everything else the sequential
+//     commit would do to a foreign-shard router — its occupancy
+//     counters and its wake — is deferred into the shard's commit sink
+//     (xfill records) and applied by the coordinator's fold. Own-shard
+//     neighbors are updated directly. Global counters (Stats, inFlight,
+//     LastProgress) accumulate in per-shard sinks and fold in shard
+//     order; all are sums plus one max, so the totals match the
+//     sequential core's bit for bit. Delivered packets are retained in
+//     the sink and their OnDeliver callbacks + pool releases replay at
+//     fold time in ascending-router-id order — the sequential core's
+//     call and free-list order (at most one ejection per router per
+//     cycle, so within-shard append order is ascending id).
+//   - When a GrantFilter or OnGrant observer is installed, commit
+//     decisions stop being provably order-independent (a filter may
+//     consult arbitrary state mid-phase), so the cycle latches
+//     parCommit=false and decodes the plans sequentially in ascending
+//     router id through the very same commitAllocate the sequential
+//     core runs. VCFilter is compatible with the parallel commit: it is
+//     only ever consulted during gather (both cores prune and allocate
+//     with gather-time answers), which requires it to be a pure
+//     function of phase-stable state — already a documented obligation.
+//   - Each shard's scheduler holds exactly the wakes of its own
+//     routers. During parallel phases a worker wakes only its own
+//     routers (inject/gather re-polls, commit tail wakes, own-shard
+//     arrivals); cross-shard wakes ride the xfill records and are
+//     issued by the coordinator's fold at the same cycle values the
+//     sequential core would use, so due sets match cycle for cycle.
 //   - RNG ownership: the simulator core draws nothing from Sim.Rng, and
 //     traffic/hooks run only on the coordinator, so the draw sequence
 //     is untouched by sharding.
@@ -73,23 +116,60 @@ type shardState struct {
 	gather allocGather
 	inj    injectDelta
 	plan   shardPlan
-	// worker is the shard's goroutine body, built once at initShards:
-	// spawning a pre-bound func value (`go sh.worker()`) costs no
-	// allocation per cycle, whereas a literal closure with arguments
-	// would heap-allocate its context every Step.
-	worker func()
+	sink   commitSink
+	// worker/commitWorker are the shard's goroutine bodies, built once
+	// at initShards: spawning a pre-bound func value (`go sh.worker()`)
+	// costs no allocation per cycle, whereas a literal closure with
+	// arguments would heap-allocate its context every Step.
+	worker       func()
+	commitWorker func()
+}
+
+// commitSink accumulates one shard's deferred commit effects for the
+// coordinator's fold: delta Stats, conservation counters, packets
+// delivered this cycle (OnDeliver + pool release replay in order at
+// fold time), and cross-shard arrival records.
+type commitSink struct {
+	stats      Stats
+	inFlight   int64
+	progressed bool
+	released   []*Packet
+	xf         []xfill
+}
+
+// xfill records a grant that filled a buffer in a router owned by
+// another shard: the destination's occupancy increments and its wake at
+// the arrival cycle are applied by the coordinator after the commit
+// barrier. src rides along for the seam observability hook.
+type xfill struct {
+	src, nb int32
+	at      int64
+}
+
+func (c *commitSink) reset() {
+	c.stats = Stats{}
+	c.inFlight = 0
+	c.progressed = false
+	for i := range c.released {
+		c.released[i] = nil
+	}
+	c.released = c.released[:0]
+	c.xf = c.xf[:0]
 }
 
 // shardPlan is the gather output a shard hands to the commit pass:
 // for each router with at least one feasible candidate bucket, its wake
 // classification and the buckets, flattened into one int32 stream
-// (per bucket: a header out|len<<3, then the candidate indices).
+// (per bucket: a header out|len<<3, then the candidate indices). Under
+// the parallel commit, slots carries the recorded free downstream slot
+// for every link-bucket candidate, in stream order (-1 = bubble).
 type shardPlan struct {
 	ids     []int32
 	heads   []int32
 	futures []int64
 	boff    []int32 // stream offsets, len(ids)+1
 	stream  []int32
+	slots   []int32
 }
 
 func (p *shardPlan) reset() {
@@ -97,6 +177,7 @@ func (p *shardPlan) reset() {
 	p.heads = p.heads[:0]
 	p.futures = p.futures[:0]
 	p.stream = p.stream[:0]
+	p.slots = p.slots[:0]
 	p.boff = append(p.boff[:0], 0)
 }
 
@@ -107,6 +188,7 @@ func (p *shardPlan) reserve(n, perRouter int) {
 	p.heads = reserveInt32(p.heads, n)
 	p.boff = reserveInt32(p.boff, n+1)
 	p.stream = reserveInt32(p.stream, n*perRouter)
+	p.slots = reserveInt32(p.slots, n*perRouter)
 	if cap(p.futures) < n {
 		p.futures = append(make([]int64, 0, n), p.futures...)
 	}
@@ -123,6 +205,9 @@ func (p *shardPlan) add(id int32, g *allocGather) {
 		}
 		p.stream = append(p.stream, int32(out)|int32(len(c))<<3)
 		p.stream = append(p.stream, c...)
+		if g.recordSlots && out != geom.Local {
+			p.slots = append(p.slots, g.slot[out]...)
+		}
 	}
 	p.boff = append(p.boff, int32(len(p.stream)))
 }
@@ -145,6 +230,10 @@ func (s *Sim) initShards(n int) {
 			s.shardInjectGather(sh)
 			s.shardWG.Done()
 		}
+		sh.commitWorker = func() {
+			s.commitShardPar(sh)
+			s.shardWG.Done()
+		}
 		for y := k * h / n; y < (k+1)*h/n; y++ {
 			for x := 0; x < w; x++ {
 				s.shardOf[y*w+x] = int8(k)
@@ -165,6 +254,7 @@ func (s *Sim) RequireUnsharded() {
 	if s.nshards <= 1 {
 		return
 	}
+	s.quietUntil = 0 // the quiet proof was computed over shard schedulers
 	if s.sched.drained < s.Now-1 {
 		s.sched.drained = s.Now - 1
 	}
@@ -184,10 +274,30 @@ func (s *Sim) RequireUnsharded() {
 // Shards reports the effective shard count the stepper is running with.
 func (s *Sim) Shards() int { return s.nshards }
 
+// SetXFillObserver installs a callback invoked (on the coordinator, at
+// fold time) for every cross-shard buffer fill with the granting and
+// receiving router ids — observability for the seam-invariant tests.
+// Pass nil to remove.
+func (s *Sim) SetXFillObserver(f func(src, dst geom.NodeID)) { s.xfillObs = f }
+
 // stepSharded advances one cycle on the sharded stepper. See the
 // package comment above for the phase structure and the determinism
 // argument.
 func (s *Sim) stepSharded() {
+	if s.inlineThreshold >= 0 {
+		live := 0
+		for k := range s.shards {
+			live += s.shards[k].sched.live
+		}
+		if live <= s.inlineThreshold {
+			s.stepShardedInline()
+			return
+		}
+	}
+	s.parCommit = s.GrantFilter == nil && s.OnGrant == nil
+	for k := range s.shards {
+		s.shards[k].gather.recordSlots = s.parCommit
+	}
 	for _, f := range s.PreCycle {
 		f(s)
 	}
@@ -197,11 +307,36 @@ func (s *Sim) stepSharded() {
 	}
 	s.shardInjectGather(&s.shards[0])
 	s.shardWG.Wait()
+	empty, work := true, false
 	for k := range s.shards {
-		s.shards[k].inj.apply(s)
+		sh := &s.shards[k]
+		sh.inj.apply(s)
+		if len(sh.due) > 0 {
+			empty = false
+		}
+		if len(sh.plan.ids) > 0 {
+			work = true
+		}
 	}
-	for k := range s.shards {
-		s.commitShard(&s.shards[k])
+	if work {
+		if s.parCommit {
+			s.shardWG.Add(s.nshards - 1)
+			for k := 1; k < s.nshards; k++ {
+				go s.shards[k].commitWorker()
+			}
+			s.commitShardPar(&s.shards[0])
+			s.shardWG.Wait()
+			s.foldSinks()
+		} else {
+			for k := range s.shards {
+				s.commitShard(&s.shards[k])
+			}
+		}
+	}
+	if s.parCommit {
+		s.ctr.ParallelCycles++
+	} else {
+		s.ctr.SeqCommitCycles++
 	}
 	for k := range s.shards {
 		for _, id := range s.shards[k].due {
@@ -212,6 +347,51 @@ func (s *Sim) stepSharded() {
 		f(s)
 	}
 	s.Now++
+	if empty {
+		s.maybeQuiet()
+	}
+}
+
+// stepShardedInline runs one sharded cycle entirely on the coordinator:
+// the per-shard due sets are drained in shard order (= ascending global
+// router id, bands being contiguous) and fed through the sequential
+// phase primitives — literally the sequential core's cycle. Chosen when
+// so few routers are pending that two barrier crossings would dominate.
+func (s *Sim) stepShardedInline() {
+	for _, f := range s.PreCycle {
+		f(s)
+	}
+	empty := true
+	for k := range s.shards {
+		sh := &s.shards[k]
+		sh.due = sh.sched.collectDue(s.Now, sh.due[:0])
+		if len(sh.due) > 0 {
+			empty = false
+		}
+	}
+	for k := range s.shards {
+		for _, id := range s.shards[k].due {
+			s.InjectNode(geom.NodeID(id))
+		}
+	}
+	for k := range s.shards {
+		for _, id := range s.shards[k].due {
+			s.AllocateNode(geom.NodeID(id))
+		}
+	}
+	for k := range s.shards {
+		for _, id := range s.shards[k].due {
+			s.TransferBubbleNode(geom.NodeID(id))
+		}
+	}
+	for _, f := range s.PostCycle {
+		f(s)
+	}
+	s.Now++
+	s.ctr.InlineCycles++
+	if empty {
+		s.maybeQuiet()
+	}
 }
 
 // shardInjectGather is the parallel phase of one shard: drain the
@@ -231,9 +411,10 @@ func (s *Sim) shardInjectGather(sh *shardState) {
 	}
 }
 
-// commitShard replays one shard's plan through commitAllocate. Plans
-// are decoded into the coordinator's scratch so the commit code is the
-// very same the sequential core runs.
+// commitShard replays one shard's plan through commitAllocate on the
+// coordinator. Plans are decoded into the coordinator's scratch so the
+// commit code is the very same the sequential core runs. This is the
+// fallback for cycles with a GrantFilter or OnGrant installed.
 func (s *Sim) commitShard(sh *shardState) {
 	g := &s.seqGather
 	p := &sh.plan
@@ -251,5 +432,149 @@ func (s *Sim) commitShard(sh *shardState) {
 			seg = seg[1+n:]
 		}
 		s.commitAllocate(geom.NodeID(id), g)
+	}
+}
+
+// commitShardPar commits one shard's plan on the shard's own goroutine.
+// With no GrantFilter, every candidate that survived the gather prune
+// is grantable (availability constancy — see the package comment), so
+// each bucket's winner is simply its first candidate at or past the
+// round-robin pointer, moving into the slot recorded at gather time.
+// All effects that cross the shard boundary or touch global accumulators
+// are deferred into the shard's commit sink.
+func (s *Sim) commitShardPar(sh *shardState) {
+	p := &sh.plan
+	slots := s.Cfg.SlotsPerPort()
+	total := geom.NumPorts * slots
+	sc := 0 // cursor into p.slots, advanced per link bucket
+	for i, id := range p.ids {
+		r := &s.Routers[id]
+		granted := 0
+		seg := p.stream[p.boff[i]:p.boff[i+1]]
+		for len(seg) > 0 {
+			out := geom.Direction(seg[0] & 7)
+			n := int(seg[0] >> 3)
+			cands := seg[1 : 1+n]
+			var dsts []int32
+			if out != geom.Local {
+				dsts = p.slots[sc : sc+n]
+				sc += n
+			}
+			seg = seg[1+n:]
+			// Rotate to the first candidate at or past the round-robin
+			// pointer (candidates are in ascending index order) — the
+			// winner, since no candidate can fail.
+			start := 0
+			for j, ci := range cands {
+				if int(ci) >= r.saPtr[out] {
+					start = j
+					break
+				}
+			}
+			ci := cands[start]
+			vc, inPort := r.candVC(ci, slots, total)
+			dstSlot := int32(-1)
+			if out != geom.Local {
+				dstSlot = dsts[start]
+			}
+			s.grantPar(sh, r, out, vc, vc.Pkt, inPort, dstSlot)
+			r.saPtr[out] = (int(ci) + 1) % (total + 1)
+			granted++
+		}
+		if int(p.heads[i]) > granted {
+			sh.sched.wake(geom.NodeID(id), s.Now+1)
+		} else if f := p.futures[i]; f < wakeNever {
+			sh.sched.wake(geom.NodeID(id), f)
+		}
+	}
+}
+
+// grantPar is tryGrant's parallel-commit counterpart: it performs the
+// same buffer movement (the destination slot was recorded at gather
+// time and cannot have changed), updates this shard's own routers
+// directly, and defers everything else — Stats, inFlight, LastProgress,
+// delivery callbacks, pool releases, and foreign-shard occupancy/wakes
+// — into the shard's commit sink.
+func (s *Sim) grantPar(sh *shardState, r *Router, out geom.Direction, vc *VC, p *Packet, inPort geom.Direction, dstSlot int32) {
+	sink := &sh.sink
+	length := int64(p.Len)
+	if out == geom.Local {
+		s.grantN[r.ID]++
+		vc.Pkt = nil
+		vc.FreeAt = s.Now + length
+		r.OutFreeAt[geom.Local] = s.Now + length
+		p.DeliveredAt = s.Now + int64(s.Cfg.RouterLatency) + length - 1
+		sink.stats.DeliveredFlits += length
+		sink.stats.recordDelivery(p)
+		sink.inFlight--
+		s.occ[r.ID]--
+		if inPort != geom.Local {
+			s.occNL[r.ID]--
+		}
+		sink.progressed = true
+		sink.released = append(sink.released, p)
+		return
+	}
+	nb := s.Topo.Neighbor(r.ID, out)
+	nbr := &s.Routers[nb]
+	in := out.Opposite()
+	var dst *VC
+	if dstSlot >= 0 {
+		dst = &nbr.In[in][dstSlot]
+	} else {
+		dst = &nbr.Bubble.VC
+		sink.stats.BubbleOccupancies++
+	}
+	s.grantN[r.ID]++
+	vc.Pkt = nil
+	vc.FreeAt = s.Now + length
+	dst.Pkt = p
+	dst.ReadyAt = s.Now + int64(s.Cfg.RouterLatency+s.Cfg.LinkLatency)
+	p.Hop++
+	r.OutFreeAt[out] = s.Now + length
+	sink.stats.LinkCycles[ClassFlit] += length
+	sink.stats.HopMoves++
+	s.occ[r.ID]--
+	if inPort != geom.Local {
+		s.occNL[r.ID]--
+	}
+	if s.shardOf[nb] == s.shardOf[r.ID] {
+		s.occ[nb]++
+		s.occNL[nb]++ // arrivals always land on a link-side port
+		sh.sched.wake(nb, dst.ReadyAt)
+	} else {
+		sink.xf = append(sink.xf, xfill{src: int32(r.ID), nb: int32(nb), at: dst.ReadyAt})
+	}
+	sink.progressed = true
+}
+
+// foldSinks applies every shard's deferred commit effects in shard
+// order (= ascending router id): global accumulators (all sums plus one
+// max), cross-shard occupancy and arrival wakes, then the delivery
+// callbacks and pool releases in the sequential core's exact order.
+func (s *Sim) foldSinks() {
+	for k := range s.shards {
+		sink := &s.shards[k].sink
+		s.Stats.merge(&sink.stats)
+		s.inFlight += sink.inFlight
+		if sink.progressed {
+			s.LastProgress = s.Now
+		}
+		s.ctr.XFills += int64(len(sink.xf))
+		for _, x := range sink.xf {
+			s.occ[x.nb]++
+			s.occNL[x.nb]++
+			s.wakeNode(geom.NodeID(x.nb), x.at)
+			if s.xfillObs != nil {
+				s.xfillObs(geom.NodeID(x.src), geom.NodeID(x.nb))
+			}
+		}
+		for _, p := range sink.released {
+			if s.OnDeliver != nil {
+				s.OnDeliver(p)
+			}
+			s.releasePacket(p)
+		}
+		sink.reset()
 	}
 }

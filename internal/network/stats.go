@@ -80,6 +80,40 @@ func (st *Stats) recordDelivery(p *Packet) {
 	}
 }
 
+// merge folds a shard commit sink's delta Stats into st. Every field is
+// a sum except MaxLatency, which folds by max — both commutative and
+// associative, so folding per-shard deltas in shard order reproduces the
+// sequential core's totals exactly (the per-delivery interleaving is
+// unobservable: Stats is only read at cycle boundaries).
+func (st *Stats) merge(d *Stats) {
+	st.Offered += d.Offered
+	st.Injected += d.Injected
+	st.Delivered += d.Delivered
+	st.DroppedUnreachable += d.DroppedUnreachable
+	st.Lost += d.Lost
+	st.InjectedFlits += d.InjectedFlits
+	st.DeliveredFlits += d.DeliveredFlits
+	st.SumLatency += d.SumLatency
+	st.SumNetLatency += d.SumNetLatency
+	if d.MaxLatency > st.MaxLatency {
+		st.MaxLatency = d.MaxLatency
+	}
+	st.HopMoves += d.HopMoves
+	for c := range st.LinkCycles {
+		st.LinkCycles[c] += d.LinkCycles[c]
+	}
+	st.ProbesSent += d.ProbesSent
+	st.DisablesSent += d.DisablesSent
+	st.EnablesSent += d.EnablesSent
+	st.CheckProbesSent += d.CheckProbesSent
+	st.ProbesReturned += d.ProbesReturned
+	st.DeadlockRecoveries += d.DeadlockRecoveries
+	st.BubbleOccupancies += d.BubbleOccupancies
+	st.BubbleTransfers += d.BubbleTransfers
+	st.EscapeTransfers += d.EscapeTransfers
+	st.SpinRotations += d.SpinRotations
+}
+
 // AvgLatency returns mean total latency of delivered packets, or 0 when
 // none were delivered.
 func (st *Stats) AvgLatency() float64 {
