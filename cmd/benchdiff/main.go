@@ -76,6 +76,7 @@ var gatedScenarios = map[string]bool{
 	"saturation_steady_8x8":      true,
 	"saturation_steady_32x32":    true,
 	"route_heavy_adaptive_16x16": true,
+	"churn_16x16":                true,
 }
 
 // scalingGates bound, within a single bench file, how shards=4 may

@@ -19,6 +19,7 @@
 //	sbsweep -fig 9 -resume -progress   # continue an interrupted sweep
 //	sbsweep -fig scale16               # 16x16 sharded-stepper timing sweep
 //	sbsweep -fig adversary -scale quick -adv-evals 24   # worst-case SLO search
+//	sbsweep -fig churn -scale quick    # continuous-churn availability/recovery SLOs
 //	sbsweep -fig 9 -shards 4           # run each simulation sharded
 //	sbsweep -fig bench -check-zero-alloc           # fail on steady-state allocation
 //	sbsweep -fig 9 -route-cache-stats  # report compiled routing-table cache efficiency
@@ -41,7 +42,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "experiment: 2, 3, t1, 8, 9, 10, 11, 12, 13, scale, scale16, scalegrid, failures, ablation, adversary, bench, or all")
+	fig := flag.String("fig", "all", "experiment: 2, 3, t1, 8, 9, 10, 11, 12, 13, scale, scale16, scalegrid, failures, churn, ablation, adversary, bench, or all")
 	advEvals := flag.Int("adv-evals", 0, "with -fig adversary: cap on unique scenario evaluations (0 = scale default)")
 	benchOut := flag.String("bench-out", "BENCH_sim.json", "output file for -fig bench results")
 	shards := flag.Int("shards", 1, "per-simulation shard count (1 = sequential core; results are identical for any value)")
@@ -196,6 +197,24 @@ func main() {
 			experiments.PrintFailureTimeline(os.Stdout, experiments.FailureTimeline(p, 0, 0))
 			return nil
 		}))
+	// Continuous-churn availability/recovery-SLO comparison: Poisson
+	// link/router fail+recover events overlapping freely over ≥1M cycles
+	// (full scale), Static Bubble vs spanning-tree re-election vs a
+	// DBR-style regional-stall baseline. Reports p50/p99/p99.9 recovery
+	// latency, availability, and delivered-packet latency SLOs from
+	// streaming quantile sketches merged across seeds.
+	churnCfg := experiments.ChurnConfig{}
+	churnP := p
+	if *scale == "quick" {
+		churnCfg = experiments.QuickChurn()
+	} else {
+		// Full scale runs the 256-router mesh so a router loss is a 1/256
+		// event, matching the availability framing.
+		churnP.Width, churnP.Height = 16, 16
+	}
+	run("churn", emit(
+		func() { experiments.PrintChurn(os.Stdout, churnCfg, experiments.Churn(churnP, churnCfg)) },
+		func() error { return experiments.ChurnCSV(os.Stdout, experiments.Churn(churnP, churnCfg)) }))
 	run("scale", emit(
 		func() { experiments.PrintScale(os.Stdout, experiments.Scale(p, nil)) },
 		func() error {

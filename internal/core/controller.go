@@ -65,6 +65,10 @@ type Controller struct {
 	// 1+1 configuration). t_DR = hopLatency × path length.
 	hopLatency int64
 	fsms       map[geom.NodeID]*fsm
+	// placed is the full intended placement, including routers that were
+	// dead at Attach time: if one recovers at runtime, RouterRecovered
+	// arms its bubble and creates its FSM on the spot.
+	placed map[geom.NodeID]bool
 	// order is the deterministic FSM iteration order; fsmList holds the
 	// FSMs in that order so the per-cycle tick and the quiescence horizon
 	// iterate a dense slice instead of doing a map lookup per FSM.
@@ -192,14 +196,16 @@ func Attach(s *network.Sim, opt Options) *Controller {
 		sim:        s,
 		opt:        opt,
 		fsms:       make(map[geom.NodeID]*fsm),
+		placed:     make(map[geom.NodeID]bool, len(placement)),
 		hopLatency: int64(s.Cfg.RouterLatency + s.Cfg.LinkLatency),
 	}
 	for _, n := range placement {
+		c.placed[n] = true
 		if !s.Topo.RouterAlive(n) {
 			continue
 		}
 		s.Routers[n].Bubble.Present = true
-		c.fsms[n] = &fsm{node: n, rngState: uint64(n)*2654435761 + 0x9e3779b97f4a7c15}
+		c.fsms[n] = newFSM(n)
 		c.order = append(c.order, n)
 	}
 	sort.Slice(c.order, func(i, j int) bool { return c.order[i] < c.order[j] })
@@ -293,6 +299,98 @@ func (c *Controller) RecoveryRecords() []RecoveryRecord {
 // BubbleRouters returns the attached static-bubble routers in id order.
 func (c *Controller) BubbleRouters() []geom.NodeID {
 	return append([]geom.NodeID(nil), c.order...)
+}
+
+// newFSM builds a fresh FSM for node n with its deterministic jitter
+// seed (an LCG stream keyed by the node id).
+func newFSM(n geom.NodeID) *fsm {
+	return &fsm{node: n, rngState: uint64(n)*2654435761 + 0x9e3779b97f4a7c15}
+}
+
+// --- reconfig.SchemeHandler ------------------------------------------------
+//
+// The controller implements reconfig's SchemeHandler interface (duck
+// typed — core must not import reconfig, whose tests import core) so a
+// reconfig.Manager can keep the protocol state consistent under runtime
+// failures and recoveries. Without these hooks a router dying
+// mid-recovery leaves permanent residue: its FSM wedges in S_SB_ACTIVE
+// (vetoing quiet-epoch fast-forward forever), and the fences its
+// disable installed elsewhere have no enable left to clear them, so the
+// fenced in→out turns block traffic until the end of the run.
+
+// RouterFailed records that router n was powered off or died abruptly:
+// its FSM resets to S_OFF, its local fence and bubble activation are
+// cleared, and every fence its in-progress recovery round installed
+// elsewhere is swept (the matching enable can never arrive). Swept
+// routers are woken so previously fenced traffic re-arbitrates.
+func (c *Controller) RouterFailed(n geom.NodeID) {
+	s := c.sim
+	r := &s.Routers[n]
+	r.Fence = network.Fence{}
+	r.Bubble.Active = false
+	if f, ok := c.fsms[n]; ok {
+		if c.opt.Trace != nil {
+			c.trace(n, "router failed in %v: FSM reset", f.state)
+		}
+		f.reset()
+	}
+	c.sweepFences(n)
+}
+
+// RouterRecovered records that router n came back: any stale residue at
+// the revived router is cleared, and if n is a placement router its
+// bubble is re-armed and its FSM (re)created — including routers that
+// were dead at Attach time and never had one.
+func (c *Controller) RouterRecovered(n geom.NodeID) {
+	s := c.sim
+	r := &s.Routers[n]
+	r.Fence = network.Fence{}
+	r.Bubble.Active = false
+	if !c.placed[n] {
+		return
+	}
+	r.Bubble.Present = true
+	if f, ok := c.fsms[n]; ok {
+		f.reset()
+		return
+	}
+	f := newFSM(n)
+	c.fsms[n] = f
+	// Keep the deterministic id-sorted iteration order intact.
+	i := sort.Search(len(c.order), func(i int) bool { return c.order[i] >= n })
+	c.order = append(c.order, 0)
+	copy(c.order[i+1:], c.order[i:])
+	c.order[i] = n
+	c.fsmList = append(c.fsmList, nil)
+	copy(c.fsmList[i+1:], c.fsmList[i:])
+	c.fsmList[i] = f
+}
+
+// LinkChanged records a link failure or recovery. Static Bubble needs
+// no link-level action: sends and forwards already drop on a dead link
+// and the FSM timeouts clean up the round, while a recovered link is
+// simply used by the next transmission.
+func (c *Controller) LinkChanged(n geom.NodeID, d geom.Direction, alive bool) {}
+
+// sweepFences clears every fence installed by src's recovery rounds and
+// wakes the affected routers. Used when src dies (RouterFailed) and
+// when src abandons an enable whose latched path broke mid-round — in
+// both cases no enable will ever traverse the path again, and a fence
+// that nothing clears is a permanent partial deadlock.
+func (c *Controller) sweepFences(src geom.NodeID) {
+	s := c.sim
+	for id := range s.Routers {
+		r := &s.Routers[id]
+		if r.Fence.Active && r.Fence.SrcID == src {
+			// A parked FSM at id resumes detection on its next tick
+			// (StateOff re-scans occupancy once the fence is gone).
+			r.Fence = network.Fence{}
+			if c.opt.Trace != nil {
+				c.trace(geom.NodeID(id), "fence swept (src=%v gone)", src)
+			}
+			s.Wake(geom.NodeID(id))
+		}
+	}
 }
 
 // dependenceExists reports whether at least one VC of vnet at router
@@ -1069,9 +1167,11 @@ func (c *Controller) tickFSM(f *fsm) {
 				// The latched path itself died (runtime link/router
 				// failure mid-recovery): the enable can never complete
 				// its loop. Fences up to the break were cleared by
-				// earlier transmissions; release our own state and
-				// resume detection.
+				// earlier transmissions; sweep the ones beyond it (no
+				// enable will ever reach them), then release our own
+				// state and resume detection.
 				c.trace(f.node, "enable retry limit: abandoning round")
+				c.sweepFences(f.node)
 				c.enableReturned(f)
 				return
 			}

@@ -126,6 +126,30 @@ type fsm struct {
 	bubblePktID       int64
 }
 
+// reset returns the FSM to S_OFF with all round context cleared, as if
+// freshly attached — used when its router powers off, dies, or
+// recovers. Three fields survive: node (identity), rngState (the
+// deterministic jitter stream must not rewind — replaying it would
+// re-phase-lock retransmissions the stream already decorrelated), and
+// seq (stale in-flight messages from pre-death rounds must never match
+// a post-recovery round's sequence number). turnBuf keeps its capacity.
+func (f *fsm) reset() {
+	f.state = StateOff
+	f.deadline = 0
+	f.tDR = 0
+	f.ptr = vcPtr{}
+	f.ptrPkt = 0
+	f.turnBuf = f.turnBuf[:0]
+	f.probeOut = 0
+	f.probeIn = 0
+	f.vnet = 0
+	f.recoveryStart = 0
+	f.enableRetries = 0
+	f.lastGrants = 0
+	f.bubbleWasOccupied = false
+	f.bubblePktID = 0
+}
+
 // jitter returns a small pseudo-random delay in [0, 16) to decorrelate
 // retransmission phases across FSMs.
 func (f *fsm) jitter() int64 {

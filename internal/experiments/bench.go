@@ -16,9 +16,11 @@ import (
 
 	"repro/internal/adaptive"
 	"repro/internal/core"
+	"repro/internal/geom"
 	"repro/internal/memprof"
 	"repro/internal/network"
 	"repro/internal/network/refmodel"
+	"repro/internal/reconfig"
 	"repro/internal/routing"
 	"repro/internal/topology"
 	"repro/internal/traffic"
@@ -171,6 +173,69 @@ func simBenchScenarios() []simScenario {
 				inj := traffic.NewInjector(topo.AliveRouters(), routing.MinimalFor(topo),
 					traffic.NewUniformRandom(topo.AliveRouters()), 0.04, rand.New(rand.NewSource(62)))
 				return s, func() { inj.Tick(s) }
+			},
+		},
+		{
+			// Continuous churn on a 16×16 mesh: elements fail mid-run and
+			// recover through the reconfig event queue while Static Bubble
+			// traffic keeps flowing. This is the regime the overlap-safe
+			// reconfiguration path (epoch bumps, table-cache lookups,
+			// in-place repair, SchemeHandler resets) adds to the hot loop,
+			// and the scenario the churn benchdiff gate tracks. All shard
+			// counts replay the identical fail/recover timeline: the
+			// manager mutates only between Steps, which the seam protocol
+			// makes shard-invariant.
+			name:   "churn_16x16",
+			cycles: 20000,
+			warmup: 4000,
+			build: func(shards int) (*network.Sim, func()) {
+				topo := topology.NewMesh(16, 16)
+				s := network.New(topo, network.Config{Shards: shards}, rand.New(rand.NewSource(71)))
+				ctl := core.Attach(s, core.Options{})
+				mgr := reconfig.New(s)
+				mgr.SetScheme(ctl)
+				alg := mgr.Algorithm()
+				rng := rand.New(rand.NewSource(72))
+				num := topo.NumNodes()
+				return s, func() {
+					now := s.Now
+					if now%800 == 400 {
+						// Fail one element; queue its recovery behind the next
+						// failure so events overlap (fail at t, fail at t+800,
+						// first recovery at t+1200).
+						if rng.Intn(4) == 0 {
+							alive := topo.AliveRouters()
+							n := alive[rng.Intn(len(alive))]
+							mgr.Submit(reconfig.Event{Kind: reconfig.EvFailRouter, Node: n})
+							mgr.SubmitAt(now+1200, reconfig.Event{Kind: reconfig.EvRecoverRouter, Node: n})
+						} else {
+							links := topo.AliveUndirectedLinks()
+							l := links[rng.Intn(len(links))]
+							mgr.Submit(reconfig.Event{Kind: reconfig.EvFailLink, Node: l.From, Dir: l.Dir})
+							mgr.SubmitAt(now+1200, reconfig.Event{Kind: reconfig.EvRecoverLink, Node: l.From, Dir: l.Dir})
+						}
+					}
+					mgr.Tick()
+					// 0.01 packets/node/cycle of 5-flit packets ≈ 0.05
+					// flits/node/cycle — about half the 16×16 uniform-random
+					// saturation point, so queues stay bounded even with a few
+					// elements down and the timing is gate-stable.
+					for n := 0; n < num; n++ {
+						src := geom.NodeID(n)
+						if rng.Float64() >= 0.01 || !topo.RouterAlive(src) {
+							continue
+						}
+						dst := geom.NodeID(rng.Intn(num))
+						if dst == src || !topo.RouterAlive(dst) {
+							continue
+						}
+						if r, ok := alg.Route(src, dst, rng); ok {
+							s.Enqueue(s.NewPacket(src, dst, rng.Intn(3), 5, r))
+						} else {
+							s.Drop()
+						}
+					}
+				}
 			},
 		},
 		{

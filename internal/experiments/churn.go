@@ -1,0 +1,558 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/network"
+	"repro/internal/reconfig"
+	"repro/internal/routing"
+	"repro/internal/stats"
+	"repro/internal/sweep"
+	"repro/internal/topology"
+)
+
+// The churn experiment measures what the paper's static analysis cannot:
+// availability and recovery-latency SLOs under *continuous* dynamic
+// irregularity. Links and routers fail and recover as a Poisson process
+// for the whole run (millions of cycles at full scale), with events
+// freely overlapping — a second element dies while the first repairs,
+// a router recovers while a neighbor is draining. Three contenders:
+//
+//   - static_bubble: minimal routing + SB recovery. No reconfiguration
+//     stall at all; each event costs only the in-place repair of the
+//     affected packets (reconfig.Manager), and deadlock recovery is
+//     local (the SB FSMs, kept consistent via reconfig.SchemeHandler).
+//   - sp_tree: Ariadne-style spanning-tree re-election. Every event
+//     triggers a global re-election that stalls injection network-wide
+//     for TreeStall cycles ("1000s of cycles", paper Section I).
+//   - dbr: a DBR-style dynamic reconfiguration baseline (ValadBeigi et
+//     al., PAPERS.md): the up*/down* structure is patched incrementally,
+//     so only routers within DBRRadius hops of the event stall, for the
+//     much shorter DBRStall window.
+//
+// Recovery latency of an event is the span from the event to the later
+// of (a) its stall window closing and (b) the last packet the event
+// damaged leaving the network; availability is the fraction of
+// (alive ∧ unstalled) node-cycles. Percentiles come from the streaming
+// stats.Quantile sketch (a full-scale run observes millions of packet
+// latencies), merged across seeds — exercising the sharded-collection
+// merge path.
+
+// ChurnConfig parameterizes the churn process and the baselines' stall
+// model. Zero values select full-scale defaults.
+type ChurnConfig struct {
+	// Cycles is the churn phase length. Default 1_000_000.
+	Cycles int
+	// Rate is the injection rate per node-cycle. Default 0.01 (below
+	// every contender's saturation so the comparison isolates
+	// reconfiguration downtime, like the failures experiment).
+	Rate float64
+	// MeanFail is the mean cycles between failure events (Poisson).
+	// Default 2500.
+	MeanFail float64
+	// MeanRepair is the mean downtime before a failed element recovers.
+	// Default 4000.
+	MeanRepair float64
+	// RouterFrac is the fraction of failure events that hit a router
+	// (the rest hit links). Default 0.25.
+	RouterFrac float64
+	// TreeStall is sp_tree's global injection stall per event. Default
+	// 2000 (the failures experiment's "1000s of cycles").
+	TreeStall int
+	// DBRStall and DBRRadius bound dbr's regional stall: routers within
+	// DBRRadius Manhattan hops of the event stall DBRStall cycles.
+	// Defaults 250 and 3.
+	DBRStall  int
+	DBRRadius int
+	// Seeds is the number of independent runs per contender. Default 3.
+	Seeds int
+}
+
+func (c ChurnConfig) withDefaults() ChurnConfig {
+	if c.Cycles == 0 {
+		c.Cycles = 1_000_000
+	}
+	if c.Rate == 0 {
+		c.Rate = 0.01
+	}
+	if c.MeanFail == 0 {
+		c.MeanFail = 2500
+	}
+	if c.MeanRepair == 0 {
+		c.MeanRepair = 4000
+	}
+	if c.RouterFrac == 0 {
+		c.RouterFrac = 0.25
+	}
+	if c.TreeStall == 0 {
+		c.TreeStall = 2000
+	}
+	if c.DBRStall == 0 {
+		c.DBRStall = 250
+	}
+	if c.DBRRadius == 0 {
+		c.DBRRadius = 3
+	}
+	if c.Seeds == 0 {
+		c.Seeds = 3
+	}
+	return c
+}
+
+// QuickChurn returns a reduced-scale churn configuration for tests.
+func QuickChurn() ChurnConfig {
+	return ChurnConfig{
+		Cycles:     40_000,
+		MeanFail:   1500,
+		MeanRepair: 2500,
+		Seeds:      2,
+	}
+}
+
+// Churn contenders.
+const (
+	churnSB = iota
+	churnTree
+	churnDBR
+)
+
+var churnKinds = []int{churnSB, churnTree, churnDBR}
+
+func churnLabel(kind int) string {
+	switch kind {
+	case churnSB:
+		return StaticBubble.String()
+	case churnTree:
+		return SpanningTree.String()
+	default:
+		return "dbr"
+	}
+}
+
+// ChurnRow is one contender's aggregate over the churn sweep.
+type ChurnRow struct {
+	Label string
+	// Stall is the per-event stall charged (0 for static_bubble; the
+	// dbr figure is regional, the sp_tree one global).
+	Stall  int
+	Events int64
+	// Recovery-latency SLOs in cycles (streaming percentiles over every
+	// fail/recover event across all seeds).
+	RecP50, RecP99, RecP999 float64
+	// Availability is usable (alive ∧ unstalled) node-cycles over total
+	// node-cycles.
+	Availability float64
+	// Delivered-packet latency SLOs.
+	PktP50, PktP99, PktP999                   float64
+	Delivered, Lost, DroppedUnreach, Rerouted int64
+	// Censored counts events whose damaged packets had not all exited
+	// by run end (their latency is recorded as of the final cycle).
+	Censored int64
+	Sampled  int
+}
+
+// churnCell is one seed's outcome (exported fields: sweep cache value).
+// The sketches are pointers: encoding/json only consults Quantile's
+// pointer-receiver MarshalJSON through an addressable value, and the
+// cache marshals the cell from an interface, where value fields are
+// not addressable — a by-value sketch would round-trip as {}.
+type churnCell struct {
+	Rec, Pkt                                  *stats.Quantile
+	AvailUp, AvailTot                         int64
+	Events, Censored                          int64
+	Delivered, Lost, DroppedUnreach, Rerouted int64
+	Stats                                     network.Stats
+	OK                                        bool
+}
+
+// Churn runs the continuous-churn comparison.
+func Churn(p Params, cfg ChurnConfig) []ChurnRow {
+	p = p.withDefaults()
+	cfg = cfg.withDefaults()
+	var rows []ChurnRow
+	for _, kind := range churnKinds {
+		kind := kind
+		stall := 0
+		switch kind {
+		case churnTree:
+			stall = cfg.TreeStall
+		case churnDBR:
+			stall = cfg.DBRStall
+		}
+		row := ChurnRow{Label: churnLabel(kind), Stall: stall}
+		key := func(i int) *sweep.Key {
+			return p.cellKey("churn").Str("scheme", row.Label).
+				Int("cycles", cfg.Cycles).Float("rate", cfg.Rate).
+				Float("mean_fail", cfg.MeanFail).Float("mean_repair", cfg.MeanRepair).
+				Float("router_frac", cfg.RouterFrac).
+				Int("tree_stall", cfg.TreeStall).Int("dbr_stall", cfg.DBRStall).
+				Int("dbr_radius", cfg.DBRRadius).Int("run", i)
+		}
+		results := sweep.Run(p.engine(), cfg.Seeds, key,
+			func(i int, seed int64) (churnCell, error) {
+				return churnRun(p, cfg, kind, seed), nil
+			})
+		var rec, pkt stats.Quantile
+		var up, tot int64
+		for _, res := range results {
+			// Nil sketches mean a cache entry from an incompatible cell
+			// shape; treat it like a failed cell rather than reporting
+			// zero percentiles.
+			if !res.OK() || !res.Value.OK || res.Value.Rec == nil || res.Value.Pkt == nil {
+				continue
+			}
+			c := res.Value
+			rec.Merge(c.Rec)
+			pkt.Merge(c.Pkt)
+			row.Events += c.Events
+			row.Censored += c.Censored
+			row.Delivered += c.Delivered
+			row.Lost += c.Lost
+			row.DroppedUnreach += c.DroppedUnreach
+			row.Rerouted += c.Rerouted
+			up += c.AvailUp
+			tot += c.AvailTot
+			row.Sampled++
+		}
+		if tot > 0 {
+			row.Availability = float64(up) / float64(tot)
+		}
+		row.RecP50 = rec.Percentile(50)
+		row.RecP99 = rec.Percentile(99)
+		row.RecP999 = rec.Percentile(99.9)
+		row.PktP50 = pkt.Percentile(50)
+		row.PktP99 = pkt.Percentile(99)
+		row.PktP999 = pkt.Percentile(99.9)
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// churnEvent tracks one fail/recover event's recovery progress.
+type churnEvent struct {
+	at          int64
+	stallEnd    int64
+	lastExit    int64
+	outstanding int
+}
+
+// pendingRecover is a scheduled element recovery.
+type pendingRecover struct {
+	at int64
+	ev reconfig.Event
+}
+
+// churnRun executes one contender over one churn timeline. The run is
+// fully deterministic in (p, cfg, kind, seed) and shard-count
+// independent: all reconfiguration happens between Steps, and the
+// sharded stepper is byte-identical to the event core.
+func churnRun(p Params, cfg ChurnConfig, kind int, seed int64) (out churnCell) {
+	p = p.withDefaults()
+	cfg = cfg.withDefaults()
+	out.Rec = new(stats.Quantile)
+	out.Pkt = new(stats.Quantile)
+	topo := topology.NewMesh(p.Width, p.Height)
+	numNodes := topo.NumNodes()
+	s := network.New(topo, network.Config{Shards: p.Shards}, rand.New(rand.NewSource(sweep.SubSeed(seed, 0))))
+
+	var ctl *core.Controller
+	if kind == churnSB {
+		ctl = core.Attach(s, core.Options{TDD: p.TDD, Spin: p.SpinMode})
+	}
+	mgr := reconfig.New(s)
+	if ctl != nil {
+		mgr.SetScheme(ctl)
+	}
+
+	// Routing: SB routes through the manager's live tables; the
+	// baselines rebuild their up*/down* structure after every event.
+	var alg routing.Algorithm
+	rebuildAlg := func() {
+		if kind == churnSB {
+			return
+		}
+		ud := routing.NewUpDownRooted(topo, routing.RootLowestID)
+		alg = ud.TreeAlgorithm()
+	}
+	if kind == churnSB {
+		alg = mgr.Algorithm()
+	}
+	rebuildAlg()
+
+	// Event attribution: OnRepair/OnDeliver assign damaged packets to
+	// the event that broke their route; an event's recovery ends when
+	// its last damaged packet exits and its stall window closed.
+	owner := make(map[int64]*churnEvent)
+	var open []*churnEvent
+	var cur *churnEvent
+	mgr.OnRepair = func(pk *network.Packet, dropped bool) {
+		if prev, ok := owner[pk.ID]; ok {
+			prev.outstanding--
+			prev.lastExit = s.Now
+			delete(owner, pk.ID)
+		}
+		if !dropped && cur != nil {
+			owner[pk.ID] = cur
+			cur.outstanding++
+		}
+	}
+	s.OnDeliver = func(pk *network.Packet) {
+		out.Pkt.Add(float64(pk.Latency()))
+		if ev, ok := owner[pk.ID]; ok {
+			ev.outstanding--
+			ev.lastExit = s.Now
+			delete(owner, pk.ID)
+		}
+	}
+
+	// Stall bookkeeping. sp_tree stalls every node; dbr only the region
+	// around the event.
+	var globalStallUntil int64
+	stallUntil := make([]int64, numNodes)
+	var dbrMaxStall int64
+	chargeStall := func(at geom.NodeID, now int64) int64 {
+		switch kind {
+		case churnTree:
+			globalStallUntil = now + int64(cfg.TreeStall)
+			return globalStallUntil
+		case churnDBR:
+			end := now + int64(cfg.DBRStall)
+			ec := topo.Coord(at)
+			for n := 0; n < numNodes; n++ {
+				c := topo.Coord(geom.NodeID(n))
+				dx, dy := c.X-ec.X, c.Y-ec.Y
+				if dx < 0 {
+					dx = -dx
+				}
+				if dy < 0 {
+					dy = -dy
+				}
+				if dx+dy <= cfg.DBRRadius && end > stallUntil[n] {
+					stallUntil[n] = end
+				}
+			}
+			if end > dbrMaxStall {
+				dbrMaxStall = end
+			}
+			return end
+		default:
+			return now // static_bubble: no stall
+		}
+	}
+
+	// submitEvent applies ev now, attributing repairs and charging the
+	// contender's stall.
+	aliveCount := numNodes
+	submitEvent := func(ev reconfig.Event, now int64) {
+		e := &churnEvent{at: now}
+		cur = e
+		outcome, _ := mgr.Submit(ev)
+		cur = nil
+		if outcome != reconfig.OutApplied && outcome != reconfig.OutRevoked {
+			return
+		}
+		e.stallEnd = chargeStall(ev.Node, now)
+		e.lastExit = now
+		open = append(open, e)
+		out.Events++
+		aliveCount = topo.AliveRouterCount()
+		rebuildAlg()
+	}
+
+	erng := rand.New(rand.NewSource(sweep.SubSeed(seed, 1)))
+	rng := rand.New(rand.NewSource(sweep.SubSeed(seed, 2)))
+	var recovers []pendingRecover
+	scheduleRecover := func(now int64, ev reconfig.Event) {
+		at := now + 1 + int64(erng.ExpFloat64()*cfg.MeanRepair)
+		i := len(recovers)
+		recovers = append(recovers, pendingRecover{at: at, ev: ev})
+		for i > 0 && recovers[i-1].at > at {
+			recovers[i-1], recovers[i] = recovers[i], recovers[i-1]
+			i--
+		}
+	}
+	nextFail := int64(1 + erng.ExpFloat64()*cfg.MeanFail)
+
+	horizon := int64(cfg.Cycles)
+	for cyc := int64(0); cyc < horizon; cyc++ {
+		now := s.Now
+		// Due recoveries first (they were scheduled before this fail).
+		for len(recovers) > 0 && recovers[0].at <= now {
+			ev := recovers[0].ev
+			recovers = recovers[:copy(recovers, recovers[1:])]
+			submitEvent(ev, now)
+		}
+		if now >= nextFail {
+			nextFail = now + 1 + int64(erng.ExpFloat64()*cfg.MeanFail)
+			if erng.Float64() < cfg.RouterFrac {
+				// Kill a router (keep at least half the mesh up so the
+				// process can't grind the network away entirely).
+				alive := topo.AliveRouters()
+				if len(alive) > numNodes/2 {
+					n := alive[erng.Intn(len(alive))]
+					submitEvent(reconfig.Event{Kind: reconfig.EvFailRouter, Node: n}, now)
+					scheduleRecover(now, reconfig.Event{Kind: reconfig.EvRecoverRouter, Node: n})
+				}
+			} else {
+				links := topo.AliveUndirectedLinks()
+				if len(links) > numNodes {
+					l := links[erng.Intn(len(links))]
+					submitEvent(reconfig.Event{Kind: reconfig.EvFailLink, Node: l.From, Dir: l.Dir}, now)
+					scheduleRecover(now, reconfig.Event{Kind: reconfig.EvRecoverLink, Node: l.From, Dir: l.Dir})
+				}
+			}
+		}
+		// Close out events whose stall ended and damage drained.
+		if len(open) > 0 {
+			kept := open[:0]
+			for _, e := range open {
+				if e.outstanding == 0 && now >= e.stallEnd {
+					end := e.stallEnd
+					if e.lastExit > end {
+						end = e.lastExit
+					}
+					out.Rec.Add(float64(end - e.at))
+				} else {
+					kept = append(kept, e)
+				}
+			}
+			open = kept
+		}
+		// Availability + injection, gated by the contender's stalls.
+		usable := aliveCount
+		switch {
+		case kind == churnTree && now < globalStallUntil:
+			usable = 0
+		case kind == churnDBR && now < dbrMaxStall:
+			usable = 0
+			for n := 0; n < numNodes; n++ {
+				if stallUntil[n] <= now && topo.RouterAlive(geom.NodeID(n)) {
+					usable++
+				}
+			}
+		}
+		out.AvailUp += int64(usable)
+		out.AvailTot += int64(numNodes)
+		if usable > 0 {
+			for n := 0; n < numNodes; n++ {
+				src := geom.NodeID(n)
+				if rng.Float64() >= cfg.Rate {
+					continue
+				}
+				if !topo.RouterAlive(src) {
+					continue
+				}
+				if kind == churnTree && now < globalStallUntil {
+					continue
+				}
+				if kind == churnDBR && stallUntil[n] > now {
+					continue
+				}
+				dst := geom.NodeID(rng.Intn(numNodes))
+				if dst == src || !topo.RouterAlive(dst) {
+					continue
+				}
+				if r, ok := alg.Route(src, dst, rng); ok {
+					ln := 1
+					if rng.Intn(2) == 0 {
+						ln = 5
+					}
+					s.Enqueue(s.NewPacket(src, dst, rng.Intn(3), ln, r))
+				} else {
+					s.Drop()
+				}
+			}
+		}
+		s.Step()
+	}
+	// Drain: stop injecting and failing, apply the remaining scheduled
+	// recoveries on time, and let in-flight traffic land.
+	for i := int64(0); i < 40*int64(p.Width*p.Height)*10; i++ {
+		now := s.Now
+		for len(recovers) > 0 && recovers[0].at <= now {
+			ev := recovers[0].ev
+			recovers = recovers[:copy(recovers, recovers[1:])]
+			submitEvent(ev, now)
+		}
+		if len(recovers) == 0 && s.InFlight()+s.QueuedPackets() == 0 {
+			break
+		}
+		s.Step()
+	}
+	// Close the books: events still open are censored at the final cycle.
+	endNow := s.Now
+	for _, e := range open {
+		end := e.stallEnd
+		if e.lastExit > end {
+			end = e.lastExit
+		}
+		if e.outstanding > 0 {
+			end = endNow
+			out.Censored++
+		}
+		if end < e.at {
+			end = e.at
+		}
+		out.Rec.Add(float64(end - e.at))
+	}
+	out.Delivered = s.Stats.Delivered
+	out.Lost = s.Stats.Lost
+	out.DroppedUnreach = s.Stats.DroppedUnreachable
+	out.Rerouted = mgr.Rerouted
+	out.Stats = s.Stats
+	// Conservation must hold to the cycle even under overlapped churn.
+	out.OK = s.Stats.Delivered > 0 &&
+		s.Stats.Offered == s.Stats.Delivered+int64(s.InFlight())+int64(s.QueuedPackets())+s.Stats.Lost
+	return out
+}
+
+// ChurnShardStats runs the static_bubble churn workload at the given
+// shard count and returns the final simulator statistics — the CI churn
+// smoke tier byte-compares the result across shard counts.
+func ChurnShardStats(p Params, cfg ChurnConfig, shards int, seed int64) network.Stats {
+	p = p.withDefaults()
+	p.Shards = shards
+	cell := churnRun(p, cfg, churnSB, seed)
+	return cell.Stats
+}
+
+// PrintChurn writes the contender table.
+func PrintChurn(w io.Writer, cfg ChurnConfig, rows []ChurnRow) {
+	cfg = cfg.withDefaults()
+	fmt.Fprintf(w, "Continuous churn: Poisson fail/recover events (mean every %.0f cycles, repair %.0f) over %d cycles\n",
+		cfg.MeanFail, cfg.MeanRepair, cfg.Cycles)
+	fmt.Fprintf(w, "%-14s %-6s %-7s %-9s %-9s %-9s %-7s %-9s %-9s %-9s %-10s %-6s %-5s %s\n",
+		"scheme", "stall", "events", "recP50", "recP99", "recP99.9", "avail%", "pktP50", "pktP99", "pktP99.9",
+		"delivered", "lost", "cens", "n")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-14s %-6d %-7d %-9.0f %-9.0f %-9.0f %-7.3f %-9.0f %-9.0f %-9.0f %-10d %-6d %-5d %d\n",
+			r.Label, r.Stall, r.Events, r.RecP50, r.RecP99, r.RecP999,
+			100*r.Availability, r.PktP50, r.PktP99, r.PktP999,
+			r.Delivered, r.Lost, r.Censored, r.Sampled)
+	}
+}
+
+// ChurnCSV emits the comparison as CSV.
+func ChurnCSV(w io.Writer, rows []ChurnRow) error {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{
+			r.Label, d(int64(r.Stall)), d(r.Events),
+			f(r.RecP50), f(r.RecP99), f(r.RecP999),
+			f(r.Availability),
+			f(r.PktP50), f(r.PktP99), f(r.PktP999),
+			d(r.Delivered), d(r.Lost), d(r.DroppedUnreach), d(r.Rerouted),
+			d(r.Censored), d(int64(r.Sampled)),
+		}
+	}
+	return writeCSV(w, []string{
+		"scheme", "stall", "events",
+		"rec_p50", "rec_p99", "rec_p999", "availability",
+		"pkt_p50", "pkt_p99", "pkt_p999",
+		"delivered", "lost", "dropped_unreachable", "rerouted", "censored", "sampled",
+	}, out)
+}

@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// churnTestCfg is small enough for the unit-test tier while still
+// producing overlapping events (mean inter-failure 600 cycles against a
+// mean 900-cycle repair ⇒ the steady state usually has >1 element down).
+func churnTestCfg() ChurnConfig {
+	return ChurnConfig{
+		Cycles:     12_000,
+		MeanFail:   600,
+		MeanRepair: 900,
+		Seeds:      1,
+	}
+}
+
+func churnTestParams() Params {
+	p := Quick()
+	p.Topologies = 1
+	return p
+}
+
+// TestChurnShape: all three contenders run the churn workload to
+// completion with conservation intact, observe events, deliver traffic,
+// and order as the downtime model dictates: Static Bubble (no stall)
+// must not be less available than the globally-stalling tree re-election.
+func TestChurnShape(t *testing.T) {
+	rows := Churn(churnTestParams(), churnTestCfg())
+	if len(rows) != 3 {
+		t.Fatalf("want 3 contenders, got %d", len(rows))
+	}
+	byLabel := map[string]ChurnRow{}
+	for _, r := range rows {
+		byLabel[r.Label] = r
+		if r.Sampled == 0 {
+			t.Fatalf("%s: no run passed the conservation check", r.Label)
+		}
+		if r.Events == 0 {
+			t.Fatalf("%s: churn produced no applied events", r.Label)
+		}
+		if r.Delivered == 0 {
+			t.Fatalf("%s: delivered nothing", r.Label)
+		}
+		if r.Availability <= 0 || r.Availability > 1 {
+			t.Fatalf("%s: availability %v out of range", r.Label, r.Availability)
+		}
+		if r.RecP50 < 0 || r.RecP99 < r.RecP50 || r.RecP999 < r.RecP99 {
+			t.Fatalf("%s: recovery percentiles not monotone: %v %v %v",
+				r.Label, r.RecP50, r.RecP99, r.RecP999)
+		}
+		if r.PktP99 < r.PktP50 {
+			t.Fatalf("%s: packet percentiles not monotone", r.Label)
+		}
+	}
+	sb, tree, dbr := byLabel["static_bubble"], byLabel["sp_tree"], byLabel["dbr"]
+	if sb.Stall != 0 || tree.Stall == 0 || dbr.Stall == 0 {
+		t.Fatalf("stall model wrong: sb=%d tree=%d dbr=%d", sb.Stall, tree.Stall, dbr.Stall)
+	}
+	if sb.Availability < tree.Availability {
+		t.Fatalf("static_bubble availability %v below sp_tree %v despite zero stall",
+			sb.Availability, tree.Availability)
+	}
+	// The tree's global 2000-cycle stall dominates its recovery tail; SB
+	// events finish when damaged traffic lands, far sooner.
+	if sb.RecP99 >= tree.RecP99 {
+		t.Fatalf("static_bubble recP99 %v not below sp_tree %v", sb.RecP99, tree.RecP99)
+	}
+}
+
+// TestChurnShardEquality: the static_bubble churn run — overlapping
+// fail/recover events, in-place repair, controller resets and all — must
+// be byte-identical between the sequential core and the 4-shard stepper.
+// (The CI churn smoke tier runs the same check under -race.)
+func TestChurnShardEquality(t *testing.T) {
+	p := churnTestParams()
+	cfg := churnTestCfg()
+	a := ChurnShardStats(p, cfg, 1, 12345)
+	b := ChurnShardStats(p, cfg, 4, 12345)
+	if a != b {
+		t.Fatalf("churn trajectories diverged across shard counts\nshards=1: %+v\nshards=4: %+v", a, b)
+	}
+	if a.Delivered == 0 {
+		t.Fatal("shard-equality run delivered nothing")
+	}
+}
+
+// TestChurnDeterminism: same parameters, same rows — the sweep cache
+// depends on it.
+func TestChurnDeterminism(t *testing.T) {
+	p := churnTestParams()
+	cfg := churnTestCfg()
+	cfg.Cycles = 6000
+	a := Churn(p, cfg)
+	b := Churn(p, cfg)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("row %d differs across reruns:\n%+v\n%+v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestChurnCSV: the CSV emitter is well-formed and carries every row.
+func TestChurnCSV(t *testing.T) {
+	p := churnTestParams()
+	cfg := churnTestCfg()
+	cfg.Cycles = 6000
+	rows := Churn(p, cfg)
+	var buf bytes.Buffer
+	if err := ChurnCSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != len(rows)+1 {
+		t.Fatalf("want %d lines, got %d", len(rows)+1, len(lines))
+	}
+	wantCols := len(strings.Split(lines[0], ","))
+	for i, ln := range lines {
+		if got := len(strings.Split(ln, ",")); got != wantCols {
+			t.Fatalf("line %d has %d columns, want %d", i, got, wantCols)
+		}
+	}
+	var tbl bytes.Buffer
+	PrintChurn(&tbl, cfg, rows)
+	for _, label := range []string{"static_bubble", "sp_tree", "dbr"} {
+		if !strings.Contains(tbl.String(), label) {
+			t.Fatalf("table output missing %s", label)
+		}
+	}
+}

@@ -11,14 +11,28 @@
 //     component are rerouted in place from their current position, or
 //     dropped if their destination became unreachable (the paper's
 //     methodology drops such packets).
+//   - A recovery re-enables the element, refreshes routing, and wakes the
+//     routers that can use it again.
 //
-// After every change the manager rebuilds its minimal-routing tables, so
-// newly injected packets always use the current topology.
+// The manager is overlap-safe: events arrive as a stream (Submit /
+// SubmitAt + Tick) and any interleaving is legal, including events that
+// touch the same router. A failure overrides a gate drain in progress on
+// the same router; a recovery of a draining router revokes the drain
+// (the router never powered off, so nothing rebuilds); repeated fails
+// and recovers are idempotent no-ops. Every applied mutation advances
+// the reconfiguration epoch (Epoch), the validity domain for compiled
+// tables and one-shot detour routes.
+//
+// After every change the manager rebuilds its minimal-routing tables
+// (through a bounded fingerprint-keyed cache, since churn revisits
+// topologies), so newly injected packets always use the current
+// topology.
 package reconfig
 
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"repro/internal/geom"
 	"repro/internal/network"
@@ -27,16 +41,34 @@ import (
 )
 
 // Manager wraps a simulator and its topology with safe mutation
-// operations. Create with New; use Routes for route computation so that
+// operations. Create with New; use Route for route computation so that
 // pending gates are respected.
 type Manager struct {
 	sim  *network.Sim
 	topo *topology.Topology
 	// minimal is rebuilt whenever the topology changes.
 	minimal *routing.Minimal
+	// tables caches compiled minimal tables by topology fingerprint so a
+	// flapping element doesn't recompile all-pairs routing twice.
+	tables *tableCache
 	// pendingGate marks routers that must not receive new routes but are
 	// still draining.
 	pendingGate map[geom.NodeID]bool
+	// scheme, when set, is notified after each applied event so recovery
+	// protocol state (FSMs, fences) tracks the topology. See SetScheme.
+	scheme SchemeHandler
+	// epoch counts applied topology mutations. See Epoch.
+	epoch int64
+	// queue holds scheduled events (SubmitAt) ordered by (at, seq).
+	queue []scheduledEvent
+	seq   int64
+	// OnRepair, when non-nil, observes every packet the manager touches
+	// while repairing traffic after a failure: rerouted packets
+	// (dropped=false) and discarded ones (dropped=true, fired before the
+	// packet is released — read fields only during the callback, as with
+	// Sim.OnDeliver). Churn harnesses use it to attribute in-flight
+	// damage to the event that caused it.
+	OnRepair func(p *network.Packet, dropped bool)
 	// Dropped counts packets discarded because a failure disconnected
 	// their destination.
 	Dropped int64
@@ -53,13 +85,22 @@ func New(s *network.Sim) *Manager {
 	m := &Manager{
 		sim:         s,
 		topo:        s.Topo,
+		tables:      newTableCache(),
 		pendingGate: make(map[geom.NodeID]bool),
 	}
 	m.rebuild()
 	return m
 }
 
-func (m *Manager) rebuild() { m.minimal = routing.NewMinimal(m.topo) }
+func (m *Manager) rebuild() {
+	fp := m.topo.Fingerprint()
+	if min, ok := m.tables.get(fp); ok {
+		m.minimal = min
+		return
+	}
+	m.minimal = routing.NewMinimal(m.topo)
+	m.tables.put(fp, m.minimal)
+}
 
 // Route returns a minimal route from src to dst that avoids routers
 // pending gating, or ok=false if none exists. Use this instead of a raw
@@ -169,12 +210,22 @@ func (m *Manager) TryCompleteGates() []geom.NodeID {
 			gated = append(gated, n)
 		}
 	}
+	sort.Slice(gated, func(i, j int) bool { return gated[i] < gated[j] })
 	for _, n := range gated {
 		delete(m.pendingGate, n)
 		m.topo.DisableRouter(n)
 	}
 	if len(gated) > 0 {
+		m.epoch++
 		m.rebuild()
+		if m.scheme != nil {
+			// A power-off is a clean death from the scheme's perspective:
+			// any protocol residue at the router must not survive into a
+			// later recovery.
+			for _, n := range gated {
+				m.scheme.RouterFailed(n)
+			}
+		}
 	}
 	return gated
 }
@@ -182,29 +233,74 @@ func (m *Manager) TryCompleteGates() []geom.NodeID {
 // PendingGates returns the routers still draining toward power-off.
 func (m *Manager) PendingGates() int { return len(m.pendingGate) }
 
-// Ungate powers a gated router back on and refreshes routing.
-func (m *Manager) Ungate(n geom.NodeID) {
-	m.topo.EnableRouter(n)
-	delete(m.pendingGate, n)
-	m.rebuild()
-	// Re-enabling a router is stateless from the simulator's view; tell
-	// the event scheduler so pending injections resume immediately.
-	m.sim.Wake(n)
-}
+// Ungate revokes a pending gate or powers a gated router back on and
+// refreshes routing. Equivalent to Submit(Event{Kind: EvUngate, Node: n}).
+func (m *Manager) Ungate(n geom.NodeID) { m.recoverRouter(n) }
 
 // FailLink kills the bidirectional link between n and its neighbor in
 // direction d, then repairs all affected traffic: queued and in-flight
 // packets whose remaining route crossed the link are rerouted from their
 // current position, or dropped if their destination is now unreachable.
-func (m *Manager) FailLink(n geom.NodeID, d geom.Direction) {
-	m.topo.DisableLink(n, d)
-	m.rebuild()
-	m.repairTraffic()
-}
+// Equivalent to Submit(Event{Kind: EvFailLink, Node: n, Dir: d}).
+func (m *Manager) FailLink(n geom.NodeID, d geom.Direction) { m.failLink(n, d) }
 
 // FailRouter kills router n abruptly; packets buffered at n are lost
 // (counted as dropped), and other affected traffic is rerouted.
-func (m *Manager) FailRouter(n geom.NodeID) {
+// Equivalent to Submit(Event{Kind: EvFailRouter, Node: n}).
+func (m *Manager) FailRouter(n geom.NodeID) { m.failRouter(n) }
+
+// failLink applies a link failure with idempotence: severing an
+// already-severed wire is a no-op (no rebuild, no epoch bump).
+func (m *Manager) failLink(n geom.NodeID, d geom.Direction) Outcome {
+	nb := m.topo.Neighbor(n, d)
+	if nb == geom.InvalidNode {
+		return OutNoop
+	}
+	if !m.topo.LinkIntact(n, d) && !m.topo.LinkIntact(nb, d.Opposite()) {
+		return OutNoop
+	}
+	m.topo.DisableLink(n, d)
+	m.epoch++
+	m.rebuild()
+	if m.scheme != nil {
+		m.scheme.LinkChanged(n, d, false)
+	}
+	m.repairTraffic()
+	return OutApplied
+}
+
+// recoverLink restores the bidirectional link n→d. No traffic repair is
+// needed — added capacity breaks no committed route — but both
+// endpoints are woken so blocked heads re-arbitrate and queued
+// injections resume.
+func (m *Manager) recoverLink(n geom.NodeID, d geom.Direction) Outcome {
+	nb := m.topo.Neighbor(n, d)
+	if nb == geom.InvalidNode {
+		return OutNoop
+	}
+	if m.topo.LinkIntact(n, d) && m.topo.LinkIntact(nb, d.Opposite()) {
+		return OutNoop
+	}
+	m.topo.EnableLink(n, d)
+	m.epoch++
+	m.rebuild()
+	if m.scheme != nil {
+		m.scheme.LinkChanged(n, d, true)
+	}
+	m.sim.Wake(n)
+	m.sim.Wake(nb)
+	return OutApplied
+}
+
+// failRouter applies a router failure. Overlap rules: failing a dead
+// router is a no-op; failing a router mid-gate-drain cancels the drain
+// and kills it abruptly (resident packets lost) — the failure does not
+// wait for the drain it just obsoleted.
+func (m *Manager) failRouter(n geom.NodeID) Outcome {
+	if !m.topo.RouterAlive(n) {
+		return OutNoop
+	}
+	delete(m.pendingGate, n)
 	// Discard the dead router's buffered packets.
 	r := &m.sim.Routers[n]
 	for _, port := range geom.AllPorts {
@@ -218,12 +314,50 @@ func (m *Manager) FailRouter(n geom.NodeID) {
 		m.discardVC(&r.Bubble.VC, n, r.Bubble.InPort)
 	}
 	m.topo.DisableRouter(n)
+	m.epoch++
 	m.rebuild()
+	if m.scheme != nil {
+		m.scheme.RouterFailed(n)
+	}
 	m.repairTraffic()
+	return OutApplied
+}
+
+// recoverRouter revives router n. Overlap rules: recovering a router
+// that is still draining toward power-off revokes the drain — it never
+// went down, so the topology, tables, and epoch are untouched and
+// routes simply stop avoiding it. Recovering an alive router is a
+// no-op; recovering a dead one re-enables it, refreshes routing, and
+// wakes it and its neighbors (queued injections at the revived router
+// resume, and blocked heads pointing at it re-arbitrate).
+func (m *Manager) recoverRouter(n geom.NodeID) Outcome {
+	if m.pendingGate[n] {
+		delete(m.pendingGate, n)
+		return OutRevoked
+	}
+	if m.topo.RouterAlive(n) {
+		return OutNoop
+	}
+	m.topo.EnableRouter(n)
+	m.epoch++
+	m.rebuild()
+	if m.scheme != nil {
+		m.scheme.RouterRecovered(n)
+	}
+	m.sim.Wake(n)
+	for _, d := range geom.LinkDirs {
+		if nb := m.topo.Neighbor(n, d); nb != geom.InvalidNode && m.topo.RouterAlive(nb) {
+			m.sim.Wake(nb)
+		}
+	}
+	return OutApplied
 }
 
 // discardVC removes a packet from a VC with full accounting.
 func (m *Manager) discardVC(vc *network.VC, at geom.NodeID, port geom.Direction) {
+	if m.OnRepair != nil {
+		m.OnRepair(vc.Pkt, true)
+	}
 	m.sim.RemovePacket(vc, at, port)
 	m.Dropped++
 }
@@ -250,7 +384,29 @@ func (m *Manager) forEachInFlight(fn func(p *network.Packet, at geom.NodeID)) {
 
 // repairTraffic walks all live traffic and fixes routes broken by the
 // last topology change.
+//
+// Overlap rule: while gates are draining, replacement routes must keep
+// avoiding the pending routers, or a failure elsewhere would shove
+// repaired traffic through a router that is trying to drain and
+// livelock the gate under churn. A detour-avoiding route is preferred;
+// if none exists the repair falls back to the full tables (delaying the
+// gate beats dropping a deliverable packet), and only then drops.
 func (m *Manager) repairTraffic() {
+	var view *topology.Topology
+	if len(m.pendingGate) > 0 {
+		view = m.topo.Clone()
+		for n := range m.pendingGate {
+			view.DisableRouter(n)
+		}
+	}
+	reroute := func(from, dst geom.NodeID) (routing.Route, bool) {
+		if view != nil {
+			if nr, ok := routing.AppendRouteOneShot(view, m.routeBuf[:0], from, dst, m.sim.Rng); ok {
+				return nr, true
+			}
+		}
+		return m.minimal.AppendRoute(m.routeBuf[:0], from, dst, m.sim.Rng)
+	}
 	// In-flight packets: reroute from the router they currently occupy.
 	type fix struct {
 		vc   *network.VC
@@ -277,9 +433,12 @@ func (m *Manager) repairTraffic() {
 	}
 	for _, b := range broken {
 		p := b.vc.Pkt
-		if nr, ok := m.minimal.AppendRoute(m.routeBuf[:0], b.at, p.Dst, m.sim.Rng); ok {
+		if nr, ok := reroute(b.at, p.Dst); ok {
 			m.setRoute(p, nr)
 			m.Rerouted++
+			if m.OnRepair != nil {
+				m.OnRepair(p, false)
+			}
 		} else {
 			m.discardVC(b.vc, b.at, b.port)
 		}
@@ -292,10 +451,16 @@ func (m *Manager) repairTraffic() {
 				if m.routeValidFrom(p, src) {
 					return true
 				}
-				if nr, ok := m.minimal.AppendRoute(m.routeBuf[:0], src, p.Dst, m.sim.Rng); ok {
+				if nr, ok := reroute(src, p.Dst); ok {
 					m.setRoute(p, nr)
 					m.Rerouted++
+					if m.OnRepair != nil {
+						m.OnRepair(p, false)
+					}
 					return true
+				}
+				if m.OnRepair != nil {
+					m.OnRepair(p, true)
 				}
 				m.sim.DiscardQueued(p)
 				m.Dropped++

@@ -1,0 +1,70 @@
+package reconfig
+
+import (
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+// tableCacheCap bounds the per-Manager compiled-table cache. Churn
+// revisits topologies constantly (a link flaps down and back up, a
+// router fails and recovers), so a window this size captures nearly
+// all repeats while keeping worst-case memory at ~cap × table size.
+const tableCacheCap = 32
+
+// tableCache is a tiny fingerprint-keyed LRU of compiled minimal
+// routing tables, private to one Manager.
+//
+// Why not routing.MinimalFor? That process-wide cache is documented as
+// off-limits for callers that mutate their topology in place (see
+// routing/cache.go): the manager's topology changes on every event, so
+// sharing compiled snapshots across simulations keyed by a pointer
+// would be wrong, and keying globally by fingerprint would let one
+// churn run grow process memory without bound. A per-Manager LRU keeps
+// the win (recovering a flapped element reuses the previous compile)
+// with a hard cap, and dies with the manager.
+//
+// Determinism: keys are content fingerprints, so a hit returns exactly
+// the table NewMinimal would compile for that connectivity — the
+// simulated trajectory is byte-identical with or without hits.
+type tableCache struct {
+	entries map[topology.Fingerprint]*routing.Minimal
+	order   []topology.Fingerprint // front = least recently used
+}
+
+func newTableCache() *tableCache {
+	return &tableCache{entries: make(map[topology.Fingerprint]*routing.Minimal, tableCacheCap)}
+}
+
+func (c *tableCache) get(fp topology.Fingerprint) (*routing.Minimal, bool) {
+	min, ok := c.entries[fp]
+	if ok {
+		c.touch(fp)
+	}
+	return min, ok
+}
+
+func (c *tableCache) put(fp topology.Fingerprint, min *routing.Minimal) {
+	if _, ok := c.entries[fp]; ok {
+		c.entries[fp] = min
+		c.touch(fp)
+		return
+	}
+	if len(c.order) >= tableCacheCap {
+		old := c.order[0]
+		c.order = c.order[:copy(c.order, c.order[1:])]
+		delete(c.entries, old)
+	}
+	c.entries[fp] = min
+	c.order = append(c.order, fp)
+}
+
+// touch moves fp to the most-recently-used end.
+func (c *tableCache) touch(fp topology.Fingerprint) {
+	for i, f := range c.order {
+		if f == fp {
+			copy(c.order[i:], c.order[i+1:])
+			c.order[len(c.order)-1] = fp
+			return
+		}
+	}
+}

@@ -1,0 +1,245 @@
+package stats
+
+import (
+	"encoding/json"
+	"math"
+	"sort"
+)
+
+// Quantile tuning. 32 sub-buckets per octave bound the relative width
+// of one bucket to 1/32 ≈ 3.1%, so a nearest-rank quantile read from
+// bucket midpoints is within ~1.6% (relative) of the exact value —
+// plenty for p50/p99/p999 recovery-latency SLOs measured in cycles.
+const (
+	quantileExactCap = 128
+	quantileSubBits  = 5
+	quantileSub      = 1 << quantileSubBits
+)
+
+// Quantile is a streaming quantile estimator for non-negative values
+// (cycle counts, latencies) with bounded memory, built for the
+// continuous-churn harness where a run observes millions of packet
+// latencies: Sample keeps every value and would grow without bound.
+//
+// Small streams (≤ quantileExactCap values) are stored exactly, so
+// short runs report exact percentiles. Larger streams spill into a
+// log-bucketed histogram: each power-of-two octave is split into
+// quantileSub equal sub-buckets, giving ≤ 1/quantileSub relative error
+// per bucket at a few KB regardless of stream length. Values in [0, 1)
+// get a dedicated bin (latencies are integers; only an exact zero lands
+// there in practice).
+//
+// Merge combines two estimators; because bucket boundaries are global
+// constants, merging per-shard sketches is bucket-exact — a merged
+// sketch answers every quantile query identically to a single sketch
+// that saw the concatenated stream (once either side has spilled).
+//
+// The zero value is ready to use. Quantile serializes to JSON (the
+// sweep cache stores experiment cells as JSON), round-tripping every
+// query answer exactly.
+type Quantile struct {
+	n     int64
+	sum   float64
+	minV  float64
+	maxV  float64
+	exact []float64 // exact mode; nil once spilled
+	spill bool
+	small int64   // count of values in [0, 1)
+	buck  []int64 // bucket counts, index = octave*quantileSub + sub
+}
+
+// Add records one observation. Negative values clamp to 0 (latencies
+// cannot be negative; a clamp keeps a buggy caller observable via Min
+// rather than corrupting the bucket index).
+func (q *Quantile) Add(v float64) {
+	if v < 0 || math.IsNaN(v) {
+		v = 0
+	}
+	if math.IsInf(v, 1) {
+		v = math.MaxFloat64
+	}
+	if q.n == 0 || v < q.minV {
+		q.minV = v
+	}
+	if q.n == 0 || v > q.maxV {
+		q.maxV = v
+	}
+	q.n++
+	q.sum += v
+	if !q.spill {
+		if len(q.exact) < quantileExactCap {
+			q.exact = append(q.exact, v)
+			return
+		}
+		q.spillExact()
+	}
+	q.bucketAdd(v)
+}
+
+// spillExact converts the exact store into buckets.
+func (q *Quantile) spillExact() {
+	q.spill = true
+	for _, v := range q.exact {
+		q.bucketAdd(v)
+	}
+	q.exact = nil
+}
+
+func (q *Quantile) bucketAdd(v float64) {
+	if v < 1 {
+		q.small++
+		return
+	}
+	idx := bucketIndex(v)
+	if idx >= len(q.buck) {
+		q.buck = append(q.buck, make([]int64, idx+1-len(q.buck))...)
+	}
+	q.buck[idx]++
+}
+
+// bucketIndex maps v ≥ 1 to its bucket: octave = floor(log2 v), sub =
+// the value's position within the octave in quantileSub equal slices.
+func bucketIndex(v float64) int {
+	frac, exp := math.Frexp(v) // v = frac × 2^exp, frac ∈ [0.5, 1)
+	octave := exp - 1          // v ∈ [2^octave, 2^(octave+1))
+	sub := int(frac*(2*quantileSub)) - quantileSub
+	if sub >= quantileSub { // frac rounding at the octave edge
+		sub = quantileSub - 1
+	}
+	return octave*quantileSub + sub
+}
+
+// bucketMid returns the representative value of bucket idx: the
+// midpoint of its [lo, hi) span.
+func bucketMid(idx int) float64 {
+	octave := idx >> quantileSubBits
+	sub := idx & (quantileSub - 1)
+	lo := math.Ldexp(1+float64(sub)/quantileSub, octave)
+	hi := math.Ldexp(1+float64(sub+1)/quantileSub, octave)
+	return (lo + hi) / 2
+}
+
+// N returns the observation count.
+func (q *Quantile) N() int64 { return q.n }
+
+// Mean returns the arithmetic mean (0 for an empty stream).
+func (q *Quantile) Mean() float64 {
+	if q.n == 0 {
+		return 0
+	}
+	return q.sum / float64(q.n)
+}
+
+// Min and Max return the exact extremes (0 for an empty stream).
+func (q *Quantile) Min() float64 { return q.minV }
+
+// Max returns the largest observation.
+func (q *Quantile) Max() float64 { return q.maxV }
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) by nearest-rank,
+// matching Sample.Percentile's convention. Exact below the spill
+// threshold; within one bucket's width above it. The extremes are
+// pinned: p low enough to select the first value returns Min, high
+// enough to select the last returns Max.
+func (q *Quantile) Percentile(p float64) float64 {
+	if q.n == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(p/100*float64(q.n))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= q.n {
+		rank = q.n - 1
+	}
+	if !q.spill {
+		sorted := append([]float64(nil), q.exact...)
+		sort.Float64s(sorted)
+		return sorted[rank]
+	}
+	if rank == q.n-1 {
+		return q.maxV
+	}
+	seen := q.small
+	if rank < seen {
+		return q.minV // everything in [0,1) reads as the exact minimum
+	}
+	for idx, cnt := range q.buck {
+		seen += cnt
+		if rank < seen {
+			return bucketMid(idx)
+		}
+	}
+	return q.maxV
+}
+
+// Merge folds o into q, as if q had also observed o's stream. Bucket
+// boundaries are shared constants, so merged sketches answer quantile
+// queries exactly like a single sketch over the concatenated stream
+// (shard-order independent); if both sides are still exact and fit,
+// the merge stays exact.
+func (q *Quantile) Merge(o *Quantile) {
+	if o.n == 0 {
+		return
+	}
+	if q.n == 0 || o.minV < q.minV {
+		q.minV = o.minV
+	}
+	if q.n == 0 || o.maxV > q.maxV {
+		q.maxV = o.maxV
+	}
+	q.n += o.n
+	q.sum += o.sum
+	if !q.spill && !o.spill && len(q.exact)+len(o.exact) <= quantileExactCap {
+		q.exact = append(q.exact, o.exact...)
+		return
+	}
+	if !q.spill {
+		q.spillExact()
+	}
+	if !o.spill {
+		for _, v := range o.exact {
+			q.bucketAdd(v)
+		}
+		return
+	}
+	q.small += o.small
+	if len(o.buck) > len(q.buck) {
+		q.buck = append(q.buck, make([]int64, len(o.buck)-len(q.buck))...)
+	}
+	for i, cnt := range o.buck {
+		q.buck[i] += cnt
+	}
+}
+
+// quantileJSON is the serialized form (the sweep cache stores cells as
+// JSON; unexported fields would silently drop).
+type quantileJSON struct {
+	N     int64     `json:"n"`
+	Sum   float64   `json:"sum"`
+	Min   float64   `json:"min"`
+	Max   float64   `json:"max"`
+	Exact []float64 `json:"exact,omitempty"`
+	Spill bool      `json:"spill,omitempty"`
+	Small int64     `json:"small,omitempty"`
+	Buck  []int64   `json:"buck,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (q *Quantile) MarshalJSON() ([]byte, error) {
+	return json.Marshal(quantileJSON{
+		N: q.n, Sum: q.sum, Min: q.minV, Max: q.maxV,
+		Exact: q.exact, Spill: q.spill, Small: q.small, Buck: q.buck,
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (q *Quantile) UnmarshalJSON(b []byte) error {
+	var s quantileJSON
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	q.n, q.sum, q.minV, q.maxV = s.N, s.Sum, s.Min, s.Max
+	q.exact, q.spill, q.small, q.buck = s.Exact, s.Spill, s.Small, s.Buck
+	return nil
+}

@@ -1,0 +1,199 @@
+package stats
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+var quantilePs = []float64{0, 1, 10, 25, 50, 75, 90, 99, 99.9, 100}
+
+// TestQuantileExactSmallN: below the spill threshold the estimator must
+// agree exactly with the sorted-reference nearest-rank percentile
+// (Sample.Percentile) at every probe point.
+func TestQuantileExactSmallN(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 3, 17, quantileExactCap} {
+		var q Quantile
+		var s Sample
+		for i := 0; i < n; i++ {
+			v := math.Floor(rng.Float64() * 1e4)
+			q.Add(v)
+			s.Add(v)
+		}
+		for _, p := range quantilePs {
+			if got, want := q.Percentile(p), s.Percentile(p); got != want {
+				t.Fatalf("n=%d p%.1f: got %v want %v", n, p, got, want)
+			}
+		}
+		if q.Min() != s.Min() || q.Max() != s.Max() || math.Abs(q.Mean()-s.Mean()) > 1e-9 {
+			t.Fatalf("n=%d: min/max/mean diverged from Sample", n)
+		}
+	}
+}
+
+// TestQuantileBoundedError: on 1e6 samples from a heavy-tailed
+// distribution every queried percentile must be within one bucket's
+// relative width of the sorted reference, and min/max stay exact.
+func TestQuantileBoundedError(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	const n = 1_000_000
+	var q Quantile
+	ref := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		// Integer "latencies" spanning ~5 decades, log-uniform-ish, plus
+		// a spike of zeros (recovery events with no affected packets).
+		var v float64
+		if rng.Intn(50) == 0 {
+			v = 0
+		} else {
+			v = math.Floor(math.Exp(rng.Float64() * 11.5))
+		}
+		q.Add(v)
+		ref = append(ref, v)
+	}
+	sort.Float64s(ref)
+	if q.N() != n {
+		t.Fatalf("count: got %d want %d", q.N(), n)
+	}
+	if q.Min() != ref[0] || q.Max() != ref[n-1] {
+		t.Fatalf("extremes: got [%v,%v] want [%v,%v]", q.Min(), q.Max(), ref[0], ref[n-1])
+	}
+	// One bucket spans a factor of (1 + 1/quantileSub); the midpoint is
+	// within half that of any member, so allow a shade over half-width.
+	relTol := 0.6 / quantileSub
+	for _, p := range quantilePs {
+		rank := int(math.Ceil(p/100*float64(n))) - 1
+		if rank < 0 {
+			rank = 0
+		}
+		want := ref[rank]
+		got := q.Percentile(p)
+		if want == 0 {
+			if got != 0 {
+				t.Fatalf("p%.1f: got %v want 0", p, got)
+			}
+			continue
+		}
+		if rel := math.Abs(got-want) / want; rel > relTol {
+			t.Fatalf("p%.1f: got %v want %v (rel err %.4f > %.4f)", p, got, want, rel, relTol)
+		}
+	}
+}
+
+// TestQuantileMergeMatchesSingleStream: sharded collection — K sketches
+// each seeing a slice of the stream, merged in arbitrary order — must
+// answer every percentile query identically to one sketch that saw the
+// whole stream, once the stream is past the exact cap (bucket counts
+// are order-independent).
+func TestQuantileMergeMatchesSingleStream(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const n = 40_000
+	const shards = 8
+	var single Quantile
+	parts := make([]Quantile, shards)
+	for i := 0; i < n; i++ {
+		v := math.Floor(rng.Float64() * 1e5)
+		single.Add(v)
+		parts[i%shards].Add(v)
+	}
+	var merged Quantile
+	for _, i := range []int{5, 0, 7, 2, 6, 1, 4, 3} { // arbitrary merge order
+		merged.Merge(&parts[i])
+	}
+	if merged.N() != single.N() || merged.Min() != single.Min() || merged.Max() != single.Max() {
+		t.Fatalf("merge bookkeeping diverged: n=%d/%d", merged.N(), single.N())
+	}
+	for p := 0.0; p <= 100; p += 0.5 {
+		if got, want := merged.Percentile(p), single.Percentile(p); got != want {
+			t.Fatalf("p%.1f: merged %v != single %v", p, got, want)
+		}
+	}
+}
+
+// TestQuantileMergeExactMode: merging small exact sketches stays exact,
+// and merging exact into spilled keeps the count right.
+func TestQuantileMergeExactMode(t *testing.T) {
+	var a, b Quantile
+	var s Sample
+	for i := 0; i < 40; i++ {
+		a.Add(float64(i * 3))
+		s.Add(float64(i * 3))
+	}
+	for i := 0; i < 40; i++ {
+		b.Add(float64(1000 - i))
+		s.Add(float64(1000 - i))
+	}
+	a.Merge(&b)
+	for _, p := range quantilePs {
+		if got, want := a.Percentile(p), s.Percentile(p); got != want {
+			t.Fatalf("exact merge p%.1f: got %v want %v", p, got, want)
+		}
+	}
+	// Exact into spilled: counts and extremes must hold.
+	var big Quantile
+	for i := 0; i < 10*quantileExactCap; i++ {
+		big.Add(float64(i))
+	}
+	big.Merge(&a)
+	if big.N() != int64(10*quantileExactCap+80) {
+		t.Fatalf("spilled merge count: %d", big.N())
+	}
+	if big.Max() != float64(10*quantileExactCap-1) || big.Min() != 0 {
+		t.Fatalf("spilled merge extremes: [%v,%v]", big.Min(), big.Max())
+	}
+}
+
+// TestQuantileJSONRoundTrip: the sweep cache persists cells as JSON; a
+// round-tripped sketch must answer every query identically, in both
+// exact and spilled modes.
+func TestQuantileJSONRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, n := range []int{0, 5, quantileExactCap, 5000} {
+		var q Quantile
+		for i := 0; i < n; i++ {
+			q.Add(math.Floor(rng.Float64() * 1e4))
+		}
+		raw, err := json.Marshal(&q)
+		if err != nil {
+			t.Fatalf("n=%d: marshal: %v", n, err)
+		}
+		var back Quantile
+		if err := json.Unmarshal(raw, &back); err != nil {
+			t.Fatalf("n=%d: unmarshal: %v", n, err)
+		}
+		if back.N() != q.N() || back.Min() != q.Min() || back.Max() != q.Max() || back.Mean() != q.Mean() {
+			t.Fatalf("n=%d: bookkeeping changed across round-trip", n)
+		}
+		for _, p := range quantilePs {
+			if got, want := back.Percentile(p), q.Percentile(p); got != want {
+				t.Fatalf("n=%d p%.1f: round-trip %v != %v", n, p, got, want)
+			}
+		}
+	}
+}
+
+// TestQuantileDegenerateInputs: negatives clamp, zeros are exact, and
+// the zero value answers queries without panicking.
+func TestQuantileDegenerateInputs(t *testing.T) {
+	var empty Quantile
+	if empty.Percentile(50) != 0 || empty.N() != 0 || empty.Mean() != 0 {
+		t.Fatal("zero-value queries must return 0")
+	}
+	var q Quantile
+	q.Add(-5)
+	q.Add(math.NaN())
+	if q.Min() != 0 || q.Max() != 0 || q.Percentile(100) != 0 {
+		t.Fatalf("clamped inputs: min=%v max=%v", q.Min(), q.Max())
+	}
+	var z Quantile
+	for i := 0; i < 4*quantileExactCap; i++ {
+		z.Add(0)
+	}
+	z.Add(7)
+	if z.Percentile(50) != 0 || z.Percentile(100) != 7 {
+		t.Fatalf("zero-heavy stream: p50=%v p100=%v", z.Percentile(50), z.Percentile(100))
+	}
+}

@@ -152,6 +152,19 @@ func (t *Topology) HasLink(n geom.NodeID, d geom.Direction) bool {
 	return nb != geom.InvalidNode && t.routerAlive[nb] && t.linkAlive[n][d]
 }
 
+// LinkIntact reports whether the directed link from n toward d is
+// itself intact, ignoring router liveness at either end. HasLink
+// conflates a dead endpoint with a severed link; reconfig needs the
+// distinction to make fail/recover-link events idempotent (failing a
+// link whose endpoint router is down must still sever the wire, and
+// recovering it must not double-apply).
+func (t *Topology) LinkIntact(n geom.NodeID, d geom.Direction) bool {
+	if !d.IsLink() || n < 0 || int(n) >= len(t.linkAlive) {
+		return false
+	}
+	return t.Neighbor(n, d) != geom.InvalidNode && t.linkAlive[n][d]
+}
+
 // HasUndirectedLink reports whether traffic can flow in at least one
 // direction between n and its neighbor in direction d.
 func (t *Topology) HasUndirectedLink(n geom.NodeID, d geom.Direction) bool {
