@@ -77,6 +77,12 @@ var gatedScenarios = map[string]bool{
 	"saturation_steady_32x32":    true,
 	"route_heavy_adaptive_16x16": true,
 	"churn_16x16":                true,
+	// churn_32x32 is the scale where per-event table work shows up in
+	// the hot loop; compile_64x64 gates the incremental recompiler's
+	// ns/epoch directly (its "event" core is the incremental compile,
+	// its "refmodel" the from-scratch parallel compile).
+	"churn_32x32":   true,
+	"compile_64x64": true,
 }
 
 // scalingGates bound, within a single bench file, how shards=4 may

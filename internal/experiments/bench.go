@@ -239,6 +239,64 @@ func simBenchScenarios() []simScenario {
 			},
 		},
 		{
+			// The same continuous-churn regime at 32×32 (1024 routers):
+			// the scale where per-event table recompilation used to cost a
+			// visible slice of the run. With the incremental recompiler a
+			// single-element flap repairs a handful of columns instead of
+			// rebuilding 2·n² entries, and flap-backs hit the manager's
+			// fingerprint LRU outright; this scenario (benchdiff-gated)
+			// keeps that on the hot path the gate watches.
+			name:   "churn_32x32",
+			cycles: 8000,
+			warmup: 2000,
+			build: func(shards int) (*network.Sim, func()) {
+				topo := topology.NewMesh(32, 32)
+				s := network.New(topo, network.Config{Shards: shards}, rand.New(rand.NewSource(81)))
+				ctl := core.Attach(s, core.Options{})
+				mgr := reconfig.New(s)
+				mgr.SetScheme(ctl)
+				alg := mgr.Algorithm()
+				rng := rand.New(rand.NewSource(82))
+				num := topo.NumNodes()
+				return s, func() {
+					now := s.Now
+					if now%800 == 400 {
+						if rng.Intn(4) == 0 {
+							alive := topo.AliveRouters()
+							n := alive[rng.Intn(len(alive))]
+							mgr.Submit(reconfig.Event{Kind: reconfig.EvFailRouter, Node: n})
+							mgr.SubmitAt(now+1200, reconfig.Event{Kind: reconfig.EvRecoverRouter, Node: n})
+						} else {
+							links := topo.AliveUndirectedLinks()
+							l := links[rng.Intn(len(links))]
+							mgr.Submit(reconfig.Event{Kind: reconfig.EvFailLink, Node: l.From, Dir: l.Dir})
+							mgr.SubmitAt(now+1200, reconfig.Event{Kind: reconfig.EvRecoverLink, Node: l.From, Dir: l.Dir})
+						}
+					}
+					mgr.Tick()
+					// 0.005 packets/node/cycle of 5-flit packets ≈ 0.025
+					// flits/node/cycle — half the 32×32 uniform-random
+					// saturation point (≈0.05), so queues stay bounded with
+					// elements down and the timing is gate-stable.
+					for n := 0; n < num; n++ {
+						src := geom.NodeID(n)
+						if rng.Float64() >= 0.005 || !topo.RouterAlive(src) {
+							continue
+						}
+						dst := geom.NodeID(rng.Intn(num))
+						if dst == src || !topo.RouterAlive(dst) {
+							continue
+						}
+						if r, ok := alg.Route(src, dst, rng); ok {
+							s.Enqueue(s.NewPacket(src, dst, rng.Intn(3), 5, r))
+						} else {
+							s.Drop()
+						}
+					}
+				}
+			},
+		},
+		{
 			name:   "recovery_burst_8x8_irregular",
 			cycles: 4000,
 			warmup: 1000,
@@ -318,6 +376,68 @@ func runSimScenario(sc simScenario, useRef bool, shards int) (network.Stats, tim
 	return s.Stats, total, buildDur, memprof.Take().Since(base)
 }
 
+// compileBenchSpecs parameterize the routing-table recompilation
+// benchmark rows appended to BENCH_sim.json. Each epoch flaps one
+// random link (fail on even epochs, recover it on odd ones — the
+// fingerprint-cache-free worst case of churn's dominant event shape)
+// and times the incremental recompile against a from-scratch parallel
+// compile of the same topology, asserting bit-identical tables outside
+// the timed region. The row reuses the SimBenchResult shape:
+// EventNsPerCycle is incremental ns/epoch, RefNsPerCycle is full
+// ns/epoch, Speedup = full/incremental — the ≥10x single-link-churn
+// claim compile_32x32 demonstrates and the benchdiff gate on
+// compile_64x64 protects.
+var compileBenchSpecs = []struct {
+	name         string
+	w, h, epochs int
+	seed         int64
+}{
+	{"compile_32x32", 32, 32, 24, 91},
+	{"compile_64x64", 64, 64, 8, 92},
+}
+
+func runCompileBench(name string, w, h, epochs int, seed int64) (SimBenchResult, error) {
+	topo := topology.NewMesh(w, h)
+	rng := rand.New(rand.NewSource(seed))
+	min := routing.NewMinimal(topo)
+	var flapFrom geom.NodeID
+	var flapDir geom.Direction
+	var incNs, fullNs int64
+	for e := 0; e < epochs; e++ {
+		if e%2 == 0 {
+			links := topo.AliveUndirectedLinks()
+			l := links[rng.Intn(len(links))]
+			flapFrom, flapDir = l.From, l.Dir
+			topo.DisableLink(flapFrom, flapDir)
+		} else {
+			topo.EnableLink(flapFrom, flapDir)
+		}
+		t0 := time.Now()
+		inc, st := min.Recompile(topo)
+		incNs += time.Since(t0).Nanoseconds()
+		t0 = time.Now()
+		full := routing.NewMinimal(topo)
+		fullNs += time.Since(t0).Nanoseconds()
+		if st.Full {
+			return SimBenchResult{}, fmt.Errorf("bench %s epoch %d: single-link delta took the full-compile fallback (%+v)", name, e, st)
+		}
+		if !routing.MinimalTablesEqual(inc, full) {
+			return SimBenchResult{}, fmt.Errorf("bench %s epoch %d: incremental recompile diverged from full compile", name, e)
+		}
+		min = inc
+	}
+	ep := float64(epochs)
+	return SimBenchResult{
+		Scenario:        name,
+		Shards:          1,
+		Cycles:          epochs,
+		EventNsPerCycle: float64(incNs) / ep,
+		RefNsPerCycle:   float64(fullNs) / ep,
+		Speedup:         safeRatio(float64(fullNs), float64(incNs)),
+		GoMaxProcs:      runtime.GOMAXPROCS(0),
+	}, nil
+}
+
 // BenchShardCounts are the event-core shard counts BENCH_sim.json is
 // parametrized over.
 var BenchShardCounts = []int{1, 2, 4}
@@ -354,6 +474,13 @@ func SimBench() ([]SimBenchResult, error) {
 				GoMaxProcs:          runtime.GOMAXPROCS(0),
 			})
 		}
+	}
+	for _, cb := range compileBenchSpecs {
+		row, err := runCompileBench(cb.name, cb.w, cb.h, cb.epochs, cb.seed)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, row)
 	}
 	return out, nil
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/geom"
@@ -68,6 +69,13 @@ type ChurnConfig struct {
 	// Defaults 250 and 3.
 	DBRStall  int
 	DBRRadius int
+	// TableUpdateRate is how many routing-table entries a router can
+	// install per cycle. Each applied event's recovery window is extended
+	// to cover installing the entries its recompile rewrote (full rebuild
+	// charges the whole table; an incremental repair or a cache hit
+	// charges only what changed). Deterministic by construction — the
+	// model consumes rewritten-entry counts, never wall time. Default 64.
+	TableUpdateRate int
 	// Seeds is the number of independent runs per contender. Default 3.
 	Seeds int
 }
@@ -96,6 +104,9 @@ func (c ChurnConfig) withDefaults() ChurnConfig {
 	}
 	if c.DBRRadius == 0 {
 		c.DBRRadius = 3
+	}
+	if c.TableUpdateRate == 0 {
+		c.TableUpdateRate = 64
 	}
 	if c.Seeds == 0 {
 		c.Seeds = 3
@@ -153,6 +164,17 @@ type ChurnRow struct {
 	// by run end (their latency is recorded as of the final cycle).
 	Censored int64
 	Sampled  int
+	// CmpP50Ns/CmpP99Ns are measured epoch compile cost percentiles in
+	// wall nanoseconds per applied event. Observability only and
+	// nondeterministic — the recovery fold above uses the deterministic
+	// entries-rewritten model (ChurnConfig.TableUpdateRate), never wall
+	// time, so every other field stays byte-reproducible.
+	CmpP50Ns, CmpP99Ns float64
+	// Compiled-table cache and compiler work counters summed over seeds.
+	// Populated for static_bubble, whose live tables the reconfig.Manager
+	// owns; the baselines model their own rebuild cost instead.
+	TabHits, TabMisses, TabIncremental, TabFull             int64
+	ColsShared, ColsRepaired, ColsRebuilt, EntriesRewritten int64
 }
 
 // churnCell is one seed's outcome (exported fields: sweep cache value).
@@ -161,10 +183,11 @@ type ChurnRow struct {
 // cache marshals the cell from an interface, where value fields are
 // not addressable — a by-value sketch would round-trip as {}.
 type churnCell struct {
-	Rec, Pkt                                  *stats.Quantile
+	Rec, Pkt, Cmp                             *stats.Quantile
 	AvailUp, AvailTot                         int64
 	Events, Censored                          int64
 	Delivered, Lost, DroppedUnreach, Rerouted int64
+	Tab                                       reconfig.TableStats
 	Stats                                     network.Stats
 	OK                                        bool
 }
@@ -190,30 +213,44 @@ func Churn(p Params, cfg ChurnConfig) []ChurnRow {
 				Float("mean_fail", cfg.MeanFail).Float("mean_repair", cfg.MeanRepair).
 				Float("router_frac", cfg.RouterFrac).
 				Int("tree_stall", cfg.TreeStall).Int("dbr_stall", cfg.DBRStall).
-				Int("dbr_radius", cfg.DBRRadius).Int("run", i)
+				Int("dbr_radius", cfg.DBRRadius).
+				// In the key because it changes the recovery fold — note
+				// cell seeds derive from the key, so adding it reseeded
+				// every churn cell relative to pre-accounting runs.
+				Int("upd_rate", cfg.TableUpdateRate).Int("run", i)
 		}
 		results := sweep.Run(p.engine(), cfg.Seeds, key,
 			func(i int, seed int64) (churnCell, error) {
 				return churnRun(p, cfg, kind, seed), nil
 			})
-		var rec, pkt stats.Quantile
+		var rec, pkt, cmp stats.Quantile
 		var up, tot int64
 		for _, res := range results {
 			// Nil sketches mean a cache entry from an incompatible cell
 			// shape; treat it like a failed cell rather than reporting
 			// zero percentiles.
-			if !res.OK() || !res.Value.OK || res.Value.Rec == nil || res.Value.Pkt == nil {
+			if !res.OK() || !res.Value.OK || res.Value.Rec == nil || res.Value.Pkt == nil ||
+				res.Value.Cmp == nil {
 				continue
 			}
 			c := res.Value
 			rec.Merge(c.Rec)
 			pkt.Merge(c.Pkt)
+			cmp.Merge(c.Cmp)
 			row.Events += c.Events
 			row.Censored += c.Censored
 			row.Delivered += c.Delivered
 			row.Lost += c.Lost
 			row.DroppedUnreach += c.DroppedUnreach
 			row.Rerouted += c.Rerouted
+			row.TabHits += c.Tab.Hits
+			row.TabMisses += c.Tab.Misses
+			row.TabIncremental += c.Tab.Incremental
+			row.TabFull += c.Tab.Full
+			row.ColsShared += c.Tab.ColsShared
+			row.ColsRepaired += c.Tab.ColsRepaired
+			row.ColsRebuilt += c.Tab.ColsRebuilt
+			row.EntriesRewritten += c.Tab.EntriesRewritten
 			up += c.AvailUp
 			tot += c.AvailTot
 			row.Sampled++
@@ -227,17 +264,33 @@ func Churn(p Params, cfg ChurnConfig) []ChurnRow {
 		row.PktP50 = pkt.Percentile(50)
 		row.PktP99 = pkt.Percentile(99)
 		row.PktP999 = pkt.Percentile(99.9)
+		row.CmpP50Ns = cmp.Percentile(50)
+		row.CmpP99Ns = cmp.Percentile(99)
 		rows = append(rows, row)
 	}
 	return rows
 }
 
-// churnEvent tracks one fail/recover event's recovery progress.
+// churnEvent tracks one fail/recover event's recovery progress. An
+// event is recovered when its stall window closed, its rewritten table
+// entries finished installing, and its last damaged packet exited.
 type churnEvent struct {
 	at          int64
 	stallEnd    int64
+	compileEnd  int64
 	lastExit    int64
 	outstanding int
+}
+
+func (e *churnEvent) end() int64 {
+	end := e.stallEnd
+	if e.compileEnd > end {
+		end = e.compileEnd
+	}
+	if e.lastExit > end {
+		end = e.lastExit
+	}
+	return end
 }
 
 // pendingRecover is a scheduled element recovery.
@@ -255,6 +308,7 @@ func churnRun(p Params, cfg ChurnConfig, kind int, seed int64) (out churnCell) {
 	cfg = cfg.withDefaults()
 	out.Rec = new(stats.Quantile)
 	out.Pkt = new(stats.Quantile)
+	out.Cmp = new(stats.Quantile)
 	topo := topology.NewMesh(p.Width, p.Height)
 	numNodes := topo.NumNodes()
 	s := network.New(topo, network.Config{Shards: p.Shards}, rand.New(rand.NewSource(sweep.SubSeed(seed, 0))))
@@ -270,13 +324,29 @@ func churnRun(p Params, cfg ChurnConfig, kind int, seed int64) (out churnCell) {
 
 	// Routing: SB routes through the manager's live tables; the
 	// baselines rebuild their up*/down* structure after every event.
+	// rebuildAlg returns the modeled table-install work (entries
+	// rewritten) and the measured rebuild wall time. sp_tree re-elects
+	// globally and reinstalls its whole table; dbr's defining trait is
+	// incremental patching, so it is charged only the entries its patch
+	// actually rewrote (the incremental recompiler is property-tested
+	// bit-identical to a full rebuild, so routes are unchanged).
 	var alg routing.Algorithm
-	rebuildAlg := func() {
+	var baseUD *routing.UpDown
+	rebuildAlg := func() (entries, wallNs int64) {
 		if kind == churnSB {
-			return
+			return 0, 0
 		}
-		ud := routing.NewUpDownRooted(topo, routing.RootLowestID)
-		alg = ud.TreeAlgorithm()
+		t0 := time.Now()
+		if kind == churnDBR && baseUD != nil {
+			var st routing.RecompileStats
+			baseUD, st = baseUD.Recompile(topo)
+			entries = st.EntriesRewritten
+		} else {
+			baseUD = routing.NewUpDownRooted(topo, routing.RootLowestID)
+			entries = baseUD.TableEntries()
+		}
+		alg = baseUD.TreeAlgorithm()
+		return entries, time.Since(t0).Nanoseconds()
 	}
 	if kind == churnSB {
 		alg = mgr.Algorithm()
@@ -350,6 +420,7 @@ func churnRun(p Params, cfg ChurnConfig, kind int, seed int64) (out churnCell) {
 	submitEvent := func(ev reconfig.Event, now int64) {
 		e := &churnEvent{at: now}
 		cur = e
+		tb0 := mgr.TableStats()
 		outcome, _ := mgr.Submit(ev)
 		cur = nil
 		if outcome != reconfig.OutApplied && outcome != reconfig.OutRevoked {
@@ -357,10 +428,24 @@ func churnRun(p Params, cfg ChurnConfig, kind int, seed int64) (out churnCell) {
 		}
 		e.stallEnd = chargeStall(ev.Node, now)
 		e.lastExit = now
+		aliveCount = topo.AliveRouterCount()
+		// Table-install cost: SB charges the manager's compile delta (an
+		// LRU hit charges zero — the precompiled table swaps in); the
+		// baselines charge their structure rebuild. Entry counts are
+		// deterministic; wall time feeds only the Cmp sketch.
+		var entries, wallNs int64
+		if kind == churnSB {
+			tb := mgr.TableStats()
+			entries = tb.EntriesRewritten - tb0.EntriesRewritten
+			wallNs = tb.CompileNs - tb0.CompileNs
+		} else {
+			entries, wallNs = rebuildAlg()
+		}
+		upd := int64(cfg.TableUpdateRate)
+		e.compileEnd = now + (entries+upd-1)/upd
 		open = append(open, e)
 		out.Events++
-		aliveCount = topo.AliveRouterCount()
-		rebuildAlg()
+		out.Cmp.Add(float64(wallNs))
 	}
 
 	erng := rand.New(rand.NewSource(sweep.SubSeed(seed, 1)))
@@ -406,16 +491,13 @@ func churnRun(p Params, cfg ChurnConfig, kind int, seed int64) (out churnCell) {
 				}
 			}
 		}
-		// Close out events whose stall ended and damage drained.
+		// Close out events whose stall ended, table install finished, and
+		// damage drained.
 		if len(open) > 0 {
 			kept := open[:0]
 			for _, e := range open {
-				if e.outstanding == 0 && now >= e.stallEnd {
-					end := e.stallEnd
-					if e.lastExit > end {
-						end = e.lastExit
-					}
-					out.Rec.Add(float64(end - e.at))
+				if e.outstanding == 0 && now >= e.stallEnd && now >= e.compileEnd {
+					out.Rec.Add(float64(e.end() - e.at))
 				} else {
 					kept = append(kept, e)
 				}
@@ -486,10 +568,7 @@ func churnRun(p Params, cfg ChurnConfig, kind int, seed int64) (out churnCell) {
 	// Close the books: events still open are censored at the final cycle.
 	endNow := s.Now
 	for _, e := range open {
-		end := e.stallEnd
-		if e.lastExit > end {
-			end = e.lastExit
-		}
+		end := e.end()
 		if e.outstanding > 0 {
 			end = endNow
 			out.Censored++
@@ -503,6 +582,9 @@ func churnRun(p Params, cfg ChurnConfig, kind int, seed int64) (out churnCell) {
 	out.Lost = s.Stats.Lost
 	out.DroppedUnreach = s.Stats.DroppedUnreachable
 	out.Rerouted = mgr.Rerouted
+	if kind == churnSB {
+		out.Tab = mgr.TableStats()
+	}
 	out.Stats = s.Stats
 	// Conservation must hold to the cycle even under overlapped churn.
 	out.OK = s.Stats.Delivered > 0 &&
@@ -525,14 +607,22 @@ func PrintChurn(w io.Writer, cfg ChurnConfig, rows []ChurnRow) {
 	cfg = cfg.withDefaults()
 	fmt.Fprintf(w, "Continuous churn: Poisson fail/recover events (mean every %.0f cycles, repair %.0f) over %d cycles\n",
 		cfg.MeanFail, cfg.MeanRepair, cfg.Cycles)
-	fmt.Fprintf(w, "%-14s %-6s %-7s %-9s %-9s %-9s %-7s %-9s %-9s %-9s %-10s %-6s %-5s %s\n",
+	fmt.Fprintf(w, "%-14s %-6s %-7s %-9s %-9s %-9s %-7s %-9s %-9s %-9s %-10s %-6s %-5s %-10s %-10s %s\n",
 		"scheme", "stall", "events", "recP50", "recP99", "recP99.9", "avail%", "pktP50", "pktP99", "pktP99.9",
-		"delivered", "lost", "cens", "n")
+		"delivered", "lost", "cens", "cmpP50ns", "cmpP99ns", "n")
 	for _, r := range rows {
-		fmt.Fprintf(w, "%-14s %-6d %-7d %-9.0f %-9.0f %-9.0f %-7.3f %-9.0f %-9.0f %-9.0f %-10d %-6d %-5d %d\n",
+		fmt.Fprintf(w, "%-14s %-6d %-7d %-9.0f %-9.0f %-9.0f %-7.3f %-9.0f %-9.0f %-9.0f %-10d %-6d %-5d %-10.0f %-10.0f %d\n",
 			r.Label, r.Stall, r.Events, r.RecP50, r.RecP99, r.RecP999,
 			100*r.Availability, r.PktP50, r.PktP99, r.PktP999,
-			r.Delivered, r.Lost, r.Censored, r.Sampled)
+			r.Delivered, r.Lost, r.Censored, r.CmpP50Ns, r.CmpP99Ns, r.Sampled)
+	}
+	for _, r := range rows {
+		if r.TabHits+r.TabMisses == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "tables[%s]: hits=%d misses=%d incremental=%d full=%d cols shared=%d repaired=%d rebuilt=%d entries_rewritten=%d\n",
+			r.Label, r.TabHits, r.TabMisses, r.TabIncremental, r.TabFull,
+			r.ColsShared, r.ColsRepaired, r.ColsRebuilt, r.EntriesRewritten)
 	}
 }
 
@@ -547,6 +637,9 @@ func ChurnCSV(w io.Writer, rows []ChurnRow) error {
 			f(r.PktP50), f(r.PktP99), f(r.PktP999),
 			d(r.Delivered), d(r.Lost), d(r.DroppedUnreach), d(r.Rerouted),
 			d(r.Censored), d(int64(r.Sampled)),
+			f(r.CmpP50Ns), f(r.CmpP99Ns),
+			d(r.TabHits), d(r.TabMisses), d(r.TabIncremental), d(r.TabFull),
+			d(r.ColsShared), d(r.ColsRepaired), d(r.ColsRebuilt), d(r.EntriesRewritten),
 		}
 	}
 	return writeCSV(w, []string{
@@ -554,5 +647,8 @@ func ChurnCSV(w io.Writer, rows []ChurnRow) error {
 		"rec_p50", "rec_p99", "rec_p999", "availability",
 		"pkt_p50", "pkt_p99", "pkt_p999",
 		"delivered", "lost", "dropped_unreachable", "rerouted", "censored", "sampled",
+		"cmp_p50_ns", "cmp_p99_ns",
+		"tab_hits", "tab_misses", "tab_incremental", "tab_full",
+		"cols_shared", "cols_repaired", "cols_rebuilt", "entries_rewritten",
 	}, out)
 }

@@ -33,6 +33,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"time"
 
 	"repro/internal/geom"
 	"repro/internal/network"
@@ -51,6 +52,8 @@ type Manager struct {
 	// tables caches compiled minimal tables by topology fingerprint so a
 	// flapping element doesn't recompile all-pairs routing twice.
 	tables *tableCache
+	// tabStats counts cache and compiler activity; see TableStats.
+	tabStats TableStats
 	// pendingGate marks routers that must not receive new routes but are
 	// still draining.
 	pendingGate map[geom.NodeID]bool
@@ -92,14 +95,42 @@ func New(s *network.Sim) *Manager {
 	return m
 }
 
+// rebuild refreshes m.minimal for the topology's current state: a
+// fingerprint-LRU hit returns the identical object compiled when this
+// connectivity was last current (flap-backs are free); a miss runs the
+// incremental recompiler against the outgoing tables, sharing every
+// column the epoch's delta did not perturb, and falls back to the
+// parallel cold compile on the first build or an oversized delta.
 func (m *Manager) rebuild() {
 	fp := m.topo.Fingerprint()
 	if min, ok := m.tables.get(fp); ok {
+		m.tabStats.Hits++
 		m.minimal = min
 		return
 	}
-	m.minimal = routing.NewMinimal(m.topo)
-	m.tables.put(fp, m.minimal)
+	m.tabStats.Misses++
+	t0 := time.Now()
+	var st routing.RecompileStats
+	if m.minimal != nil {
+		m.minimal, st = m.minimal.Recompile(m.topo)
+	} else {
+		m.minimal = routing.NewMinimal(m.topo)
+		st = routing.RecompileStats{Full: true, EntriesRewritten: m.minimal.TableEntries()}
+	}
+	m.tabStats.LastCompileNs = time.Since(t0).Nanoseconds()
+	m.tabStats.CompileNs += m.tabStats.LastCompileNs
+	if st.Full {
+		m.tabStats.Full++
+	} else {
+		m.tabStats.Incremental++
+	}
+	m.tabStats.ColsShared += int64(st.ColsShared)
+	m.tabStats.ColsRepaired += int64(st.ColsRepaired)
+	m.tabStats.ColsRebuilt += int64(st.ColsRebuilt)
+	m.tabStats.EntriesRewritten += st.EntriesRewritten
+	if m.tables.put(fp, m.minimal) {
+		m.tabStats.Evictions++
+	}
 }
 
 // Route returns a minimal route from src to dst that avoids routers

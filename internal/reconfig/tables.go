@@ -12,7 +12,11 @@ import (
 const tableCacheCap = 32
 
 // tableCache is a tiny fingerprint-keyed LRU of compiled minimal
-// routing tables, private to one Manager.
+// routing tables, private to one Manager. Lookups, inserts, and
+// recency updates are all O(1): an index map plus an intrusive
+// doubly-linked recency list (the old implementation rescanned and
+// recopied an order slice on every touch — O(cap) per access, on the
+// per-event path of every churn run).
 //
 // Why not routing.MinimalFor? That process-wide cache is documented as
 // off-limits for callers that mutate their topology in place (see
@@ -24,47 +28,110 @@ const tableCacheCap = 32
 // with a hard cap, and dies with the manager.
 //
 // Determinism: keys are content fingerprints, so a hit returns exactly
-// the table NewMinimal would compile for that connectivity — the
-// simulated trajectory is byte-identical with or without hits.
+// the table a compile would produce for that connectivity — the
+// simulated trajectory is byte-identical with or without hits. With the
+// incremental recompiler the returned object is moreover the *identical*
+// object built when that fingerprint was last current, so a flap back to
+// a cached fingerprint keeps sharing column pages with its neighbors in
+// the flap sequence.
 type tableCache struct {
-	entries map[topology.Fingerprint]*routing.Minimal
-	order   []topology.Fingerprint // front = least recently used
+	entries    map[topology.Fingerprint]*tableCacheNode
+	head, tail *tableCacheNode // head = least recently used, tail = most
+}
+
+type tableCacheNode struct {
+	fp         topology.Fingerprint
+	min        *routing.Minimal
+	prev, next *tableCacheNode
 }
 
 func newTableCache() *tableCache {
-	return &tableCache{entries: make(map[topology.Fingerprint]*routing.Minimal, tableCacheCap)}
+	return &tableCache{entries: make(map[topology.Fingerprint]*tableCacheNode, tableCacheCap)}
 }
 
 func (c *tableCache) get(fp topology.Fingerprint) (*routing.Minimal, bool) {
-	min, ok := c.entries[fp]
-	if ok {
-		c.touch(fp)
+	nd, ok := c.entries[fp]
+	if !ok {
+		return nil, false
 	}
-	return min, ok
+	c.moveToTail(nd)
+	return nd.min, true
 }
 
-func (c *tableCache) put(fp topology.Fingerprint, min *routing.Minimal) {
-	if _, ok := c.entries[fp]; ok {
-		c.entries[fp] = min
-		c.touch(fp)
+// put inserts or refreshes fp and reports whether an entry was evicted.
+func (c *tableCache) put(fp topology.Fingerprint, min *routing.Minimal) (evicted bool) {
+	if nd, ok := c.entries[fp]; ok {
+		nd.min = min
+		c.moveToTail(nd)
+		return false
+	}
+	if len(c.entries) >= tableCacheCap {
+		old := c.head
+		c.unlink(old)
+		delete(c.entries, old.fp)
+		evicted = true
+	}
+	nd := &tableCacheNode{fp: fp, min: min}
+	c.entries[fp] = nd
+	c.linkTail(nd)
+	return evicted
+}
+
+func (c *tableCache) len() int { return len(c.entries) }
+
+func (c *tableCache) unlink(nd *tableCacheNode) {
+	if nd.prev != nil {
+		nd.prev.next = nd.next
+	} else {
+		c.head = nd.next
+	}
+	if nd.next != nil {
+		nd.next.prev = nd.prev
+	} else {
+		c.tail = nd.prev
+	}
+	nd.prev, nd.next = nil, nil
+}
+
+func (c *tableCache) linkTail(nd *tableCacheNode) {
+	nd.prev = c.tail
+	if c.tail != nil {
+		c.tail.next = nd
+	} else {
+		c.head = nd
+	}
+	c.tail = nd
+}
+
+func (c *tableCache) moveToTail(nd *tableCacheNode) {
+	if c.tail == nd {
 		return
 	}
-	if len(c.order) >= tableCacheCap {
-		old := c.order[0]
-		c.order = c.order[:copy(c.order, c.order[1:])]
-		delete(c.entries, old)
-	}
-	c.entries[fp] = min
-	c.order = append(c.order, fp)
+	c.unlink(nd)
+	c.linkTail(nd)
 }
 
-// touch moves fp to the most-recently-used end.
-func (c *tableCache) touch(fp topology.Fingerprint) {
-	for i, f := range c.order {
-		if f == fp {
-			copy(c.order[i:], c.order[i+1:])
-			c.order[len(c.order)-1] = fp
-			return
-		}
-	}
+// TableStats counts the manager's compiled-table cache and compiler
+// activity since construction. Surfaced per contender by the churn
+// experiment (sbsweep -fig churn).
+type TableStats struct {
+	// Hits/Misses/Evictions describe the fingerprint LRU. The initial
+	// compile at Manager construction counts as the first miss.
+	Hits, Misses, Evictions int64
+	// Incremental and Full count how cache misses were compiled.
+	Incremental, Full int64
+	// Column fates summed over incremental compiles (routing.RecompileStats).
+	ColsShared, ColsRepaired, ColsRebuilt int64
+	// EntriesRewritten is the deterministic table-install work metric:
+	// entries whose value changed across epochs (full compiles charge
+	// the whole table).
+	EntriesRewritten int64
+	// CompileNs is total wall time spent compiling (misses only);
+	// LastCompileNs is the most recent miss's compile time. Wall-clock
+	// fields are observability only — nothing simulated depends on them.
+	CompileNs, LastCompileNs int64
 }
+
+// TableStats returns a snapshot of the manager's table-compilation
+// counters.
+func (m *Manager) TableStats() TableStats { return m.tabStats }

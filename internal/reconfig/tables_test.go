@@ -1,0 +1,114 @@
+package reconfig
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/network"
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+func fakeFingerprint(i int) topology.Fingerprint {
+	var fp topology.Fingerprint
+	fp[0], fp[1] = byte(i), byte(i>>8)
+	return fp
+}
+
+// TestTableCacheLRU: capacity, eviction order, and recency updates from
+// both get and put.
+func TestTableCacheLRU(t *testing.T) {
+	c := newTableCache()
+	min := routing.NewMinimal(topology.NewMesh(2, 2))
+	for i := 0; i < tableCacheCap; i++ {
+		if c.put(fakeFingerprint(i), min) {
+			t.Fatalf("unexpected eviction filling to cap (i=%d)", i)
+		}
+	}
+	if c.len() != tableCacheCap {
+		t.Fatalf("len=%d want %d", c.len(), tableCacheCap)
+	}
+	// Touch entry 0 via get: it becomes most-recently-used, so the next
+	// insert must evict entry 1 instead.
+	if _, ok := c.get(fakeFingerprint(0)); !ok {
+		t.Fatal("entry 0 missing")
+	}
+	if !c.put(fakeFingerprint(1000), min) {
+		t.Fatal("insert at cap should evict")
+	}
+	if _, ok := c.get(fakeFingerprint(1)); ok {
+		t.Fatal("entry 1 should have been evicted (LRU after 0 was touched)")
+	}
+	if _, ok := c.get(fakeFingerprint(0)); !ok {
+		t.Fatal("entry 0 should have survived")
+	}
+	// put of an existing key refreshes recency without eviction.
+	if c.put(fakeFingerprint(2), min) {
+		t.Fatal("refreshing put must not evict")
+	}
+	if !c.put(fakeFingerprint(1001), min) {
+		t.Fatal("insert at cap should evict")
+	}
+	if _, ok := c.get(fakeFingerprint(2)); !ok {
+		t.Fatal("refreshed entry 2 should have survived the next eviction")
+	}
+}
+
+// TestTableCacheChurnSweep drives many more distinct fingerprints than
+// the cap through the cache and checks the invariant len <= cap with
+// every recent entry resident.
+func TestTableCacheChurnSweep(t *testing.T) {
+	c := newTableCache()
+	min := routing.NewMinimal(topology.NewMesh(2, 2))
+	for i := 0; i < 5*tableCacheCap; i++ {
+		c.put(fakeFingerprint(i), min)
+		if c.len() > tableCacheCap {
+			t.Fatalf("cache exceeded cap: %d", c.len())
+		}
+	}
+	for i := 4*tableCacheCap + 1; i < 5*tableCacheCap; i++ {
+		if _, ok := c.get(fakeFingerprint(i)); !ok {
+			t.Fatalf("recent entry %d evicted early", i)
+		}
+	}
+}
+
+// TestManagerTableStats: the manager's counters track hits, misses,
+// incremental compiles, and — critically for the COW contract — a flap
+// back to a cached fingerprint returns the identical *routing.Minimal.
+func TestManagerTableStats(t *testing.T) {
+	topo := topology.NewMesh(6, 6)
+	s := network.New(topo, network.Config{}, rand.New(rand.NewSource(1)))
+	m := New(s)
+	st := m.TableStats()
+	if st.Misses != 1 || st.Full != 1 || st.Hits != 0 {
+		t.Fatalf("construction should cost exactly one full-compile miss: %+v", st)
+	}
+	before := m.minimal
+	m.FailLink(0, geom.East)
+	st = m.TableStats()
+	if st.Misses != 2 || st.Incremental != 1 {
+		t.Fatalf("fail-link should be one incremental miss: %+v", st)
+	}
+	// On a mesh this small a central link cut perturbs every column, so
+	// sharing isn't guaranteed — but the repair path must dominate and
+	// the rewrite work must stay far below a full-table recompile.
+	full := m.minimal.TableEntries()
+	if st.ColsRepaired == 0 {
+		t.Fatalf("incremental compile should repair columns: %+v", st)
+	}
+	if inc := st.EntriesRewritten - full; inc <= 0 || inc >= full/2 {
+		t.Fatalf("incremental rewrite work %d not local vs full table %d: %+v", inc, full, st)
+	}
+	if out, _ := m.Submit(Event{Kind: EvRecoverLink, Node: 0, Dir: geom.East}); out != OutApplied {
+		t.Fatalf("recover-link outcome %v", out)
+	}
+	st = m.TableStats()
+	if st.Hits != 1 {
+		t.Fatalf("flap back should hit the fingerprint cache: %+v", st)
+	}
+	if m.minimal != before {
+		t.Fatal("flap back must return the identical compiled object")
+	}
+}

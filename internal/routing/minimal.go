@@ -48,7 +48,7 @@ func (m *Minimal) Distance(src, dst geom.NodeID) int {
 	if src < 0 || dst < 0 || int(src) >= n || int(dst) >= n {
 		return -1
 	}
-	return int(m.tab.dist[int(dst)*n+int(src)])
+	return int(m.tab.cols[dst].dist[src])
 }
 
 // NextHopMask returns the compiled candidate mask for (src, dst): bit i
@@ -60,7 +60,7 @@ func (m *Minimal) NextHopMask(src, dst geom.NodeID) uint8 {
 	if src < 0 || dst < 0 || int(src) >= n || int(dst) >= n {
 		return 0
 	}
-	return m.tab.mask[int(dst)*n+int(src)]
+	return m.tab.cols[dst].mask[src]
 }
 
 // NeighborOf returns the node reached over the usable channel src→d at
@@ -87,14 +87,14 @@ func (m *Minimal) AppendRoute(buf Route, src, dst geom.NodeID, rng *rand.Rand) (
 	if src < 0 || dst < 0 || int(src) >= n || int(dst) >= n {
 		return buf, false
 	}
-	base := int(dst) * n
-	if !m.g.Alive[src] || m.tab.dist[base+int(src)] < 0 {
+	col := &m.tab.cols[dst]
+	if !m.g.Alive[src] || col.dist[src] < 0 {
 		return buf, false
 	}
 	route := buf
 	cur := int(src)
 	for cur != int(dst) {
-		d := pickDir(m.tab.mask[base+cur], rng)
+		d := pickDir(col.mask[cur], rng)
 		if d == geom.Invalid {
 			// Cannot happen on a consistent distance table.
 			return buf, false

@@ -3,6 +3,8 @@ package routing
 import (
 	"math/bits"
 	"math/rand"
+	"runtime"
+	"sync"
 
 	"repro/internal/geom"
 	"repro/internal/topology"
@@ -20,75 +22,169 @@ import (
 //     hop, with rng draw semantics identical to the graph walk it
 //     replaced (one Intn(candidates) draw iff candidates > 1).
 //
+// Tables are stored as per-destination column pages rather than one
+// n×n slab so an incremental recompile (incremental.go) can share the
+// columns an epoch did not perturb pointer-identically with the
+// previous epoch's table. A cold compile still allocates each array as
+// one contiguous block sliced per column, so the cache behavior of the
+// hot path is unchanged.
+//
 // Compiled tables are immutable after construction, which is what makes
-// one instance shareable across the sweep engine's workers and the
-// sharded core's parallel injection phase (see race_test.go); the lazy
-// maps they replace mutated under Route and were unsafe to share.
+// one instance shareable across the sweep engine's workers, the sharded
+// core's parallel injection phase (see race_test.go), and — new with
+// column sharing — across the epochs of a churn run; the lazy maps they
+// replace mutated under Route and were unsafe to share.
 
-// minTables is the compiled form of minimal routing: all-pairs
-// distances and per-(node,dst) candidate masks over a FlatGraph.
-type minTables struct {
-	n    int
-	dist []int16 // [dst*n + node]: directed-hop distance node→dst, -1 unreachable
-	mask []uint8 // [dst*n + node]: bit d set iff d is a minimal next hop
+// minCol is one destination's column of the compiled minimal tables.
+// Copying the struct aliases the backing arrays: column sharing between
+// epochs is exactly assigning a minCol value.
+type minCol struct {
+	dist []int16 // [node]: directed-hop distance node→dst, -1 unreachable
+	mask []uint8 // [node]: bit d set iff d is a minimal next hop toward dst
 }
 
-// bytes returns the heap footprint of the table arrays.
-func (t *minTables) bytes() int64 { return 2*int64(len(t.dist)) + int64(len(t.mask)) }
+// minTables is the compiled form of minimal routing: all-pairs
+// distances and per-(node,dst) candidate masks over a FlatGraph, one
+// column page per destination.
+type minTables struct {
+	n    int
+	cols []minCol // [dst]
+}
 
-// compileMinimal builds the minimal-routing tables for every
-// destination of g: one reverse BFS per destination (O(N) each over the
-// flat arrays), then a candidate-mask fill.
-func compileMinimal(g *topology.FlatGraph) *minTables {
-	n := g.N
-	t := &minTables{
-		n:    n,
-		dist: make([]int16, n*n),
-		mask: make([]uint8, n*n),
-	}
-	queue := make([]int32, 0, n)
-	for dst := 0; dst < n; dst++ {
-		base := dst * n
-		row := t.dist[base : base+n]
-		for i := range row {
-			row[i] = -1
-		}
-		if !g.Alive[dst] {
-			continue
-		}
-		row[dst] = 0
-		queue = append(queue[:0], int32(dst))
-		for head := 0; head < len(queue); head++ {
-			cur := int(queue[head])
-			// Predecessors of cur: nodes p with a usable channel p→cur.
-			for d := 0; d < geom.NumLinkDirs; d++ {
-				p := g.Adj[geom.NumLinkDirs*cur+d]
-				if p < 0 || g.Next[geom.NumLinkDirs*int(p)+int(geom.Direction(d).Opposite())] != int32(cur) {
-					continue
-				}
-				if row[p] < 0 {
-					row[p] = row[cur] + 1
-					queue = append(queue, p)
-				}
-			}
-		}
-		// Candidate masks: every usable outgoing channel that decreases
-		// the distance by exactly one.
-		for v := 0; v < n; v++ {
-			if row[v] <= 0 {
-				continue
-			}
-			var m uint8
-			for d := 0; d < geom.NumLinkDirs; d++ {
-				nb := g.Next[geom.NumLinkDirs*v+d]
-				if nb >= 0 && row[nb] == row[v]-1 {
-					m |= 1 << uint(d)
-				}
-			}
-			t.mask[base+v] = m
+// newMinTables allocates a table with every column backed by one
+// contiguous block (the cold-compile layout).
+func newMinTables(n int) *minTables {
+	dist := make([]int16, n*n)
+	mask := make([]uint8, n*n)
+	t := &minTables{n: n, cols: make([]minCol, n)}
+	for d := 0; d < n; d++ {
+		t.cols[d] = minCol{
+			dist: dist[d*n : (d+1)*n : (d+1)*n],
+			mask: mask[d*n : (d+1)*n : (d+1)*n],
 		}
 	}
 	return t
+}
+
+// bytes returns the heap footprint of the table arrays. Shared columns
+// are counted once per table that references them, so this is an upper
+// bound under incremental column sharing.
+func (t *minTables) bytes() int64 {
+	var b int64
+	for i := range t.cols {
+		b += 2*int64(len(t.cols[i].dist)) + int64(len(t.cols[i].mask))
+	}
+	return b
+}
+
+// compileParallelThreshold is the node count below which a cold compile
+// runs sequentially: a full 16x16 compile is a few hundred microseconds,
+// cheaper than fanning out goroutines.
+const compileParallelThreshold = 256
+
+// maxCompileWorkers bounds the cold-compile worker pool (the sweep
+// engine's bounded-worker idiom): table compilation is memory-bound, so
+// more than a few workers just thrash shared cache.
+const maxCompileWorkers = 8
+
+// compileWorkers picks the worker count for an n-destination compile.
+func compileWorkers(n int) int {
+	if n < compileParallelThreshold {
+		return 1
+	}
+	w := runtime.GOMAXPROCS(0)
+	if w > maxCompileWorkers {
+		w = maxCompileWorkers
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// compileMinimal builds the minimal-routing tables for every destination
+// of g: one reverse BFS per destination (O(N) each over the flat
+// arrays), then a candidate-mask fill. Large graphs fan destinations
+// across a bounded worker pool; every column is computed independently
+// and workers write disjoint columns, so the output is byte-identical
+// to the sequential compile at any worker count.
+func compileMinimal(g *topology.FlatGraph) *minTables {
+	return compileMinimalWorkers(g, compileWorkers(g.N))
+}
+
+// compileMinimalWorkers is compileMinimal at an explicit worker count
+// (exercised directly by the determinism tests).
+func compileMinimalWorkers(g *topology.FlatGraph, workers int) *minTables {
+	n := g.N
+	t := newMinTables(n)
+	if workers <= 1 {
+		queue := make([]int32, 0, n)
+		for dst := 0; dst < n; dst++ {
+			queue = compileMinColumn(g, dst, t.cols[dst], queue)
+		}
+		return t
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			queue := make([]int32, 0, n)
+			for dst := w; dst < n; dst += workers {
+				queue = compileMinColumn(g, dst, t.cols[dst], queue)
+			}
+		}(w)
+	}
+	wg.Wait()
+	return t
+}
+
+// compileMinColumn fills one destination's column: reverse BFS for the
+// distance row, then the candidate-mask fill. queue is caller-provided
+// scratch (returned so capacity growth is kept).
+func compileMinColumn(g *topology.FlatGraph, dst int, col minCol, queue []int32) []int32 {
+	row := col.dist
+	for i := range row {
+		row[i] = -1
+	}
+	for i := range col.mask {
+		col.mask[i] = 0
+	}
+	if !g.Alive[dst] {
+		return queue
+	}
+	row[dst] = 0
+	queue = append(queue[:0], int32(dst))
+	for head := 0; head < len(queue); head++ {
+		cur := int(queue[head])
+		// Predecessors of cur: nodes p with a usable channel p→cur.
+		for d := 0; d < geom.NumLinkDirs; d++ {
+			p := g.Adj[geom.NumLinkDirs*cur+d]
+			if p < 0 || g.Next[geom.NumLinkDirs*int(p)+int(geom.Direction(d).Opposite())] != int32(cur) {
+				continue
+			}
+			if row[p] < 0 {
+				row[p] = row[cur] + 1
+				queue = append(queue, p)
+			}
+		}
+	}
+	// Candidate masks: every usable outgoing channel that decreases
+	// the distance by exactly one.
+	for v := 0; v < len(row); v++ {
+		if row[v] <= 0 {
+			continue
+		}
+		var m uint8
+		for d := 0; d < geom.NumLinkDirs; d++ {
+			nb := g.Next[geom.NumLinkDirs*v+d]
+			if nb >= 0 && row[nb] == row[v]-1 {
+				m |= 1 << uint(d)
+			}
+		}
+		col.mask[v] = m
+	}
+	return queue
 }
 
 const (
@@ -96,106 +192,157 @@ const (
 	phaseDown = 1 // committed to down channels only
 )
 
+// udCol is one destination's column of the compiled up*/down* tables.
+type udCol struct {
+	dist []int16 // [2*node + phase]: state-graph distance, -1 unreachable
+	mask []uint8 // [node]: low nibble = phaseUp, high nibble = phaseDown
+}
+
 // udTables is the compiled form of up*/down* routing: distances on the
 // (node, phase) state graph and per-(node,dst) candidate masks with the
 // two phases packed into one byte (low nibble = phaseUp candidates,
-// high nibble = phaseDown candidates).
+// high nibble = phaseDown candidates), one column page per destination.
 type udTables struct {
 	n    int
-	dist []int16 // [(dst*n + node)*2 + phase]
-	mask []uint8 // [dst*n + node]
+	cols []udCol // [dst]
 }
 
-func (t *udTables) bytes() int64 { return 2*int64(len(t.dist)) + int64(len(t.mask)) }
+func newUDTables(n int) *udTables {
+	dist := make([]int16, 2*n*n)
+	mask := make([]uint8, n*n)
+	t := &udTables{n: n, cols: make([]udCol, n)}
+	for d := 0; d < n; d++ {
+		t.cols[d] = udCol{
+			dist: dist[2*d*n : 2*(d+1)*n : 2*(d+1)*n],
+			mask: mask[d*n : (d+1)*n : (d+1)*n],
+		}
+	}
+	return t
+}
+
+func (t *udTables) bytes() int64 {
+	var b int64
+	for i := range t.cols {
+		b += 2*int64(len(t.cols[i].dist)) + int64(len(t.cols[i].mask))
+	}
+	return b
+}
 
 // compileUpDown builds the up*/down* tables. level is the BFS-tree
 // level array (-1 dead/unrouted) and upMask[v] has bit d set iff the
 // channel v→d is an "up" channel; both come from the spanning-tree
-// construction in updown.go.
+// construction in updown.go. Parallelized over destinations exactly
+// like compileMinimal, with the same byte-identical guarantee.
 func compileUpDown(g *topology.FlatGraph, level []int, upMask []uint8) *udTables {
+	return compileUpDownWorkers(g, level, upMask, compileWorkers(g.N))
+}
+
+func compileUpDownWorkers(g *topology.FlatGraph, level []int, upMask []uint8, workers int) *udTables {
 	n := g.N
-	t := &udTables{
-		n:    n,
-		dist: make([]int16, 2*n*n),
-		mask: make([]uint8, n*n),
+	t := newUDTables(n)
+	if workers <= 1 {
+		queue := make([]int32, 0, 2*n)
+		for dst := 0; dst < n; dst++ {
+			queue = compileUDColumn(g, level, upMask, dst, t.cols[dst], queue)
+		}
+		return t
 	}
-	queue := make([]int32, 0, 2*n)
-	for dst := 0; dst < n; dst++ {
-		base := dst * n
-		row := t.dist[2*base : 2*(base+n)]
-		for i := range row {
-			row[i] = -1
-		}
-		if level[dst] < 0 {
-			continue
-		}
-		// BFS over (node, phase) states, walking legal transitions
-		// backward: an up channel keeps phaseUp and requires phaseUp
-		// before it; a down channel lands in phaseDown from either phase.
-		row[2*dst+phaseUp] = 0
-		row[2*dst+phaseDown] = 0
-		queue = append(queue[:0], int32(2*dst+phaseUp), int32(2*dst+phaseDown))
-		for head := 0; head < len(queue); head++ {
-			st := int(queue[head])
-			node, phase := st>>1, st&1
-			sd := row[st]
-			for d := 0; d < geom.NumLinkDirs; d++ {
-				v := g.Adj[geom.NumLinkDirs*node+d]
-				if v < 0 || g.Next[geom.NumLinkDirs*int(v)+int(geom.Direction(d).Opposite())] != int32(node) {
-					continue
-				}
-				if level[v] < 0 {
-					continue
-				}
-				chanUp := upMask[v]&(1<<uint(geom.Direction(d).Opposite())) != 0 // channel v→node
-				var lo, hi int
-				switch {
-				case chanUp && phase == phaseUp:
-					lo, hi = phaseUp, phaseUp
-				case !chanUp && phase == phaseDown:
-					lo, hi = phaseUp, phaseDown
-				default:
-					continue
-				}
-				for pv := lo; pv <= hi; pv++ {
-					idx := 2*int(v) + pv
-					if row[idx] < 0 {
-						row[idx] = sd + 1
-						queue = append(queue, int32(idx))
-					}
-				}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			queue := make([]int32, 0, 2*n)
+			for dst := w; dst < n; dst += workers {
+				queue = compileUDColumn(g, level, upMask, dst, t.cols[dst], queue)
 			}
-		}
-		// Candidate masks per phase.
-		for v := 0; v < n; v++ {
+		}(w)
+	}
+	wg.Wait()
+	return t
+}
+
+// compileUDColumn fills one destination's up*/down* column: BFS over
+// (node, phase) states walking legal transitions backward, then the
+// per-phase candidate-mask fill. queue is caller-provided scratch.
+func compileUDColumn(g *topology.FlatGraph, level []int, upMask []uint8, dst int, col udCol, queue []int32) []int32 {
+	row := col.dist
+	for i := range row {
+		row[i] = -1
+	}
+	for i := range col.mask {
+		col.mask[i] = 0
+	}
+	if level[dst] < 0 {
+		return queue
+	}
+	// BFS over (node, phase) states, walking legal transitions
+	// backward: an up channel keeps phaseUp and requires phaseUp
+	// before it; a down channel lands in phaseDown from either phase.
+	row[2*dst+phaseUp] = 0
+	row[2*dst+phaseDown] = 0
+	queue = append(queue[:0], int32(2*dst+phaseUp), int32(2*dst+phaseDown))
+	for head := 0; head < len(queue); head++ {
+		st := int(queue[head])
+		node, phase := st>>1, st&1
+		sd := row[st]
+		for d := 0; d < geom.NumLinkDirs; d++ {
+			v := g.Adj[geom.NumLinkDirs*node+d]
+			if v < 0 || g.Next[geom.NumLinkDirs*int(v)+int(geom.Direction(d).Opposite())] != int32(node) {
+				continue
+			}
 			if level[v] < 0 {
 				continue
 			}
-			var m uint8
-			curUp, curDown := row[2*v+phaseUp], row[2*v+phaseDown]
-			for d := 0; d < geom.NumLinkDirs; d++ {
-				nb := g.Next[geom.NumLinkDirs*v+d]
-				if nb < 0 {
-					continue
-				}
-				chanUp := upMask[v]&(1<<uint(d)) != 0
-				next := phaseDown
-				if chanUp {
-					next = phaseUp
-				}
-				nd := row[2*int(nb)+next]
-				if curUp > 0 && nd == curUp-1 {
-					m |= 1 << uint(d)
-				}
-				// phaseDown may only continue on down channels.
-				if !chanUp && curDown > 0 && nd == curDown-1 {
-					m |= 1 << (4 + uint(d))
+			chanUp := upMask[v]&(1<<uint(geom.Direction(d).Opposite())) != 0 // channel v→node
+			var lo, hi int
+			switch {
+			case chanUp && phase == phaseUp:
+				lo, hi = phaseUp, phaseUp
+			case !chanUp && phase == phaseDown:
+				lo, hi = phaseUp, phaseDown
+			default:
+				continue
+			}
+			for pv := lo; pv <= hi; pv++ {
+				idx := 2*int(v) + pv
+				if row[idx] < 0 {
+					row[idx] = sd + 1
+					queue = append(queue, int32(idx))
 				}
 			}
-			t.mask[base+v] = m
 		}
 	}
-	return t
+	// Candidate masks per phase.
+	n := len(col.mask)
+	for v := 0; v < n; v++ {
+		if level[v] < 0 {
+			continue
+		}
+		var m uint8
+		curUp, curDown := row[2*v+phaseUp], row[2*v+phaseDown]
+		for d := 0; d < geom.NumLinkDirs; d++ {
+			nb := g.Next[geom.NumLinkDirs*v+d]
+			if nb < 0 {
+				continue
+			}
+			chanUp := upMask[v]&(1<<uint(d)) != 0
+			next := phaseDown
+			if chanUp {
+				next = phaseUp
+			}
+			nd := row[2*int(nb)+next]
+			if curUp > 0 && nd == curUp-1 {
+				m |= 1 << uint(d)
+			}
+			// phaseDown may only continue on down channels.
+			if !chanUp && curDown > 0 && nd == curDown-1 {
+				m |= 1 << (4 + uint(d))
+			}
+		}
+		col.mask[v] = m
+	}
+	return queue
 }
 
 // pickDir returns the k-th set direction of candidate mask m (bit i is

@@ -32,6 +32,9 @@ type UpDown struct {
 	// (usable, both levels known, toward the root ordering).
 	upMask []uint8
 	tab    *udTables
+	// policy is retained so Recompile (incremental.go) rebuilds the
+	// spanning trees under the same root-selection rule.
+	policy RootPolicy
 }
 
 // RootPolicy selects how the spanning-tree root of each component is
@@ -67,6 +70,15 @@ func NewUpDown(t *topology.Topology) *UpDown {
 // NewUpDownRooted constructs the spanning trees using the given root
 // policy and compiles the routing tables.
 func NewUpDownRooted(t *topology.Topology, policy RootPolicy) *UpDown {
+	u := newUpDownTree(t, policy)
+	u.tab = compileUpDown(u.g, u.level, u.upMask)
+	return u
+}
+
+// newUpDownTree builds the spanning trees and channel classification but
+// not the compiled tables — the shared prefix of NewUpDownRooted and
+// Recompile.
+func newUpDownTree(t *topology.Topology, policy RootPolicy) *UpDown {
 	n := t.NumNodes()
 	u := &UpDown{
 		topo:   t,
@@ -75,6 +87,7 @@ func NewUpDownRooted(t *topology.Topology, policy RootPolicy) *UpDown {
 		parent: make([]geom.NodeID, n),
 		root:   make([]geom.NodeID, n),
 		upMask: make([]uint8, n),
+		policy: policy,
 	}
 	for i := range u.level {
 		u.level[i] = -1
@@ -95,7 +108,6 @@ func NewUpDownRooted(t *topology.Topology, policy RootPolicy) *UpDown {
 			}
 		}
 	}
-	u.tab = compileUpDown(u.g, u.level, u.upMask)
 	return u
 }
 
@@ -216,7 +228,7 @@ func (u *UpDown) Distance(src, dst geom.NodeID) int {
 	if u.level[src] < 0 || u.level[dst] < 0 {
 		return -1
 	}
-	return int(u.tab.dist[2*(int(dst)*u.tab.n+int(src))+phaseUp])
+	return int(u.tab.cols[dst].dist[2*int(src)+phaseUp])
 }
 
 // Route implements Algorithm: the shortest legal up*/down* route, sampled
@@ -233,15 +245,14 @@ func (u *UpDown) AppendRoute(buf Route, src, dst geom.NodeID, rng *rand.Rand) (R
 	if src == dst {
 		return buf, u.level[src] >= 0
 	}
-	n := u.tab.n
-	base := int(dst) * n
-	if u.level[src] < 0 || u.tab.dist[2*(base+int(src))+phaseUp] < 0 {
+	col := &u.tab.cols[dst]
+	if u.level[src] < 0 || col.dist[2*int(src)+phaseUp] < 0 {
 		return buf, false
 	}
 	route := buf
 	cur, phase := int(src), phaseUp
 	for cur != int(dst) {
-		m := u.tab.mask[base+cur]
+		m := col.mask[cur]
 		if phase == phaseUp {
 			m &= 0x0f
 		} else {

@@ -71,6 +71,57 @@ func (g *FlatGraph) Bytes() int64 {
 	return int64(len(g.Alive)) + 4*int64(len(g.Next)) + 4*int64(len(g.Adj)) + int64(len(g.LinkMask))
 }
 
+// FlatDelta describes the usable-channel and liveness differences between
+// two FlatGraph snapshots of the same mesh. Channel entries are directed
+// channel indices (geom.NumLinkDirs*node + dir); the geometric head of a
+// channel is Adj[idx], which is identical in both snapshots (Adj depends
+// only on the mesh dimensions). The routing package's incremental
+// recompiler consumes deltas to repair only the table columns an epoch
+// actually perturbed.
+type FlatDelta struct {
+	// Removed lists channels usable in old but not in cur.
+	Removed []int32
+	// Added lists channels usable in cur but not in old.
+	Added []int32
+	// AliveChanged lists routers whose liveness flipped.
+	AliveChanged []int32
+}
+
+// Empty reports a delta with no differences.
+func (d *FlatDelta) Empty() bool {
+	return len(d.Removed) == 0 && len(d.Added) == 0 && len(d.AliveChanged) == 0
+}
+
+// Size is the total number of flipped channels and routers.
+func (d *FlatDelta) Size() int {
+	return len(d.Removed) + len(d.Added) + len(d.AliveChanged)
+}
+
+// DiffFlat computes the delta taking old to cur. ok=false when the
+// snapshots are not comparable (nil or different mesh dimensions), in
+// which case incremental consumers must fall back to a full rebuild.
+func DiffFlat(old, cur *FlatGraph) (FlatDelta, bool) {
+	if old == nil || cur == nil || old.W != cur.W || old.H != cur.H {
+		return FlatDelta{}, false
+	}
+	var d FlatDelta
+	for i := range cur.Next {
+		was, is := old.Next[i] >= 0, cur.Next[i] >= 0
+		switch {
+		case was && !is:
+			d.Removed = append(d.Removed, int32(i))
+		case !was && is:
+			d.Added = append(d.Added, int32(i))
+		}
+	}
+	for n := range cur.Alive {
+		if old.Alive[n] != cur.Alive[n] {
+			d.AliveChanged = append(d.AliveChanged, int32(n))
+		}
+	}
+	return d, true
+}
+
 // Fingerprint is a content hash of a topology's full connectivity state
 // (dimensions, router liveness, directed link liveness). Two topologies
 // with equal fingerprints are behaviorally identical for routing, so the
