@@ -83,6 +83,11 @@ var gatedScenarios = map[string]bool{
 	// its "refmodel" the from-scratch parallel compile).
 	"churn_32x32":   true,
 	"compile_64x64": true,
+	// The 16x16 steady-saturation mesh is the dense stepper's gated
+	// regime at a size where neither the sparse wheel nor the dense
+	// sweep is trivially dominant; regressing it means the density
+	// heuristic or the fused arbitration pass lost its edge.
+	"saturation_steady_16x16": true,
 }
 
 // scalingGates bound, within a single bench file, how shards=4 may
@@ -101,9 +106,15 @@ var scalingGates = []struct {
 	{"saturation_steady_32x32", 0.80},
 }
 
+// key identifies one bench row. GoMaxProcs is part of the identity
+// because the harness emits both a single-proc row (pure algorithmic
+// cost) and a best-parallelism row for sharded scenarios; comparing a
+// single-proc old row against a multi-proc new row would manufacture
+// phantom speedups.
 type key struct {
-	scenario string
-	shards   int
+	scenario   string
+	shards     int
+	gomaxprocs int
 }
 
 // diffScenarios prints the per-(scenario, shards) comparison plus the
@@ -118,25 +129,32 @@ func diffScenarios(oldRows, newRows []experiments.SimBenchResult, threshold floa
 	}
 	sort.Strings(names)
 
-	fmt.Printf("%-30s %7s %14s %14s %8s %6s\n", "scenario", "shards", "old ns/cyc", "new ns/cyc", "delta", "gated")
+	fmt.Printf("%-30s %7s %14s %14s %8s %6s\n", "scenario", "sh x p", "old ns/cyc", "new ns/cyc", "delta", "gated")
 	failed := false
 	for _, name := range names {
-		// Per-shard detail rows: informational, so a slowdown confined to
-		// one shard count is visible even when the min-based gate passes.
-		shardCounts := make([]int, 0, 4)
+		// Per-(shards, procs) detail rows: informational, so a slowdown
+		// confined to one configuration is visible even when the
+		// min-based gate passes.
+		rowKeys := make([]key, 0, 8)
 		for k := range newBy {
 			if k.scenario == name {
-				shardCounts = append(shardCounts, k.shards)
+				rowKeys = append(rowKeys, k)
 			}
 		}
-		sort.Ints(shardCounts)
-		for _, sh := range shardCounts {
-			nr := newBy[key{name, sh}]
-			if or, ok := oldBy[key{name, sh}]; ok {
+		sort.Slice(rowKeys, func(i, j int) bool {
+			if rowKeys[i].shards != rowKeys[j].shards {
+				return rowKeys[i].shards < rowKeys[j].shards
+			}
+			return rowKeys[i].gomaxprocs < rowKeys[j].gomaxprocs
+		})
+		for _, k := range rowKeys {
+			nr := newBy[k]
+			label := fmt.Sprintf("%dx%d", k.shards, k.gomaxprocs)
+			if or, ok := oldBy[k]; ok {
 				d := nr.EventNsPerCycle/or.EventNsPerCycle - 1
-				fmt.Printf("%-30s %7d %14.0f %14.0f %+7.1f%% %6s\n", name, sh, or.EventNsPerCycle, nr.EventNsPerCycle, d*100, "")
+				fmt.Printf("%-30s %7s %14.0f %14.0f %+7.1f%% %6s\n", name, label, or.EventNsPerCycle, nr.EventNsPerCycle, d*100, "")
 			} else {
-				fmt.Printf("%-30s %7d %14s %14.0f %8s %6s\n", name, sh, "-", nr.EventNsPerCycle, "new", "")
+				fmt.Printf("%-30s %7s %14s %14.0f %8s %6s\n", name, label, "-", nr.EventNsPerCycle, "new", "")
 			}
 		}
 		// Scenario verdict row: min across shard counts.
@@ -172,11 +190,14 @@ func diffScenarios(oldRows, newRows []experiments.SimBenchResult, threshold floa
 // checkScaling applies scalingGates to the new file and reports whether
 // any scenario scaled backwards past its limit.
 func checkScaling(newRows []experiments.SimBenchResult) bool {
-	newBy := byKey(newRows)
 	failed := false
 	for _, g := range scalingGates {
-		r1, ok1 := newBy[key{g.scenario, 1}]
-		r4, ok4 := newBy[key{g.scenario, 4}]
+		// Compare the fastest row at each shard count: shards=1 has only
+		// the single-proc row, while shards=4 is benched both single-proc
+		// (overhead measurement) and at full parallelism — the latter is
+		// what the scaling contract is about.
+		r1, ok1 := bestRow(newRows, g.scenario, 1)
+		r4, ok4 := bestRow(newRows, g.scenario, 4)
 		if !ok1 || !ok4 {
 			fmt.Printf("scaling %-30s skipped: missing shards=1 or shards=4 row\n", g.scenario)
 			continue
@@ -203,9 +224,28 @@ func checkScaling(newRows []experiments.SimBenchResult) bool {
 func byKey(rows []experiments.SimBenchResult) map[key]experiments.SimBenchResult {
 	m := make(map[key]experiments.SimBenchResult, len(rows))
 	for _, r := range rows {
-		m[key{r.Scenario, r.Shards}] = r
+		m[key{r.Scenario, r.Shards, r.GoMaxProcs}] = r
 	}
 	return m
+}
+
+// bestRow returns the fastest row for (scenario, shards), preferring
+// higher GoMaxProcs on a tie so the scaling gate's GoMaxProcs skip
+// check sees the most parallel measurement available.
+func bestRow(rows []experiments.SimBenchResult, scenario string, shards int) (experiments.SimBenchResult, bool) {
+	var best experiments.SimBenchResult
+	found := false
+	for _, r := range rows {
+		if r.Scenario != scenario || r.Shards != shards {
+			continue
+		}
+		if !found || r.EventNsPerCycle < best.EventNsPerCycle ||
+			(r.EventNsPerCycle == best.EventNsPerCycle && r.GoMaxProcs > best.GoMaxProcs) {
+			best = r
+			found = true
+		}
+	}
+	return best, found
 }
 
 // minByScenario reduces rows to each scenario's fastest event time

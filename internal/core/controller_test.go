@@ -285,9 +285,11 @@ func TestNextOccupiedVCIncludesBubble(t *testing.T) {
 	if _, _, ok := nextOccupiedVC(r, s.Cfg, vcPtr{port: geom.Local}); ok {
 		t.Fatal("empty router should yield no pointer")
 	}
-	// Only the bubble occupied: the pointer must find it.
+	// Only the bubble occupied: the pointer must find it. Placement goes
+	// through the Sim helper so the occupancy mirror (which feeds the
+	// scan fast path) stays consistent with buffer contents.
 	p := s.NewPacket(0, 2, 0, 1, routing.Route{geom.East, geom.East})
-	r.Bubble.VC.Pkt = p
+	s.PlaceBubblePacket(1, geom.West, p)
 	ptr, pid, ok := nextOccupiedVC(r, s.Cfg, vcPtr{port: geom.Local})
 	if !ok || ptr.slot != bubbleSlot || pid != p.ID {
 		t.Fatalf("pointer = %+v pid=%d ok=%v", ptr, pid, ok)
@@ -297,7 +299,7 @@ func TestNextOccupiedVCIncludesBubble(t *testing.T) {
 	}
 	// Round robin continues past the bubble back to regular VCs.
 	q := s.NewPacket(0, 2, 0, 1, routing.Route{geom.East, geom.East})
-	r.In[geom.North][3].Pkt = q
+	s.PlacePacket(1, geom.North, 3, q)
 	ptr2, pid2, ok := nextOccupiedVC(r, s.Cfg, ptr)
 	if !ok || ptr2.port != geom.North || pid2 != q.ID {
 		t.Fatalf("rotation after bubble = %+v pid=%d", ptr2, pid2)

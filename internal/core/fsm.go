@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/geom"
 	"repro/internal/network"
@@ -173,6 +174,25 @@ func nextOccupiedVC(r *network.Router, cfg network.Config, from vcPtr) (vcPtr, i
 		start = geom.NumLinkDirs*slots + 1
 	case from.port.IsLink():
 		start = int(from.port)*slots + from.slot + 1
+	}
+	// Fast path: the network's occupancy mirror hands us every candidate
+	// as one bit word in this scan's exact cyclic order, so the
+	// round-robin winner is the first set bit at or after start
+	// (wrapping) — two TrailingZeros64 instead of walking ~total slots.
+	if w, ok := r.OccupiedScanWord(); ok {
+		if w == 0 {
+			return vcPtr{}, 0, false
+		}
+		idx := bits.TrailingZeros64(w & (^uint64(0) << uint(start%total)))
+		if idx == 64 {
+			idx = bits.TrailingZeros64(w)
+		}
+		if idx == geom.NumLinkDirs*slots {
+			return vcPtr{r.Bubble.InPort, bubbleSlot}, r.Bubble.VC.Pkt.ID, true
+		}
+		port := geom.Direction(idx / slots)
+		slot := idx % slots
+		return vcPtr{port, slot}, r.In[port][slot].Pkt.ID, true
 	}
 	for k := 0; k < total; k++ {
 		idx := (start + k) % total

@@ -155,6 +155,29 @@ func simBenchScenarios() []simScenario {
 			},
 		},
 		{
+			// The mid-size steady saturation regime: 256 routers just
+			// below the 16×16 uniform-random saturation point (bisection
+			// scaling halves the 8×8 point: ~0.19*(8/16) ≈ 0.095
+			// flits/node/cycle). Nearly the whole fabric stays busy every
+			// cycle with a bounded in-flight population — the regime the
+			// dense stepper's hysteretic switch targets — so this row is
+			// benchdiff-gated alongside the 8×8 saturation rows to keep
+			// the dense win from regressing at a size where the sharded
+			// stepper is also competitive.
+			name:   "saturation_steady_16x16",
+			cycles: 4000,
+			warmup: 2000,
+			build: func(shards int) (*network.Sim, func()) {
+				topo := topology.NewMesh(16, 16)
+				s := network.New(topo, network.Config{Shards: shards}, rand.New(rand.NewSource(51)))
+				core.Attach(s, core.Options{})
+				s.PrewarmPool(4096, 32, 64)
+				inj := traffic.NewInjector(topo.AliveRouters(), routing.MinimalFor(topo),
+					traffic.NewUniformRandom(topo.AliveRouters()), 0.09, rand.New(rand.NewSource(52)))
+				return s, func() { inj.Tick(s) }
+			},
+		},
+		{
 			// The sharded stepper's headline regime: a 1024-router mesh
 			// just below its uniform-random saturation point (which scales
 			// with the bisection, ~0.19*(8/32) ≈ 0.05 flits/node/cycle), so
@@ -354,6 +377,65 @@ func simBenchScenarios() []simScenario {
 // The allocation window covers everything after the warmup cycle —
 // injection included, since a zero-alloc steady state that excluded
 // traffic generation would be meaningless.
+// simBenchReps is how many times each (scenario, core, shards, procs)
+// cell is run; the fastest rep is recorded. Back-to-back runs on a
+// shared host differ by double-digit percent, and the minimum is the
+// stablest estimator of the code's intrinsic cost — single-shot rows
+// made the speedup gates flake.
+const simBenchReps = 3
+
+// benchProcCounts returns the GOMAXPROCS settings to measure for a
+// shard count. Every configuration gets a single-proc row — the
+// apples-to-apples baseline the speedup and scaling gates compare —
+// and sharded configurations add one multi-proc variant (procs =
+// min(shards, NumCPU)) on hosts with the cores to run it, so
+// BENCH_sim.json records real parallel scaling rather than time-sliced
+// workers.
+func benchProcCounts(shards int) []int {
+	if shards <= 1 || runtime.NumCPU() <= 1 {
+		return []int{1}
+	}
+	procs := shards
+	if n := runtime.NumCPU(); procs > n {
+		procs = n
+	}
+	return []int{1, procs}
+}
+
+// runSimScenarioBest runs one bench cell simBenchReps times under the
+// given GOMAXPROCS and keeps the fastest rep's timings. Stats must
+// agree across reps — every build is deterministic, so divergence is a
+// determinism bug, not noise. The allocation delta folds by min for
+// the same reason the timing does: the runtime's own park/unpark
+// machinery occasionally allocates in a rep, while a real per-cycle
+// leak shows up in every rep.
+func runSimScenarioBest(sc simScenario, useRef bool, shards, procs int) (network.Stats, time.Duration, time.Duration, memprof.Delta, error) {
+	prev := runtime.GOMAXPROCS(procs)
+	defer runtime.GOMAXPROCS(prev)
+	var stats network.Stats
+	var bestDur, bestBuild time.Duration
+	var bestAlloc memprof.Delta
+	for rep := 0; rep < simBenchReps; rep++ {
+		st, dur, build, alloc := runSimScenario(sc, useRef, shards)
+		if rep == 0 {
+			stats, bestDur, bestBuild, bestAlloc = st, dur, build, alloc
+			continue
+		}
+		if st != stats {
+			return stats, 0, 0, memprof.Delta{}, fmt.Errorf(
+				"bench %s (shards=%d, procs=%d): rep %d diverged from rep 0\nrep:   %+v\nfirst: %+v",
+				sc.name, shards, procs, rep, st, stats)
+		}
+		if dur < bestDur {
+			bestDur, bestBuild = dur, build
+		}
+		if alloc.Allocs < bestAlloc.Allocs {
+			bestAlloc = alloc
+		}
+	}
+	return stats, bestDur, bestBuild, bestAlloc, nil
+}
+
 func runSimScenario(sc simScenario, useRef bool, shards int) (network.Stats, time.Duration, time.Duration, memprof.Delta) {
 	b0 := time.Now()
 	s, tick := sc.build(shards)
@@ -450,29 +532,37 @@ var BenchShardCounts = []int{1, 2, 4}
 func SimBench() ([]SimBenchResult, error) {
 	var out []SimBenchResult
 	for _, sc := range simBenchScenarios() {
-		refStats, refDur, refBuild, _ := runSimScenario(sc, true, 1)
+		refStats, refDur, refBuild, _, err := runSimScenarioBest(sc, true, 1, 1)
+		if err != nil {
+			return nil, err
+		}
 		measured := float64(sc.cycles - sc.warmup)
 		for _, shards := range BenchShardCounts {
-			evStats, evDur, evBuild, evAlloc := runSimScenario(sc, false, shards)
-			if evStats != refStats {
-				return nil, fmt.Errorf("bench %s (shards=%d): cores diverged\nevent:    %+v\nrefmodel: %+v",
-					sc.name, shards, evStats, refStats)
+			for _, procs := range benchProcCounts(shards) {
+				evStats, evDur, evBuild, evAlloc, err := runSimScenarioBest(sc, false, shards, procs)
+				if err != nil {
+					return nil, err
+				}
+				if evStats != refStats {
+					return nil, fmt.Errorf("bench %s (shards=%d, procs=%d): cores diverged\nevent:    %+v\nrefmodel: %+v",
+						sc.name, shards, procs, evStats, refStats)
+				}
+				out = append(out, SimBenchResult{
+					Scenario:            sc.name,
+					Shards:              shards,
+					Cycles:              sc.cycles,
+					Warmup:              sc.warmup,
+					EventNsPerCycle:     float64(evDur.Nanoseconds()) / float64(sc.cycles),
+					RefNsPerCycle:       float64(refDur.Nanoseconds()) / float64(sc.cycles),
+					EventBuildNs:        evBuild.Nanoseconds(),
+					RefBuildNs:          refBuild.Nanoseconds(),
+					Speedup:             safeRatio(float64(refDur.Nanoseconds()), float64(evDur.Nanoseconds())),
+					EventAllocsPerCycle: float64(evAlloc.Allocs) / measured,
+					EventBytesPerCycle:  float64(evAlloc.Bytes) / measured,
+					Delivered:           evStats.Delivered,
+					GoMaxProcs:          procs,
+				})
 			}
-			out = append(out, SimBenchResult{
-				Scenario:            sc.name,
-				Shards:              shards,
-				Cycles:              sc.cycles,
-				Warmup:              sc.warmup,
-				EventNsPerCycle:     float64(evDur.Nanoseconds()) / float64(sc.cycles),
-				RefNsPerCycle:       float64(refDur.Nanoseconds()) / float64(sc.cycles),
-				EventBuildNs:        evBuild.Nanoseconds(),
-				RefBuildNs:          refBuild.Nanoseconds(),
-				Speedup:             safeRatio(float64(refDur.Nanoseconds()), float64(evDur.Nanoseconds())),
-				EventAllocsPerCycle: float64(evAlloc.Allocs) / measured,
-				EventBytesPerCycle:  float64(evAlloc.Bytes) / measured,
-				Delivered:           evStats.Delivered,
-				GoMaxProcs:          runtime.GOMAXPROCS(0),
-			})
 		}
 	}
 	for _, cb := range compileBenchSpecs {
@@ -499,6 +589,7 @@ var ZeroAllocScenarios = map[string]bool{
 	"idle_mesh_16x16":         true,
 	"saturation_8x8":          true,
 	"saturation_steady_8x8":   true,
+	"saturation_steady_16x16": true,
 	"saturation_steady_32x32": true,
 }
 

@@ -1,0 +1,161 @@
+package network
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+// TestDenseHysteresisNoFlap pins the hysteresis contract down at the
+// exact threshold boundaries: entry needs a full streak of at-or-above
+// cycles, any dip resets it, and once dense the band between the exit
+// and entry thresholds sustains the mode — so activity hovering at a
+// boundary costs at most one mode transition, never an oscillation.
+func TestDenseHysteresisNoFlap(t *testing.T) {
+	const total = 100
+	enter := int(denseEnterFrac * total) // 35
+	exit := int(denseExitFrac * total)   // 15
+
+	t.Run("entry_requires_full_streak", func(t *testing.T) {
+		var p densePolicy
+		for i := 0; i < denseStreak-1; i++ {
+			if p.observeSparse(enter, total) {
+				t.Fatalf("entered after %d cycles, want %d", i+1, denseStreak)
+			}
+		}
+		if !p.observeSparse(enter, total) {
+			t.Fatalf("did not enter after %d at-threshold cycles", denseStreak)
+		}
+	})
+
+	t.Run("dip_resets_entry_streak", func(t *testing.T) {
+		var p densePolicy
+		// Oscillating one packet above/below the threshold never
+		// accumulates a streak: the policy cannot flap at the boundary.
+		for i := 0; i < 10*denseStreak; i++ {
+			due := enter
+			if i%2 == 1 {
+				due = enter - 1
+			}
+			if p.observeSparse(due, total) {
+				t.Fatalf("entered during boundary oscillation at cycle %d", i)
+			}
+		}
+	})
+
+	t.Run("band_sustains_dense", func(t *testing.T) {
+		var p densePolicy
+		// Anything in [exit, enter) keeps the dense stepper: the same
+		// activity that was too low to enter is too high to leave, so a
+		// workload settling just under the entry threshold after one
+		// transition stays put — at most one flip.
+		for i := 0; i < 10*denseStreak; i++ {
+			if p.observeDense(exit, total) || p.observeDense(enter-1, total) {
+				t.Fatalf("exited inside the hysteresis band at cycle %d", i)
+			}
+		}
+	})
+
+	t.Run("exit_requires_full_streak", func(t *testing.T) {
+		var p densePolicy
+		for i := 0; i < denseStreak-1; i++ {
+			if p.observeDense(exit-1, total) {
+				t.Fatalf("exited after %d cycles, want %d", i+1, denseStreak)
+			}
+		}
+		if !p.observeDense(exit-1, total) {
+			t.Fatalf("did not exit after %d below-threshold cycles", denseStreak)
+		}
+	})
+
+	t.Run("forced_modes_ignore_observations", func(t *testing.T) {
+		for _, m := range []DenseMode{DenseForcedOff, DenseForcedOn} {
+			p := densePolicy{mode: m}
+			for i := 0; i < 2*denseStreak; i++ {
+				if p.observeSparse(total, total) || p.observeDense(0, total) {
+					t.Fatalf("mode %v acted on an observation", m)
+				}
+			}
+		}
+	})
+}
+
+// TestSetDenseModeTransitions checks the mode knob's immediate effect
+// and its counter trail: forcing on enters once (idempotently), forcing
+// off exits once, and returning to auto keeps the current stepper.
+func TestSetDenseModeTransitions(t *testing.T) {
+	s := New(topology.NewMesh(4, 4), Config{}, rand.New(rand.NewSource(1)))
+	if s.DenseActive() {
+		t.Fatal("new sim should start sparse")
+	}
+	s.SetDenseMode(DenseForcedOn)
+	if !s.DenseActive() {
+		t.Fatal("forced on should activate the dense stepper")
+	}
+	s.SetDenseMode(DenseForcedOn) // idempotent
+	if c := s.StepperCounters(); c.DenseEnters != 1 {
+		t.Fatalf("DenseEnters = %d, want 1", c.DenseEnters)
+	}
+	s.Step()
+	if c := s.StepperCounters(); c.DenseCycles != 1 {
+		t.Fatalf("DenseCycles = %d, want 1", c.DenseCycles)
+	}
+	s.SetDenseMode(DenseForcedOff)
+	if s.DenseActive() {
+		t.Fatal("forced off should deactivate the dense stepper")
+	}
+	s.SetDenseMode(DenseAuto) // keeps the current stepper
+	if s.DenseActive() {
+		t.Fatal("returning to auto must not flip the stepper")
+	}
+	if c := s.StepperCounters(); c.DenseEnters != 1 || c.DenseExits != 1 {
+		t.Fatalf("counters = %+v, want one enter and one exit", c)
+	}
+}
+
+// TestDenseExitRestoresWakes is the regression test for the dense
+// period's wake suppression: traffic injected and moved entirely under
+// the dense stepper (wakes suppressed throughout) must still drain to
+// delivery after the mode is forced back to sparse — exitDense has to
+// rebuild the scheduler invariant from current state alone.
+func TestDenseExitRestoresWakes(t *testing.T) {
+	topo := topology.NewMesh(6, 6)
+	s := New(topo, Config{}, rand.New(rand.NewSource(3)))
+	xy := routing.NewXY(topo)
+	rng := rand.New(rand.NewSource(4))
+	n := topo.NumNodes()
+	var offered int64
+	s.SetDenseMode(DenseForcedOn)
+	for c := 0; c < 200; c++ {
+		for i := 0; i < n; i++ {
+			if rng.Float64() >= 0.2 {
+				continue
+			}
+			dst := geom.NodeID(rng.Intn(n))
+			if dst == geom.NodeID(i) {
+				continue
+			}
+			r, ok := xy.Route(geom.NodeID(i), dst, nil)
+			if !ok {
+				t.Fatal("XY route missing on a healthy mesh")
+			}
+			s.Enqueue(s.NewPacket(geom.NodeID(i), dst, rng.Intn(s.Cfg.NumVnets), 1, r))
+			offered++
+		}
+		s.Step()
+	}
+	if s.InFlight()+s.QueuedPackets() == 0 {
+		t.Fatal("test needs traffic still in flight at the mode flip")
+	}
+	s.SetDenseMode(DenseForcedOff)
+	for i := 0; i < 20000 && s.InFlight()+s.QueuedPackets() > 0; i++ {
+		s.Step()
+	}
+	if s.Stats.Delivered != offered {
+		t.Fatalf("delivered %d of %d after dense exit (inflight %d, queued %d)",
+			s.Stats.Delivered, offered, s.InFlight(), s.QueuedPackets())
+	}
+}

@@ -142,6 +142,11 @@ type Sim struct {
 	occ    []int32
 	occNL  []int32
 	grantN []int64
+	// niPend[id] counts packets queued across router id's NI rings —
+	// the dense stepper's activity predicate reads it instead of
+	// touching every ring. Maintained by Enqueue and injectNode; code
+	// that edits NIQueue contents directly must call RecountNIPending.
+	niPend []int32
 	// pool recycles delivered/lost packets and their route spans (see
 	// pool.go for the ownership rules).
 	pool poolState
@@ -185,32 +190,13 @@ type Sim struct {
 	// nil); false falls back to the sequential plan-decode commit.
 	parCommit bool
 	ctr       StepperCounters
+	// dense holds the dense stepper's mode controller and sweep scratch
+	// (see dense.go): at saturation the stepper drops the wakeup wheel
+	// and runs flat phase sweeps over an active-router bitmap.
+	dense denseState
 	// xfillObs, when non-nil, observes cross-shard buffer fills at fold
 	// time (SetXFillObserver) — seam-invariant test instrumentation.
 	xfillObs func(src, dst geom.NodeID)
-}
-
-// StepperCounters reports how many cycles each execution path of the
-// stepper has taken, plus cross-shard traffic, for tests and tuning.
-// Counters are execution observability, not simulation state: they vary
-// with Shards and thresholds while Stats does not.
-type StepperCounters struct {
-	// QuietCycles is the number of cycles skipped by quiet-epoch
-	// fast-forward (Step returned without running any phase).
-	QuietCycles int64
-	// InlineCycles counts sharded cycles run inline on the coordinator
-	// (pending-wake count at or below the inline threshold).
-	InlineCycles int64
-	// ParallelCycles counts sharded cycles run with parallel gather and
-	// parallel commit; SeqCommitCycles counts sharded cycles whose commit
-	// fell back to the sequential plan-decode path (GrantFilter/OnGrant
-	// installed).
-	ParallelCycles  int64
-	SeqCommitCycles int64
-	// XFills counts grants that filled a VC in a router owned by another
-	// shard — seam crossings. The seam property test asserts these occur
-	// only at band-boundary routers.
-	XFills int64
 }
 
 // StepperCounters returns the stepper path counters accumulated so far.
@@ -263,6 +249,7 @@ func New(topo *topology.Topology, cfg Config, rng *rand.Rand) *Sim {
 	s.occ = make([]int32, n)
 	s.occNL = make([]int32, n)
 	s.grantN = make([]int64, n)
+	s.niPend = make([]int32, n)
 	slots := cfg.SlotsPerPort()
 	for id := 0; id < n; id++ {
 		r := &s.Routers[id]
@@ -275,6 +262,7 @@ func New(topo *topology.Topology, cfg Config, rng *rand.Rand) *Sim {
 	}
 	s.seqGather.init(cfg)
 	s.sched.init(n)
+	s.dense.init(n, cfg)
 	s.nshards = 1
 	s.inlineThreshold = defaultInlineThreshold
 	if k := effectiveShards(cfg.Shards, topo.Height()); k > 1 {
@@ -335,8 +323,25 @@ func (s *Sim) NewPacket(src, dst geom.NodeID, vnet, length int, route routing.Ro
 // for having computed a valid route (or an OutputOverride).
 func (s *Sim) Enqueue(p *Packet) {
 	s.NIQueue[p.Src][p.Vnet].Push(p)
+	s.niPend[p.Src]++
 	s.Stats.Offered++
 	s.wakeNode(p.Src, s.Now)
+}
+
+// NIPending returns the number of packets queued across router id's NI
+// rings (the aggregate the dense activity predicate reads).
+func (s *Sim) NIPending(id geom.NodeID) int { return int(s.niPend[id]) }
+
+// RecountNIPending resynchronizes router id's NI-pending counter from
+// its rings. Code that mutates NIQueue contents without going through
+// Enqueue/injectNode (reconfig's reroute filter) must call it before
+// the simulation steps again.
+func (s *Sim) RecountNIPending(id geom.NodeID) {
+	var n int32
+	for v := range s.NIQueue[id] {
+		n += int32(s.NIQueue[id][v].Len())
+	}
+	s.niPend[id] = n
 }
 
 // wakeNode routes a wake to the scheduler owning router id: the
@@ -402,6 +407,7 @@ func (s *Sim) RemovePacket(vc *VC, at geom.NodeID, port geom.Direction) {
 		return
 	}
 	s.quietUntil = 0 // out-of-band mutation: void any quiet proof
+	s.occBitClearVC(at, port, vc)
 	vc.Pkt = nil
 	vc.FreeAt = s.Now
 	s.occ[at]--
@@ -433,6 +439,7 @@ func (s *Sim) PlacePacket(id geom.NodeID, in geom.Direction, slot int, p *Packet
 	}
 	vc.Pkt = p
 	vc.ReadyAt = s.Now
+	s.occBitSet(id, int(in)*s.Cfg.SlotsPerPort()+slot)
 	s.placeAccount(id, in, p)
 }
 
@@ -446,6 +453,7 @@ func (s *Sim) PlaceBubblePacket(id geom.NodeID, in geom.Direction, p *Packet) {
 	b.InPort = in
 	b.VC.Pkt = p
 	b.VC.ReadyAt = s.Now
+	s.occBitSet(id, geom.NumPorts*s.Cfg.SlotsPerPort())
 	s.placeAccount(id, in, p)
 }
 
@@ -476,6 +484,7 @@ func (s *Sim) DeliverOutOfBand(vc *VC, at geom.NodeID, port geom.Direction, deli
 		deliverAt = s.Now
 	}
 	s.quietUntil = 0 // out-of-band mutation: void any quiet proof
+	s.occBitClearVC(at, port, vc)
 	vc.Pkt = nil
 	vc.FreeAt = s.Now + int64(p.Len)
 	s.occ[at]--
@@ -520,6 +529,10 @@ func (s *Sim) Step() {
 		s.stepSharded()
 		return
 	}
+	if s.dense.on {
+		s.stepDense()
+		return
+	}
 	for _, f := range s.PreCycle {
 		f(s)
 	}
@@ -540,6 +553,8 @@ func (s *Sim) Step() {
 	s.Now++
 	if len(due) == 0 {
 		s.maybeQuiet()
+	} else if s.dense.observeSparse(len(due), len(s.Routers)) {
+		s.enterDense()
 	}
 }
 
@@ -661,8 +676,10 @@ func (s *Sim) injectNode(id geom.NodeID, d *injectDelta) {
 		vc := &r.In[geom.Local][slot]
 		vc.Pkt = p
 		vc.ReadyAt = s.Now + int64(s.Cfg.RouterLatency)
+		s.occBitSet(id, int(geom.Local)*s.Cfg.SlotsPerPort()+slot)
 		p.InjectedAt = s.Now
 		q.PopFront()
+		s.niPend[id]--
 		d.injected++
 		d.flits += int64(p.Len)
 		d.inFlight++
@@ -694,6 +711,22 @@ func (s *Sim) findFreeVC(node geom.NodeID, in geom.Direction, p *Packet, vnet in
 			continue
 		}
 		return slot
+	}
+	return -1
+}
+
+// findFreeVCNoFilter is findFreeVC for callers that have already
+// established VCFilter is nil (the dense fused allocation pass, which
+// memoizes the answer per (output, vnet)): with no filter the result
+// depends only on (node, in, vnet), not on the packet.
+func (s *Sim) findFreeVCNoFilter(node geom.NodeID, in geom.Direction, vnet int) int {
+	r := &s.Routers[node]
+	base := vnet * s.Cfg.VCsPerVnet
+	for i := 0; i < s.Cfg.VCsPerVnet; i++ {
+		slot := base + i
+		if r.In[in][slot].Empty(s.Now) {
+			return slot
+		}
 	}
 	return -1
 }

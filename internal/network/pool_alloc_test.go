@@ -24,9 +24,10 @@ import (
 // below-saturation uniform-random load, runs warmup cycles so every
 // pool, arena, ring and scheduler reaches its steady size, and returns a
 // one-cycle advance function.
-func steadyLoop(shards int, useRef bool) func() {
+func steadyLoop(shards int, useRef bool, mode network.DenseMode) func() {
 	topo := topology.NewMesh(8, 8)
 	s := network.New(topo, network.Config{Shards: shards}, rand.New(rand.NewSource(41)))
+	s.SetDenseMode(mode)
 	core.Attach(s, core.Options{})
 	s.PrewarmPool(1024, 16, 32)
 	// Routing tables are fully compiled at construction, so nothing
@@ -60,15 +61,18 @@ func TestZeroAllocSteadyState(t *testing.T) {
 		name   string
 		shards int
 		useRef bool
+		mode   network.DenseMode
 	}{
-		{"event_sequential", 1, false},
-		{"sharded_2", 2, false},
-		{"sharded_4", 4, false},
-		{"refmodel_fullscan", 1, true},
+		{"event_sequential", 1, false, network.DenseAuto},
+		{"event_dense_forced", 1, false, network.DenseForcedOn},
+		{"sharded_2", 2, false, network.DenseAuto},
+		{"sharded_4", 4, false, network.DenseAuto},
+		{"sharded_4_dense_forced", 4, false, network.DenseForcedOn},
+		{"refmodel_fullscan", 1, true, network.DenseAuto},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			cycle := steadyLoop(tc.shards, tc.useRef)
+			cycle := steadyLoop(tc.shards, tc.useRef, tc.mode)
 			// AllocsPerRun runs the body once extra as its own warm-up, so
 			// the measured pass covers cycles well past any growth.
 			allocs := testing.AllocsPerRun(1, func() {

@@ -14,6 +14,89 @@ import (
 // conservation and occupancy invariants hold at every step, and XY
 // workloads always drain (testing/quick drives the workload shape).
 
+// TestPropDenseSparseEquivalence is the in-package half of the dense
+// byte-identity contract (the refmodel differential harness is the
+// other): for arbitrary seeds — random irregular topology shape, fault
+// kind and count, offered rate, flip period — a sparse-pinned sim, a
+// dense-pinned sim, a hysteretic sim, and one whose mode is forcibly
+// flipped mid-run must agree on Stats, occupancy and progress after
+// every cycle.
+func TestPropDenseSparseEquivalence(t *testing.T) {
+	f := func(seed int64, rateRaw, flipRaw uint8) bool {
+		hrng := rand.New(rand.NewSource(seed))
+		w, h := 4+hrng.Intn(4), 4+hrng.Intn(4)
+		kind := topology.LinkFaults
+		if hrng.Intn(3) == 0 {
+			kind = topology.RouterFaults
+		}
+		faults := hrng.Intn(1 + w*h/5)
+		topoSeed := hrng.Int63()
+		simSeed := hrng.Int63()
+		mk := func() *Sim {
+			return New(topology.RandomIrregular(w, h, kind, faults, topoSeed),
+				Config{}, rand.New(rand.NewSource(simSeed)))
+		}
+		sparse, dense, auto, flip := mk(), mk(), mk(), mk()
+		sparse.SetDenseMode(DenseForcedOff)
+		dense.SetDenseMode(DenseForcedOn)
+		units := []*Sim{sparse, dense, auto, flip}
+		min := routing.NewMinimal(sparse.Topo)
+		alive := sparse.Topo.AliveRouters()
+		if len(alive) < 2 {
+			return true
+		}
+		rate := 0.05 + float64(rateRaw%35)/100
+		flipEvery := 20 + int(flipRaw%60)
+		rng := rand.New(rand.NewSource(seed + 9))
+		const cycles = 600
+		for c := 0; c < cycles; c++ {
+			if c%flipEvery == 0 {
+				if (c/flipEvery)%2 == 0 {
+					flip.SetDenseMode(DenseForcedOn)
+				} else {
+					flip.SetDenseMode(DenseForcedOff)
+				}
+			}
+			if c < cycles*2/3 {
+				for _, src := range alive {
+					if rng.Float64() >= rate {
+						continue
+					}
+					dst := alive[rng.Intn(len(alive))]
+					if dst == src {
+						continue
+					}
+					r, ok := min.Route(src, dst, rng)
+					if !ok {
+						for _, u := range units {
+							u.Drop()
+						}
+						continue
+					}
+					ln := 1 + 4*rng.Intn(2)
+					vnet := rng.Intn(sparse.Cfg.NumVnets)
+					for _, u := range units {
+						u.Enqueue(u.NewPacket(src, dst, vnet, ln, r))
+					}
+				}
+			}
+			for _, u := range units {
+				u.Step()
+			}
+			for _, u := range units[1:] {
+				if u.Stats != sparse.Stats || u.InFlight() != sparse.InFlight() ||
+					u.QueuedPackets() != sparse.QueuedPackets() || u.LastProgress != sparse.LastProgress {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
 func TestPropConservationUnderArbitraryWorkloads(t *testing.T) {
 	f := func(seed int64, rateRaw, lenSel uint8, cyclesRaw uint16) bool {
 		topo := topology.NewMesh(4, 4)

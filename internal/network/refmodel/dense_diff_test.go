@@ -1,0 +1,116 @@
+package refmodel
+
+// Dense-mode differential coverage at saturation — the regime the
+// dense stepper exists for. The randomized harness (diff_test.go)
+// rotates density policies across its 60 scenarios, but their offered
+// loads sit mostly below the dense entry threshold; this test drives a
+// mesh past saturation so the hysteretic policy must engage, and pins
+// the counters: a forced-on unit executes every cycle dense, a
+// forced-off unit none, and the auto unit enters exactly once under
+// monotone load. Cycle-exactness against the refmodel and across shard
+// counts is asserted throughout, so the assertion "density never
+// changes results, only speed" is checked precisely where the dense
+// code actually runs.
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/network"
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+func TestDifferentialDenseSaturated(t *testing.T) {
+	const (
+		cycles = 2200
+		window = 1600
+		rate   = 0.30
+	)
+	mk := func(shards int) *network.Sim {
+		topo := topology.NewMesh(8, 8)
+		s := network.New(topo, network.Config{Shards: shards}, rand.New(rand.NewSource(7)))
+		core.Attach(s, core.Options{})
+		return s
+	}
+	type unit struct {
+		name string
+		sim  *network.Sim
+		step func()
+	}
+	ref := mk(1)
+	refUnit := &unit{name: "refmodel", sim: ref, step: New(ref).Step}
+	ref.SetPooling(false)
+
+	auto := mk(1)
+	forcedOff := mk(1)
+	forcedOn := mk(1)
+	shAuto := mk(4)
+	shOn := mk(4)
+	forcedOff.SetDenseMode(network.DenseForcedOff)
+	forcedOn.SetDenseMode(network.DenseForcedOn)
+	shOn.SetDenseMode(network.DenseForcedOn)
+	units := []*unit{
+		refUnit,
+		{name: "auto", sim: auto, step: auto.Step},
+		{name: "forced_off", sim: forcedOff, step: forcedOff.Step},
+		{name: "forced_on", sim: forcedOn, step: forcedOn.Step},
+		{name: "sharded_auto", sim: shAuto, step: shAuto.Step},
+		{name: "sharded_forced_on", sim: shOn, step: shOn.Step},
+	}
+
+	hrng := rand.New(rand.NewSource(8))
+	min := routing.NewMinimal(ref.Topo)
+	alive := ref.Topo.AliveRouters()
+	for cyc := 0; cyc < cycles; cyc++ {
+		if cyc < window {
+			for _, src := range alive {
+				if hrng.Float64() >= rate {
+					continue
+				}
+				dst := alive[hrng.Intn(len(alive))]
+				if dst == src {
+					continue
+				}
+				r, ok := min.Route(src, dst, hrng)
+				if !ok {
+					continue
+				}
+				vnet := hrng.Intn(ref.Cfg.NumVnets)
+				var ln = 1 + 4*hrng.Intn(2)
+				for _, u := range units {
+					u.sim.Enqueue(u.sim.NewPacket(src, dst, vnet, ln, r))
+				}
+			}
+		}
+		for _, u := range units {
+			u.step()
+		}
+		for _, u := range units[1:] {
+			if u.sim.Stats != ref.Stats {
+				t.Fatalf("cycle %d: stats diverged\nrefmodel: %+v\n%s: %+v",
+					cyc, ref.Stats, u.name, u.sim.Stats)
+			}
+			if u.sim.InFlight() != ref.InFlight() || u.sim.QueuedPackets() != ref.QueuedPackets() {
+				t.Fatalf("cycle %d: occupancy diverged (%s)", cyc, u.name)
+			}
+		}
+	}
+
+	if c := forcedOn.StepperCounters(); c.DenseCycles != cycles {
+		t.Errorf("forced_on ran %d/%d cycles dense", c.DenseCycles, cycles)
+	}
+	if c := forcedOff.StepperCounters(); c.DenseCycles != 0 || c.DenseEnters != 0 {
+		t.Errorf("forced_off ran %d cycles dense (%d enters)", c.DenseCycles, c.DenseEnters)
+	}
+	if c := auto.StepperCounters(); c.DenseEnters < 1 || c.DenseCycles == 0 {
+		t.Errorf("auto policy never engaged at saturation: %+v", c)
+	}
+	if c := shOn.StepperCounters(); c.DenseCycles != cycles {
+		t.Errorf("sharded forced_on ran %d/%d cycles dense", c.DenseCycles, cycles)
+	}
+	if c := shAuto.StepperCounters(); c.DenseEnters < 1 {
+		t.Errorf("sharded auto policy never engaged at saturation: %+v", c)
+	}
+}

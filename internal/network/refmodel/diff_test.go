@@ -124,6 +124,22 @@ func runScenarioKnobs(seed int64, cycles int, checkEqual bool, shardCounts []int
 				u.sim.SetShardInlineThreshold(1 << 30)
 			}
 		}
+		if u.name != "refmodel" {
+			// Density is execution configuration like Shards: each unit
+			// draws a different policy — hysteretic, pinned sparse, pinned
+			// dense, rotating with the seed and the unit's position — and
+			// the harness demands they all stay cycle-exact anyway. Across
+			// the corpus this runs every scenario with dense forced on,
+			// forced off, and free to switch mid-run, at every shard
+			// count. (The refmodel is detached from the event loop, so
+			// density does not apply there.)
+			switch (seed + int64(i)) % 3 {
+			case 1:
+				u.sim.SetDenseMode(network.DenseForcedOff)
+			case 2:
+				u.sim.SetDenseMode(network.DenseForcedOn)
+			}
+		}
 		if u.name == "refmodel" {
 			u.step = New(u.sim).Step
 			// The reference unit runs unpooled: a pooling bug in the

@@ -297,7 +297,7 @@ func (s *Sim) commitAllocate(id geom.NodeID, g *allocGather) {
 				!s.GrantFilter(vc.Pkt, id, inPort, out) {
 				continue
 			}
-			if s.tryGrant(r, out, vc, vc.Pkt, inPort) {
+			if s.tryGrant(r, out, vc, vc.Pkt, inPort, int(ci)) {
 				r.saPtr[out] = (int(ci) + 1) % (total + 1)
 				granted++
 				break
@@ -337,17 +337,20 @@ func (s *Sim) TransferBubbleNode(id geom.NodeID) {
 	vc := &s.Routers[id].In[b.InPort][slot]
 	vc.Pkt = p
 	vc.ReadyAt = s.Now + 1
+	s.occBitSet(id, int(b.InPort)*s.Cfg.SlotsPerPort()+slot)
 	b.VC.Pkt = nil
 	b.VC.FreeAt = s.Now + 1
+	s.occBitClear(id, geom.NumPorts*s.Cfg.SlotsPerPort())
 	s.Stats.BubbleTransfers++
 	s.LastProgress = s.Now
 }
 
 // tryGrant moves p out of vc through output port out: ejection when out is
 // Local, else into a free downstream VC (or an eligible static bubble).
-// inPort is the port vc lives on (for occupancy bookkeeping). Returns
-// false if no downstream buffer is available.
-func (s *Sim) tryGrant(r *Router, out geom.Direction, vc *VC, p *Packet, inPort geom.Direction) bool {
+// inPort is the port vc lives on (for occupancy bookkeeping) and ci the
+// candidate index of vc (for the slot-occupancy mirror). Returns false
+// if no downstream buffer is available.
+func (s *Sim) tryGrant(r *Router, out geom.Direction, vc *VC, p *Packet, inPort geom.Direction, ci int) bool {
 	length := int64(p.Len)
 	if out == geom.Local {
 		if s.OnGrant != nil {
@@ -356,6 +359,7 @@ func (s *Sim) tryGrant(r *Router, out geom.Direction, vc *VC, p *Packet, inPort 
 		s.grantN[r.ID]++
 		vc.Pkt = nil
 		vc.FreeAt = s.Now + length
+		s.occBitClear(r.ID, ci)
 		r.OutFreeAt[geom.Local] = s.Now + length
 		p.DeliveredAt = s.Now + int64(s.Cfg.RouterLatency) + length - 1
 		s.Stats.DeliveredFlits += length
@@ -378,8 +382,10 @@ func (s *Sim) tryGrant(r *Router, out geom.Direction, vc *VC, p *Packet, inPort 
 	var dst *VC
 	if slot := s.findFreeVC(nb, in, p, p.Vnet); slot >= 0 {
 		dst = &nbr.In[in][slot]
+		s.occBitSet(nb, int(in)*s.Cfg.SlotsPerPort()+slot)
 	} else if nbr.Bubble.EligibleFor(in, s.Now) {
 		dst = &nbr.Bubble.VC
+		s.occBitSet(nb, geom.NumPorts*s.Cfg.SlotsPerPort())
 		s.Stats.BubbleOccupancies++
 	} else {
 		return false
@@ -390,6 +396,7 @@ func (s *Sim) tryGrant(r *Router, out geom.Direction, vc *VC, p *Packet, inPort 
 	s.grantN[r.ID]++
 	vc.Pkt = nil
 	vc.FreeAt = s.Now + length
+	s.occBitClear(r.ID, ci)
 	dst.Pkt = p
 	dst.ReadyAt = s.Now + int64(s.Cfg.RouterLatency+s.Cfg.LinkLatency)
 	p.Hop++

@@ -50,6 +50,12 @@ type scheduler struct {
 	// detached turns every wake into a no-op: set when the Sim is driven
 	// by the refmodel full-scan stepper instead of the event loop.
 	detached bool
+	// suspended turns every wake into a no-op while the dense stepper is
+	// active: a dense cycle visits every active router anyway, so
+	// recording wakes would be pure overhead. Unlike detached it is
+	// reversible — resumeReset clears the (now stale) wake state and the
+	// dense exit path re-establishes the invariant with a WakeAll.
+	suspended bool
 	// live is the number of routers with a pending wake (wakeAt[id] !=
 	// wakeNever). The sharded stepper uses it to decide between the inline
 	// sequential path and the parallel phases, and earliestWake uses it to
@@ -104,7 +110,7 @@ func (sc *scheduler) reserve(n int) {
 // next undrained cycle). A wake at or after an already-scheduled one is
 // a no-op: when the router runs it reschedules itself as needed.
 func (sc *scheduler) wake(id geom.NodeID, t int64) {
-	if sc.detached {
+	if sc.detached || sc.suspended {
 		return
 	}
 	if t <= sc.drained {
@@ -169,6 +175,33 @@ func (sc *scheduler) collectDue(now int64, due []int32) []int32 {
 		sc.dueBits[w] = 0
 	}
 	return due
+}
+
+// resumeReset clears suspension and discards every pending wake, wheel
+// entry and overflow entry, re-anchoring the drain cursor at now-1 so
+// wakes for cycle `now` are accepted again. Called when the dense
+// stepper hands control back to the event loop: wake state accumulated
+// before suspension is stale (wakes issued during the dense period were
+// dropped), so the caller must follow with a WakeAll — every router is
+// then visited once at `now` and re-establishes its own forward wakes
+// from its actual buffer state, restoring the scheduler invariant.
+// Bucket and heap capacities are retained, so a prewarmed simulation
+// stays allocation-free across mode switches.
+func (sc *scheduler) resumeReset(now int64) {
+	sc.suspended = false
+	for i := range sc.wheel {
+		bucket := sc.wheel[i]
+		for j := range bucket {
+			bucket[j] = wakeEntry{}
+		}
+		sc.wheel[i] = bucket[:0]
+	}
+	sc.overflow = sc.overflow[:0]
+	for i := range sc.wakeAt {
+		sc.wakeAt[i] = wakeNever
+	}
+	sc.live = 0
+	sc.drained = now - 1
 }
 
 // earliestWake returns the earliest pending wake cycle across all

@@ -117,6 +117,11 @@ type shardState struct {
 	inj    injectDelta
 	plan   shardPlan
 	sink   commitSink
+	// lo/hi delimit the shard's contiguous router-id band [lo, hi) —
+	// bands are whole row groups, so the range is exact. The dense
+	// stepper fills the due set by sweeping the band's occupancy state
+	// instead of draining the (suspended) shard scheduler.
+	lo, hi int32
 	// worker/commitWorker are the shard's goroutine bodies, built once
 	// at initShards: spawning a pre-bound func value (`go sh.worker()`)
 	// costs no allocation per cycle, whereas a literal closure with
@@ -138,11 +143,14 @@ type commitSink struct {
 }
 
 // xfill records a grant that filled a buffer in a router owned by
-// another shard: the destination's occupancy increments and its wake at
-// the arrival cycle are applied by the coordinator after the commit
-// barrier. src rides along for the seam observability hook.
+// another shard: the destination's occupancy increments (counters and
+// the slot-occupancy mirror, whose word would otherwise be written by
+// two shards) and its wake at the arrival cycle are applied by the
+// coordinator after the commit barrier. src rides along for the seam
+// observability hook; bit is the filled buffer's candidate index.
 type xfill struct {
 	src, nb int32
+	bit     int32
 	at      int64
 }
 
@@ -234,6 +242,8 @@ func (s *Sim) initShards(n int) {
 			s.commitShardPar(sh)
 			s.shardWG.Done()
 		}
+		sh.lo = int32(k * h / n * w)
+		sh.hi = int32((k + 1) * h / n * w)
 		for y := k * h / n; y < (k+1)*h/n; y++ {
 			for x := 0; x < w; x++ {
 				s.shardOf[y*w+x] = int8(k)
@@ -284,7 +294,11 @@ func (s *Sim) SetXFillObserver(f func(src, dst geom.NodeID)) { s.xfillObs = f }
 // package comment above for the phase structure and the determinism
 // argument.
 func (s *Sim) stepSharded() {
-	if s.inlineThreshold >= 0 {
+	// Dense cycles always take the parallel phases: every shard's due set
+	// is near its whole band, so the inline path's premise (barely any
+	// work) cannot hold, and sched.live is meaningless while suspended.
+	dense := s.dense.on
+	if !dense && s.inlineThreshold >= 0 {
 		live := 0
 		for k := range s.shards {
 			live += s.shards[k].sched.live
@@ -307,13 +321,11 @@ func (s *Sim) stepSharded() {
 	}
 	s.shardInjectGather(&s.shards[0])
 	s.shardWG.Wait()
-	empty, work := true, false
+	totalDue, work := 0, false
 	for k := range s.shards {
 		sh := &s.shards[k]
 		sh.inj.apply(s)
-		if len(sh.due) > 0 {
-			empty = false
-		}
+		totalDue += len(sh.due)
 		if len(sh.plan.ids) > 0 {
 			work = true
 		}
@@ -347,8 +359,17 @@ func (s *Sim) stepSharded() {
 		f(s)
 	}
 	s.Now++
-	if empty {
+	if dense {
+		s.ctr.DenseCycles++
+		if s.dense.observeDense(totalDue, len(s.Routers)) {
+			s.exitDense()
+		}
+		return
+	}
+	if totalDue == 0 {
 		s.maybeQuiet()
+	} else if s.dense.observeSparse(totalDue, len(s.Routers)) {
+		s.enterDense()
 	}
 }
 
@@ -361,13 +382,11 @@ func (s *Sim) stepShardedInline() {
 	for _, f := range s.PreCycle {
 		f(s)
 	}
-	empty := true
+	totalDue := 0
 	for k := range s.shards {
 		sh := &s.shards[k]
 		sh.due = sh.sched.collectDue(s.Now, sh.due[:0])
-		if len(sh.due) > 0 {
-			empty = false
-		}
+		totalDue += len(sh.due)
 	}
 	for k := range s.shards {
 		for _, id := range s.shards[k].due {
@@ -389,8 +408,10 @@ func (s *Sim) stepShardedInline() {
 	}
 	s.Now++
 	s.ctr.InlineCycles++
-	if empty {
+	if totalDue == 0 {
 		s.maybeQuiet()
+	} else if s.dense.observeSparse(totalDue, len(s.Routers)) {
+		s.enterDense()
 	}
 }
 
@@ -399,7 +420,11 @@ func (s *Sim) stepShardedInline() {
 // (node-local; counter movements go to the shard's private delta), then
 // gather allocation plans for the commit pass.
 func (s *Sim) shardInjectGather(sh *shardState) {
-	sh.due = sh.sched.collectDue(s.Now, sh.due[:0])
+	if s.dense.on {
+		sh.due = s.denseDueBand(sh.lo, sh.hi, sh.due[:0])
+	} else {
+		sh.due = sh.sched.collectDue(s.Now, sh.due[:0])
+	}
 	for _, id := range sh.due {
 		s.injectNode(geom.NodeID(id), &sh.inj)
 	}
@@ -477,7 +502,7 @@ func (s *Sim) commitShardPar(sh *shardState) {
 			if out != geom.Local {
 				dstSlot = dsts[start]
 			}
-			s.grantPar(sh, r, out, vc, vc.Pkt, inPort, dstSlot)
+			s.grantPar(sh, r, out, vc, vc.Pkt, inPort, int(ci), dstSlot)
 			r.saPtr[out] = (int(ci) + 1) % (total + 1)
 			granted++
 		}
@@ -495,13 +520,14 @@ func (s *Sim) commitShardPar(sh *shardState) {
 // directly, and defers everything else — Stats, inFlight, LastProgress,
 // delivery callbacks, pool releases, and foreign-shard occupancy/wakes
 // — into the shard's commit sink.
-func (s *Sim) grantPar(sh *shardState, r *Router, out geom.Direction, vc *VC, p *Packet, inPort geom.Direction, dstSlot int32) {
+func (s *Sim) grantPar(sh *shardState, r *Router, out geom.Direction, vc *VC, p *Packet, inPort geom.Direction, ci int, dstSlot int32) {
 	sink := &sh.sink
 	length := int64(p.Len)
 	if out == geom.Local {
 		s.grantN[r.ID]++
 		vc.Pkt = nil
 		vc.FreeAt = s.Now + length
+		s.occBitClear(r.ID, ci)
 		r.OutFreeAt[geom.Local] = s.Now + length
 		p.DeliveredAt = s.Now + int64(s.Cfg.RouterLatency) + length - 1
 		sink.stats.DeliveredFlits += length
@@ -519,8 +545,10 @@ func (s *Sim) grantPar(sh *shardState, r *Router, out geom.Direction, vc *VC, p 
 	nbr := &s.Routers[nb]
 	in := out.Opposite()
 	var dst *VC
+	dstBit := geom.NumPorts * s.Cfg.SlotsPerPort()
 	if dstSlot >= 0 {
 		dst = &nbr.In[in][dstSlot]
+		dstBit = int(in)*s.Cfg.SlotsPerPort() + int(dstSlot)
 	} else {
 		dst = &nbr.Bubble.VC
 		sink.stats.BubbleOccupancies++
@@ -528,6 +556,7 @@ func (s *Sim) grantPar(sh *shardState, r *Router, out geom.Direction, vc *VC, p 
 	s.grantN[r.ID]++
 	vc.Pkt = nil
 	vc.FreeAt = s.Now + length
+	s.occBitClear(r.ID, ci)
 	dst.Pkt = p
 	dst.ReadyAt = s.Now + int64(s.Cfg.RouterLatency+s.Cfg.LinkLatency)
 	p.Hop++
@@ -541,9 +570,10 @@ func (s *Sim) grantPar(sh *shardState, r *Router, out geom.Direction, vc *VC, p 
 	if s.shardOf[nb] == s.shardOf[r.ID] {
 		s.occ[nb]++
 		s.occNL[nb]++ // arrivals always land on a link-side port
+		s.occBitSet(nb, dstBit)
 		sh.sched.wake(nb, dst.ReadyAt)
 	} else {
-		sink.xf = append(sink.xf, xfill{src: int32(r.ID), nb: int32(nb), at: dst.ReadyAt})
+		sink.xf = append(sink.xf, xfill{src: int32(r.ID), nb: int32(nb), bit: int32(dstBit), at: dst.ReadyAt})
 	}
 	sink.progressed = true
 }
@@ -564,6 +594,7 @@ func (s *Sim) foldSinks() {
 		for _, x := range sink.xf {
 			s.occ[x.nb]++
 			s.occNL[x.nb]++
+			s.occBitSet(geom.NodeID(x.nb), int(x.bit))
 			s.wakeNode(geom.NodeID(x.nb), x.at)
 			if s.xfillObs != nil {
 				s.xfillObs(geom.NodeID(x.src), geom.NodeID(x.nb))

@@ -30,6 +30,39 @@ func (c LinkClass) String() string {
 	return "unknown"
 }
 
+// StepperCounters reports how many cycles each execution path of the
+// stepper has taken, plus cross-shard traffic and dense/sparse mode
+// transitions, for tests and tuning. Counters are execution
+// observability, not simulation state: they vary with Shards, mode
+// policy and thresholds while Stats does not.
+type StepperCounters struct {
+	// QuietCycles is the number of cycles skipped by quiet-epoch
+	// fast-forward (Step returned without running any phase).
+	QuietCycles int64
+	// InlineCycles counts sharded cycles run inline on the coordinator
+	// (pending-wake count at or below the inline threshold).
+	InlineCycles int64
+	// ParallelCycles counts sharded cycles run with parallel gather and
+	// parallel commit; SeqCommitCycles counts sharded cycles whose commit
+	// fell back to the sequential plan-decode path (GrantFilter/OnGrant
+	// installed). Sharded dense cycles increment these too (density
+	// selects the due sets, not the commit structure).
+	ParallelCycles  int64
+	SeqCommitCycles int64
+	// XFills counts grants that filled a VC in a router owned by another
+	// shard — seam crossings. The seam property test asserts these occur
+	// only at band-boundary routers.
+	XFills int64
+	// DenseCycles counts cycles executed by the dense stepper (flat
+	// sweeps over the active-router bitmap, scheduler suspended).
+	// DenseEnters/DenseExits count sparse→dense and dense→sparse mode
+	// transitions; under the hysteretic auto policy a steady workload
+	// produces at most one of each (see dense.go).
+	DenseCycles int64
+	DenseEnters int64
+	DenseExits  int64
+}
+
 // Stats accumulates simulation counters. Scheme plugins increment the
 // recovery counters; the simulator core maintains the rest.
 type Stats struct {

@@ -498,6 +498,7 @@ func (m *Manager) repairTraffic() {
 				return false
 			})
 		}
+		m.sim.RecountNIPending(src)
 	}
 }
 

@@ -64,6 +64,38 @@ func Check(s *network.Sim, ctrl *core.Controller) []Violation {
 			report("occupancy", "router %d: non-local counter %d != actual %d",
 				id, r.OccupiedNonLocal(), nonLocal)
 		}
+		// The NI-pending aggregate must equal the sum of ring lengths
+		// (the dense stepper's activity predicate trusts it).
+		queued := 0
+		for vnet := range s.NIQueue[id] {
+			queued += s.NIQueue[id][vnet].Len()
+		}
+		if s.NIPending(geom.NodeID(id)) != queued {
+			report("occupancy", "router %d: NI-pending counter %d != actual %d",
+				id, s.NIPending(geom.NodeID(id)), queued)
+		}
+		// The slot-granular occupancy mirror must match buffer contents
+		// bit for bit: it drives the dense allocator's classification and
+		// the recovery FSM's round-robin scan in every execution mode, so
+		// drift would alter results without tripping the differential
+		// harness.
+		if mirror, ok := s.OccupancyMirror(geom.NodeID(id)); ok {
+			slots := s.Cfg.SlotsPerPort()
+			var want uint64
+			for _, port := range geom.AllPorts {
+				for slot := range r.In[port] {
+					if r.In[port][slot].Pkt != nil {
+						want |= 1 << uint(int(port)*slots+slot)
+					}
+				}
+			}
+			if r.Bubble.VC.Pkt != nil {
+				want |= 1 << uint(geom.NumPorts*slots)
+			}
+			if mirror != want {
+				report("occupancy", "router %d: mirror %#x != actual %#x", id, mirror, want)
+			}
+		}
 		globalOcc += int64(occ)
 
 		// Dead routers must be empty and unfenced.
